@@ -1,0 +1,176 @@
+// Command polquery reads an inventory file and answers the paper's query
+// patterns: per-location statistical summaries, most frequent destinations,
+// and OD-key transition cells.
+//
+// Usage:
+//
+//	polquery -inv fleet.polinv -at 51.9,3.2
+//	polquery -inv fleet.polinv -at 51.9,3.2 -type container
+//	polquery -inv fleet.polinv -cell 0c4000000012345
+//	polquery -inv fleet.polinv -od-cells 1:63:container
+//	polquery -inv fleet.polinv -info
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/ports"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("polquery: ")
+
+	var (
+		invPath = flag.String("inv", "inventory.polinv", "inventory file")
+		at      = flag.String("at", "", "query location LAT,LNG")
+		cellStr = flag.String("cell", "", "query an exact cell id (hex)")
+		vtype   = flag.String("type", "", "vessel type filter (cargo|container|bulk|tanker|passenger)")
+		odCells = flag.String("od-cells", "", "list cells for key ORIGIN:DEST:TYPE (route forecasting input)")
+		info    = flag.Bool("info", false, "print inventory build info and exit")
+	)
+	flag.Parse()
+
+	inv, err := inventory.LoadFile(*invPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gaz := ports.Default()
+
+	if *info {
+		bi := inv.Info()
+		fmt.Printf("resolution:    %d (avg cell %.2f km²)\n", bi.Resolution, hexgrid.AvgCellAreaKm2(bi.Resolution))
+		fmt.Printf("raw records:   %d\n", bi.RawRecords)
+		fmt.Printf("used records:  %d\n", bi.UsedRecords)
+		fmt.Printf("built:         %s\n", time.Unix(bi.BuiltUnix, 0).UTC().Format(time.RFC3339))
+		fmt.Printf("description:   %s\n", bi.Description)
+		for _, gs := range inventory.AllGroupSets {
+			fmt.Printf("groups %-40v %8d  compression %.4f%%\n", gs, inv.CountGroups(gs), inv.Compression(gs)*100)
+		}
+		fmt.Printf("cells: %d, global utilization %.6f%%\n", len(inv.Cells(inventory.GSCell)), inv.Utilization()*100)
+		return
+	}
+
+	if *odCells != "" {
+		parts := strings.Split(*odCells, ":")
+		if len(parts) != 3 {
+			log.Fatal("-od-cells wants ORIGIN:DEST:TYPE")
+		}
+		origin := resolvePort(gaz, parts[0])
+		dest := resolvePort(gaz, parts[1])
+		vt := parseType(parts[2])
+		cells := inv.ODCells(origin, dest, vt)
+		fmt.Printf("%d cells for key origin=%d dest=%d type=%v\n", len(cells), origin, dest, vt)
+		for _, c := range cells {
+			p := c.LatLng()
+			fmt.Printf("%v\t%.4f\t%.4f\n", c, p.Lat, p.Lng)
+		}
+		return
+	}
+
+	var cell hexgrid.Cell
+	switch {
+	case *cellStr != "":
+		cell, err = hexgrid.ParseCell(*cellStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *at != "":
+		var lat, lng float64
+		if _, err := fmt.Sscanf(*at, "%f,%f", &lat, &lng); err != nil {
+			log.Fatalf("bad -at %q: %v", *at, err)
+		}
+		cell = hexgrid.LatLngToCell(geo.LatLng{Lat: lat, Lng: lng}, inv.Info().Resolution)
+	default:
+		log.Fatal("need -at LAT,LNG, -cell ID, -od-cells KEY or -info (see -h)")
+	}
+
+	var s *inventory.CellSummary
+	var ok bool
+	if *vtype != "" {
+		s, ok = inv.TypeSummary(cell, parseType(*vtype))
+	} else {
+		s, ok = inv.Cell(cell)
+	}
+	if !ok {
+		log.Fatalf("no data for cell %v (no historical traffic)", cell)
+	}
+	printSummary(gaz, cell, s)
+}
+
+func resolvePort(gaz *ports.Gazetteer, s string) model.PortID {
+	if id, err := strconv.Atoi(s); err == nil {
+		return model.PortID(id)
+	}
+	if p, ok := gaz.ByName(s); ok {
+		return p.ID
+	}
+	log.Fatalf("unknown port %q", s)
+	return 0
+}
+
+func parseType(s string) model.VesselType {
+	switch strings.ToLower(s) {
+	case "cargo":
+		return model.VesselCargo
+	case "container":
+		return model.VesselContainer
+	case "bulk":
+		return model.VesselBulk
+	case "tanker":
+		return model.VesselTanker
+	case "passenger":
+		return model.VesselPassenger
+	default:
+		log.Fatalf("unknown vessel type %q", s)
+		return model.VesselUnknown
+	}
+}
+
+func portName(gaz *ports.Gazetteer, id model.PortID) string {
+	if p, ok := gaz.ByID(id); ok {
+		return p.Name
+	}
+	return fmt.Sprintf("port-%d", id)
+}
+
+func printSummary(gaz *ports.Gazetteer, cell hexgrid.Cell, s *inventory.CellSummary) {
+	p := cell.LatLng()
+	fmt.Printf("cell %v  center %.4f,%.4f  area %.2f km²\n", cell, p.Lat, p.Lng, cell.AreaKm2())
+	fmt.Printf("records:   %d\n", s.Records)
+	fmt.Printf("ships:     ~%d distinct\n", s.Ships.Estimate())
+	fmt.Printf("trips:     ~%d distinct\n", s.Trips.Estimate())
+	p10, p50, p90 := s.SpeedPercentiles()
+	fmt.Printf("speed:     mean %.1f kn  std %.1f  p10/p50/p90 %.1f/%.1f/%.1f\n",
+		s.Speed.Mean(), s.Speed.Std(), p10, p50, p90)
+	fmt.Printf("course:    circular mean %.0f°  concentration %.2f\n", s.Course.Mean(), s.Course.Resultant())
+	fmt.Printf("heading:   circular mean %.0f°\n", s.Heading.Mean())
+	fmt.Printf("bins(30°): %v\n", s.CourseBins.Bins())
+	fmt.Printf("ETO:       mean %s  p50 %s\n",
+		time.Duration(s.ETO.Mean())*time.Second, time.Duration(s.ETODig.Quantile(0.5))*time.Second)
+	fmt.Printf("ATA:       mean %s  p50 %s\n",
+		time.Duration(s.ATA.Mean())*time.Second, time.Duration(s.ATADig.Quantile(0.5))*time.Second)
+	fmt.Println("top origins:")
+	for _, e := range s.Origins.Top(3) {
+		fmt.Printf("  %-20s %d\n", portName(gaz, model.PortID(e.Key)), e.Count)
+	}
+	fmt.Println("top destinations:")
+	for _, e := range s.Dests.Top(3) {
+		fmt.Printf("  %-20s %d\n", portName(gaz, model.PortID(e.Key)), e.Count)
+	}
+	fmt.Println("top transitions:")
+	for _, e := range s.TopTransitions(3) {
+		c := hexgrid.Cell(e.Key)
+		q := c.LatLng()
+		fmt.Printf("  %v (%.3f,%.3f) %d\n", c, q.Lat, q.Lng, e.Count)
+	}
+}

@@ -1,0 +1,37 @@
+// Command polserve exposes an inventory over HTTP as a small JSON API —
+// the "online querying" deployment the paper describes for stakeholders.
+// See internal/api for the endpoint documentation.
+//
+// Usage:
+//
+//	polserve -inv fleet.polinv -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"github.com/patternsoflife/pol/internal/api"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/ports"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("polserve: ")
+
+	var (
+		invPath = flag.String("inv", "inventory.polinv", "inventory file")
+		addr    = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	inv, err := inventory.LoadFile(*invPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := api.NewServer(inv, ports.Default())
+	log.Printf("serving %s (%d groups) on %s", *invPath, inv.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,12 @@
+// Package pol is the root of the Patterns-of-Life reproduction: a global
+// inventory of maritime mobility patterns built from AIS vessel-tracking
+// data over a hexagonal discrete global grid, as described in
+// "Patterns of Life: Global Inventory for maritime mobility patterns"
+// (EDBT 2024).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the command-line tools under cmd/, and runnable examples
+// under examples/. The benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation; `go run ./cmd/polbench -exp all`
+// prints the full paper-vs-measured comparison.
+package pol

@@ -1,0 +1,91 @@
+// ETA example (paper §4.1.2): build an inventory from historical traffic,
+// then replay a voyage and compare the inventory's baseline ETA estimates
+// against the actual remaining time at several points along the trip.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/eta"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/pipeline"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	gaz := ports.Default()
+	fleet, err := sim.New(sim.Config{Vessels: 40, Days: 30, Seed: 7}, gaz)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the inventory over the whole fleet's history.
+	tracks := make([][]model.PositionRecord, 40)
+	var voyages []sim.Voyage
+	for i := range tracks {
+		var voys []sim.Voyage
+		tracks[i], voys = fleet.VesselTrack(i)
+		voyages = append(voyages, voys...)
+	}
+	ctx := dataflow.NewContext(0)
+	records := dataflow.Generate(ctx, len(tracks), func(i int) []model.PositionRecord { return tracks[i] })
+	result, err := pipeline.Run(records, fleet.Fleet().StaticIndex(), ports.NewIndex(gaz, ports.IndexResolution),
+		pipeline.Options{Resolution: 6, Description: "eta example"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := eta.New(result.Inventory)
+
+	// Pick a completed voyage and replay it.
+	end := fleet.Config().Start.Unix() + int64(fleet.Config().Days)*86400
+	var voyage sim.Voyage
+	for _, v := range voyages {
+		if v.ArriveTime < end && v.ArriveTime-v.DepartTime > 3*86400 {
+			voyage = v
+			break
+		}
+	}
+	if voyage.MMSI == 0 {
+		log.Fatal("no suitable voyage in the simulation window")
+	}
+	origin, _ := gaz.ByID(voyage.Route.Origin)
+	dest, _ := gaz.ByID(voyage.Route.Dest)
+	fmt.Printf("voyage: %s → %s (%.0f km), vessel type %s\n\n",
+		origin.Name, dest.Name, voyage.Route.DistM/1000, voyage.VType)
+	fmt.Printf("%-10s %-14s %-14s %-14s %s\n", "progress", "actual left", "estimate", "p10–p90", "source")
+
+	var track []model.PositionRecord
+	for i, v := range fleet.Fleet().Vessels {
+		if v.MMSI == voyage.MMSI {
+			for _, r := range tracks[i] {
+				if r.Time >= voyage.DepartTime && r.Time <= voyage.ArriveTime {
+					track = append(track, r)
+				}
+			}
+		}
+	}
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		r := track[int(float64(len(track)-1)*frac)]
+		truth := time.Duration(voyage.ArriveTime-r.Time) * time.Second
+		e, ok := est.Estimate(eta.Query{
+			Pos: r.Pos, VType: voyage.VType,
+			Origin: voyage.Route.Origin, Dest: voyage.Route.Dest,
+		})
+		if !ok {
+			fmt.Printf("%8.0f%%  %-14s (no history at this location)\n", frac*100, truth.Round(time.Minute))
+			continue
+		}
+		fmt.Printf("%8.0f%%  %-14s %-14s %s–%-7s %v\n",
+			frac*100,
+			truth.Round(time.Minute),
+			e.Mean.Round(time.Minute),
+			e.P10.Round(time.Hour), e.P90.Round(time.Hour),
+			e.Source)
+	}
+}

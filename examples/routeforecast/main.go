@@ -1,0 +1,133 @@
+// Route forecasting example (paper §4.1.3): given a vessel performing a
+// known origin-destination trip, retrieve the inventory cells of the
+// (origin, destination, vessel-type) key, organize them into a transition
+// graph, and forecast the remaining route with A*. The forecast is printed
+// as an ASCII chart of the cell path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/pipeline"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/routing"
+	"github.com/patternsoflife/pol/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	gaz := ports.Default()
+	fleet, err := sim.New(sim.Config{Vessels: 40, Days: 30, Seed: 7}, gaz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracks := make([][]model.PositionRecord, 40)
+	var voyages []sim.Voyage
+	for i := range tracks {
+		var voys []sim.Voyage
+		tracks[i], voys = fleet.VesselTrack(i)
+		voyages = append(voyages, voys...)
+	}
+	ctx := dataflow.NewContext(0)
+	records := dataflow.Generate(ctx, len(tracks), func(i int) []model.PositionRecord { return tracks[i] })
+	result, err := pipeline.Run(records, fleet.Fleet().StaticIndex(), ports.NewIndex(gaz, ports.IndexResolution),
+		pipeline.Options{Resolution: 6, Description: "route forecast example"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv := result.Inventory
+
+	// Choose a long completed voyage and forecast from one third in.
+	end := fleet.Config().Start.Unix() + int64(fleet.Config().Days)*86400
+	var voyage sim.Voyage
+	for _, v := range voyages {
+		if v.ArriveTime < end && v.Route.DistM > 4e6 {
+			voyage = v
+			break
+		}
+	}
+	if voyage.MMSI == 0 {
+		log.Fatal("no suitable voyage")
+	}
+	origin, _ := gaz.ByID(voyage.Route.Origin)
+	dest, _ := gaz.ByID(voyage.Route.Dest)
+	from := voyage.Route.PointAtDistance(voyage.Route.DistM / 3)
+
+	graph, err := routing.Build(inv, voyage.Route.Origin, voyage.Route.Dest, voyage.VType)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, err := graph.ShortestPath(from, dest.Pos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("voyage %s → %s (%s), vessel at 33%% of the route\n", origin.Name, dest.Name, voyage.VType)
+	fmt.Printf("transition graph: %d cells for this OD key\n", graph.Size())
+	fmt.Printf("forecast: %d cells, ~%.0f km\n\n", len(path), pathLength(path)/1000)
+
+	// ASCII chart: project the forecast onto a small grid.
+	plot(path, from, dest.Pos)
+
+	fmt.Println("\nfirst cells of the forecast:")
+	for i, c := range path[:min(8, len(path))] {
+		p := c.LatLng()
+		fmt.Printf("  %2d. %v  (%.2f, %.2f)\n", i+1, c, p.Lat, p.Lng)
+	}
+}
+
+// pathLength sums great-circle hops along the forecast cells.
+func pathLength(path []hexgrid.Cell) float64 {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		total += geo.Haversine(path[i-1].LatLng(), path[i].LatLng())
+	}
+	return total
+}
+
+// plot renders the forecast as a small ASCII chart: '*' forecast cells,
+// 'S' the vessel, 'D' the destination.
+func plot(path []hexgrid.Cell, from, to geo.LatLng) {
+	const w, h = 72, 20
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	minLng, maxLng := math.Inf(1), math.Inf(-1)
+	expand := func(p geo.LatLng) {
+		minLat, maxLat = math.Min(minLat, p.Lat), math.Max(maxLat, p.Lat)
+		minLng, maxLng = math.Min(minLng, p.Lng), math.Max(maxLng, p.Lng)
+	}
+	for _, c := range path {
+		expand(c.LatLng())
+	}
+	expand(from)
+	expand(to)
+	if maxLat-minLat < 1 {
+		maxLat, minLat = maxLat+0.5, minLat-0.5
+	}
+	if maxLng-minLng < 1 {
+		maxLng, minLng = maxLng+0.5, minLng-0.5
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", w))
+	}
+	put := func(p geo.LatLng, ch byte) {
+		x := int((p.Lng - minLng) / (maxLng - minLng) * float64(w-1))
+		y := int((maxLat - p.Lat) / (maxLat - minLat) * float64(h-1))
+		grid[y][x] = ch
+	}
+	for _, c := range path {
+		put(c.LatLng(), '*')
+	}
+	put(from, 'S')
+	put(to, 'D')
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

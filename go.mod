@@ -1,0 +1,3 @@
+module github.com/patternsoflife/pol
+
+go 1.23

@@ -1,0 +1,172 @@
+package ais
+
+// bitBuf is a big-endian bit vector backed by bytes, the wire representation
+// of AIS message payloads before 6-bit armoring. Bit 0 is the most
+// significant bit of byte 0, as in ITU-R M.1371 field tables.
+type bitBuf struct {
+	bits []byte
+	n    int // length in bits
+}
+
+// newBitBuf allocates a buffer of n bits, all zero.
+func newBitBuf(n int) *bitBuf {
+	return &bitBuf{bits: make([]byte, (n+7)/8), n: n}
+}
+
+// Len returns the length in bits.
+func (b *bitBuf) Len() int { return b.n }
+
+// setUint writes the width low bits of v at bit offset start, MSB first.
+func (b *bitBuf) setUint(start, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		bit := start + i
+		if v>>(width-1-i)&1 == 1 {
+			b.bits[bit/8] |= 1 << (7 - bit%8)
+		} else {
+			b.bits[bit/8] &^= 1 << (7 - bit%8)
+		}
+	}
+}
+
+// uint reads width bits at offset start as an unsigned integer. Reads past
+// the end return the available bits zero-padded (per the AIS convention that
+// truncated trailing fields read as zero).
+func (b *bitBuf) uint(start, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v <<= 1
+		bit := start + i
+		if bit < b.n && b.bits[bit/8]>>(7-bit%8)&1 == 1 {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// setInt writes a two's-complement signed value of the given width.
+func (b *bitBuf) setInt(start, width int, v int64) {
+	b.setUint(start, width, uint64(v)&(1<<width-1))
+}
+
+// int reads width bits as a two's-complement signed integer.
+func (b *bitBuf) int(start, width int) int64 {
+	v := b.uint(start, width)
+	if v&(1<<(width-1)) != 0 {
+		return int64(v) - (1 << width)
+	}
+	return int64(v)
+}
+
+// sixBitChars is the AIS 6-bit text alphabet indexed by field value:
+// values 0-31 map to '@' + v, values 32-63 map to ' ' + (v - 32).
+func sixBitChar(v byte) byte {
+	if v < 32 {
+		return '@' + v
+	}
+	return v // 32..63 are ASCII space..'?'
+}
+
+// sixBitValue inverts sixBitChar; it reports ok=false for characters outside
+// the AIS text alphabet. Lowercase letters are folded to uppercase.
+func sixBitValue(c byte) (byte, bool) {
+	if c >= 'a' && c <= 'z' {
+		c -= 32
+	}
+	switch {
+	case c >= '@' && c <= '_':
+		return c - '@', true
+	case c >= ' ' && c <= '?':
+		return c, true
+	default:
+		return 0, false
+	}
+}
+
+// setText writes a fixed-length 6-bit text field, padding with '@'.
+// Characters outside the alphabet are replaced by '@'.
+func (b *bitBuf) setText(start, chars int, s string) {
+	for i := 0; i < chars; i++ {
+		var v byte // '@' padding
+		if i < len(s) {
+			if sv, ok := sixBitValue(s[i]); ok {
+				v = sv
+			}
+		}
+		b.setUint(start+6*i, 6, uint64(v))
+	}
+}
+
+// text reads a fixed-length 6-bit text field, trimming trailing '@' padding
+// and spaces.
+func (b *bitBuf) text(start, chars int) string {
+	out := make([]byte, 0, chars)
+	for i := 0; i < chars; i++ {
+		v := byte(b.uint(start+6*i, 6))
+		out = append(out, sixBitChar(v))
+	}
+	// Trim at first '@' and trailing spaces.
+	end := len(out)
+	for i, c := range out {
+		if c == '@' {
+			end = i
+			break
+		}
+	}
+	for end > 0 && out[end-1] == ' ' {
+		end--
+	}
+	return string(out[:end])
+}
+
+// armor encodes the bit buffer into the printable 6-bit payload alphabet,
+// returning the payload string and the number of fill bits appended to pad
+// to a 6-bit boundary.
+func (b *bitBuf) armor() (payload string, fillBits int) {
+	nChars := (b.n + 5) / 6
+	fillBits = nChars*6 - b.n
+	out := make([]byte, nChars)
+	for i := 0; i < nChars; i++ {
+		v := byte(b.uint(i*6, 6))
+		if v < 40 {
+			out[i] = v + 48
+		} else {
+			out[i] = v + 56
+		}
+	}
+	return string(out), fillBits
+}
+
+// unarmor decodes a printable payload (with fill bits) back into a bit
+// buffer.
+func unarmor(payload string, fillBits int) (*bitBuf, error) {
+	if fillBits < 0 || fillBits > 5 {
+		return nil, ErrBadPayload
+	}
+	n := len(payload)*6 - fillBits
+	if n < 0 {
+		return nil, ErrBadPayload
+	}
+	b := newBitBuf(n)
+	for i := 0; i < len(payload); i++ {
+		c := payload[i]
+		var v byte
+		switch {
+		case c >= 48 && c <= 87: // '0'..'W'
+			v = c - 48
+		case c >= 96 && c <= 119: // '`'..'w'
+			v = c - 56
+		default:
+			return nil, ErrBadPayload
+		}
+		// The final character may carry fewer than 6 significant bits.
+		width := 6
+		if rem := n - i*6; rem < 6 {
+			width = rem
+			v >>= uint(6 - rem)
+		}
+		if width > 0 {
+			b.setUint(i*6, width, uint64(v))
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,102 @@
+package ais
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBaseStationRoundTrip(t *testing.T) {
+	orig := BaseStationReport{
+		MMSI: 993669702,
+		Time: time.Date(2022, 6, 15, 13, 45, 30, 0, time.UTC),
+		Lon:  4.1418,
+		Lat:  51.9512,
+	}
+	lines, err := EncodeBaseStation(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("base station report must fit one sentence, got %d", len(lines))
+	}
+	m := decodeAll(t, lines)
+	if m.Type != TypeBaseStation || m.BaseStation == nil {
+		t.Fatalf("decoded %+v", m)
+	}
+	got := *m.BaseStation
+	if got.MMSI != orig.MMSI {
+		t.Errorf("MMSI %d", got.MMSI)
+	}
+	if !got.Time.Equal(orig.Time) {
+		t.Errorf("time %v, want %v", got.Time, orig.Time)
+	}
+	if math.Abs(got.Lon-orig.Lon) > 1e-5 || math.Abs(got.Lat-orig.Lat) > 1e-5 {
+		t.Errorf("position (%v,%v)", got.Lat, got.Lon)
+	}
+}
+
+func TestBaseStationUnavailablePosition(t *testing.T) {
+	lines, err := EncodeBaseStation(BaseStationReport{
+		MMSI: 993669702,
+		Time: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		Lon:  math.NaN(), Lat: math.NaN(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := *decodeAll(t, lines).BaseStation
+	if !math.IsNaN(got.Lon) || !math.IsNaN(got.Lat) {
+		t.Error("unavailable position must decode to NaN")
+	}
+}
+
+func TestBaseStationRejectsBadMMSI(t *testing.T) {
+	if _, err := EncodeBaseStation(BaseStationReport{MMSI: 7}); err != ErrInvalidFields {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestStaticBPartARoundTrip(t *testing.T) {
+	orig := StaticBReport{MMSI: 338123456, Part: 0, Name: "SMALL FISHER"}
+	lines, err := EncodeStaticB(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeAll(t, lines)
+	if m.Type != TypeStaticB || m.StaticB == nil {
+		t.Fatalf("decoded %+v", m)
+	}
+	got := *m.StaticB
+	if got.Part != 0 || got.Name != "SMALL FISHER" || got.MMSI != orig.MMSI {
+		t.Errorf("part A: %+v", got)
+	}
+}
+
+func TestStaticBPartBRoundTrip(t *testing.T) {
+	orig := StaticBReport{
+		MMSI: 338123456, Part: 1,
+		ShipType: 37, CallSign: "WDL1234",
+		DimBow: 12, DimStern: 4, DimPort: 2, DimStarb: 3,
+	}
+	lines, err := EncodeStaticB(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := *decodeAll(t, lines).StaticB
+	if got.Part != 1 || got.ShipType != 37 || got.CallSign != "WDL1234" {
+		t.Errorf("part B identity: %+v", got)
+	}
+	if got.DimBow != 12 || got.DimStern != 4 || got.DimPort != 2 || got.DimStarb != 3 {
+		t.Errorf("part B dimensions: %+v", got)
+	}
+}
+
+func TestStaticBRejectsBadInput(t *testing.T) {
+	if _, err := EncodeStaticB(StaticBReport{MMSI: 5, Part: 0}); err != ErrInvalidFields {
+		t.Errorf("bad MMSI: %v", err)
+	}
+	if _, err := EncodeStaticB(StaticBReport{MMSI: 338123456, Part: 2}); err != ErrInvalidFields {
+		t.Errorf("bad part: %v", err)
+	}
+}

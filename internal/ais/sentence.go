@@ -1,0 +1,195 @@
+package ais
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sentence is one parsed NMEA 0183 AIVDM/AIVDO sentence.
+type Sentence struct {
+	Talker   string // "AIVDM" or "AIVDO"
+	Total    int    // total sentences in this message (1..9)
+	Number   int    // sentence number (1..Total)
+	SeqID    int    // sequential message id for multi-sentence groups, -1 if empty
+	Channel  string // radio channel, "A" or "B"
+	Payload  string // armored 6-bit payload
+	FillBits int    // padding bits in the last payload character
+}
+
+// checksum computes the NMEA XOR checksum over the characters between '!'
+// and '*'.
+func checksum(body string) byte {
+	var c byte
+	for i := 0; i < len(body); i++ {
+		c ^= body[i]
+	}
+	return c
+}
+
+// FormatSentence renders the sentence in NMEA wire form, including the
+// leading '!' and the checksum.
+func FormatSentence(s Sentence) string {
+	seq := ""
+	if s.SeqID >= 0 {
+		seq = strconv.Itoa(s.SeqID)
+	}
+	body := fmt.Sprintf("%s,%d,%d,%s,%s,%s,%d",
+		s.Talker, s.Total, s.Number, seq, s.Channel, s.Payload, s.FillBits)
+	return fmt.Sprintf("!%s*%02X", body, checksum(body))
+}
+
+// ParseSentence parses one NMEA AIVDM/AIVDO line. Leading/trailing
+// whitespace is tolerated; the checksum is verified.
+func ParseSentence(line string) (Sentence, error) {
+	line = strings.TrimSpace(line)
+	if len(line) < 10 || line[0] != '!' {
+		return Sentence{}, ErrBadSentence
+	}
+	star := strings.LastIndexByte(line, '*')
+	if star < 0 || star+3 > len(line) {
+		return Sentence{}, ErrBadSentence
+	}
+	body := line[1:star]
+	wantSum, err := strconv.ParseUint(line[star+1:star+3], 16, 8)
+	if err != nil {
+		return Sentence{}, ErrBadSentence
+	}
+	if checksum(body) != byte(wantSum) {
+		return Sentence{}, ErrBadChecksum
+	}
+	fields := strings.Split(body, ",")
+	if len(fields) != 7 {
+		return Sentence{}, ErrBadSentence
+	}
+	if fields[0] != "AIVDM" && fields[0] != "AIVDO" {
+		return Sentence{}, ErrBadSentence
+	}
+	total, err := strconv.Atoi(fields[1])
+	if err != nil || total < 1 || total > 9 {
+		return Sentence{}, ErrBadSentence
+	}
+	number, err := strconv.Atoi(fields[2])
+	if err != nil || number < 1 || number > total {
+		return Sentence{}, ErrBadSentence
+	}
+	seq := -1
+	if fields[3] != "" {
+		seq, err = strconv.Atoi(fields[3])
+		if err != nil || seq < 0 || seq > 9 {
+			return Sentence{}, ErrBadSentence
+		}
+	}
+	fill, err := strconv.Atoi(fields[6])
+	if err != nil || fill < 0 || fill > 5 {
+		return Sentence{}, ErrBadSentence
+	}
+	return Sentence{
+		Talker:   fields[0],
+		Total:    total,
+		Number:   number,
+		SeqID:    seq,
+		Channel:  fields[4],
+		Payload:  fields[5],
+		FillBits: fill,
+	}, nil
+}
+
+// Assembler reassembles multi-sentence AIS messages. Feed sentences in
+// arrival order with Push; when a message completes, Push returns its
+// payload bits. Single-sentence messages complete immediately. Incomplete
+// groups are evicted when more than maxPending groups are in flight.
+type Assembler struct {
+	pending    map[int][]Sentence // keyed by SeqID
+	order      []int              // insertion order of pending groups
+	maxPending int
+}
+
+// NewAssembler returns an assembler that holds at most maxPending incomplete
+// multi-sentence groups (values below 1 default to 8).
+func NewAssembler(maxPending int) *Assembler {
+	if maxPending < 1 {
+		maxPending = 8
+	}
+	return &Assembler{pending: make(map[int][]Sentence), maxPending: maxPending}
+}
+
+// Push feeds one sentence. It returns the completed message's payload and
+// fill bits with done=true when the sentence completes a message, and
+// done=false while a multi-sentence group is still accumulating.
+func (a *Assembler) Push(s Sentence) (payload string, fillBits int, done bool) {
+	if s.Total == 1 {
+		return s.Payload, s.FillBits, true
+	}
+	group := a.pending[s.SeqID]
+	// A sentence restarting a group (number 1) replaces any stale state.
+	if s.Number == 1 {
+		group = nil
+	}
+	if len(group) != s.Number-1 || (len(group) > 0 && group[0].Total != s.Total) {
+		// Out-of-order or mismatched fragment: drop the group.
+		delete(a.pending, s.SeqID)
+		if s.Number == 1 {
+			a.track(s.SeqID)
+			a.pending[s.SeqID] = []Sentence{s}
+		}
+		return "", 0, false
+	}
+	group = append(group, s)
+	if s.Number == s.Total {
+		delete(a.pending, s.SeqID)
+		var b strings.Builder
+		for _, g := range group {
+			b.WriteString(g.Payload)
+		}
+		return b.String(), s.FillBits, true
+	}
+	if _, ok := a.pending[s.SeqID]; !ok {
+		a.track(s.SeqID)
+	}
+	a.pending[s.SeqID] = group
+	return "", 0, false
+}
+
+// track records a new pending group, evicting the oldest beyond capacity.
+func (a *Assembler) track(seqID int) {
+	a.order = append(a.order, seqID)
+	for len(a.order) > a.maxPending {
+		victim := a.order[0]
+		a.order = a.order[1:]
+		if victim != seqID {
+			delete(a.pending, victim)
+		}
+	}
+}
+
+// EncodeSentences armors the message bits and splits them into one or more
+// AIVDM sentences. Messages up to 60 payload characters fit one sentence;
+// longer payloads are split at 60 characters (the practical VHF limit).
+// seqID is used only for multi-sentence output.
+func EncodeSentences(b *bitBuf, channel string, seqID int) []string {
+	payload, fill := b.armor()
+	const maxChars = 60
+	if len(payload) <= maxChars {
+		return []string{FormatSentence(Sentence{
+			Talker: "AIVDM", Total: 1, Number: 1, SeqID: -1,
+			Channel: channel, Payload: payload, FillBits: fill,
+		})}
+	}
+	var out []string
+	total := (len(payload) + maxChars - 1) / maxChars
+	for i := 0; i < total; i++ {
+		lo := i * maxChars
+		hi := lo + maxChars
+		f := 0
+		if hi >= len(payload) {
+			hi = len(payload)
+			f = fill
+		}
+		out = append(out, FormatSentence(Sentence{
+			Talker: "AIVDM", Total: total, Number: i + 1, SeqID: seqID,
+			Channel: channel, Payload: payload[lo:hi], FillBits: f,
+		}))
+	}
+	return out
+}

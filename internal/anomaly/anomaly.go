@@ -1,0 +1,125 @@
+// Package anomaly scores live position reports against the inventory's
+// model of normalcy — the paper's motivating application ("we build a model
+// of normalcy that can then be used to identify any outliers, e.g. Covid-19
+// or Suez Canal"). A report is anomalous when it sails where historical
+// traffic never sailed (off-lane), or at a speed far from the cell's
+// historical distribution, or on a course against the cell's dominant flow.
+package anomaly
+
+import (
+	"math"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+)
+
+// Score is the normalcy assessment of one report.
+type Score struct {
+	// OffLane is true when neither the report's cell nor any cell within
+	// SearchRings has historical traffic.
+	OffLane bool
+	// LaneDistance is the grid distance to the nearest historical cell
+	// (0 when the report's own cell has history; SearchRings+1 when none
+	// found — the off-lane case).
+	LaneDistance int
+	// SpeedZ is |speed − μ|/σ against the cell's speed distribution, NaN
+	// when the report is off-lane or speed history is degenerate.
+	SpeedZ float64
+	// CourseDeviation is the angular difference in degrees between the
+	// report's course and the cell's circular-mean course, NaN off-lane.
+	// Only meaningful when the cell's flow is directional (high resultant).
+	CourseDeviation float64
+	// Composite is a single anomaly score in [0, 1]: 1 = certainly
+	// anomalous.
+	Composite float64
+}
+
+// Scorer evaluates reports against an inventory.
+type Scorer struct {
+	inv *inventory.Inventory
+	// SearchRings is how many neighbour rings to search for lane cells
+	// before declaring a report off-lane (default 3).
+	SearchRings int
+}
+
+// New returns a scorer over the inventory.
+func New(inv *inventory.Inventory) *Scorer {
+	return &Scorer{inv: inv, SearchRings: 3}
+}
+
+// summaryFor prefers the segment-specific summary and falls back to all
+// traffic.
+func (sc *Scorer) summaryFor(cell hexgrid.Cell, vt model.VesselType) (*inventory.CellSummary, bool) {
+	if vt != model.VesselUnknown {
+		if s, ok := sc.inv.TypeSummary(cell, vt); ok {
+			return s, true
+		}
+	}
+	return sc.inv.Cell(cell)
+}
+
+// Score evaluates one report.
+func (sc *Scorer) Score(rec model.PositionRecord, vt model.VesselType) Score {
+	out := Score{SpeedZ: math.NaN(), CourseDeviation: math.NaN()}
+	cell := hexgrid.LatLngToCell(rec.Pos, sc.inv.Info().Resolution)
+
+	// Find the nearest cell with history, ring by ring.
+	var s *inventory.CellSummary
+	found := false
+	for ring := 0; ring <= sc.SearchRings && !found; ring++ {
+		for _, c := range hexgrid.GridRing(cell, ring) {
+			if cand, ok := sc.summaryFor(c, vt); ok {
+				s = cand
+				out.LaneDistance = ring
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		out.OffLane = true
+		out.LaneDistance = sc.SearchRings + 1
+		out.Composite = 1
+		return out
+	}
+
+	// Speed deviation against the historical distribution.
+	if !math.IsNaN(rec.SOG) && s.Speed.Weight() >= 10 && s.Speed.Std() > 0.1 {
+		out.SpeedZ = math.Abs(rec.SOG-s.Speed.Mean()) / s.Speed.Std()
+	}
+	// Course deviation against the dominant flow, weighted by how
+	// directional the flow is.
+	courseScore := 0.0
+	if !math.IsNaN(rec.COG) {
+		mean := s.Course.Mean()
+		if !math.IsNaN(mean) {
+			out.CourseDeviation = geo.AngleDiff(rec.COG, mean)
+			courseScore = out.CourseDeviation / 180 * s.Course.Resultant()
+		}
+	}
+
+	// Composite: distance from the lane dominates; speed and course
+	// deviations contribute proportionally.
+	laneScore := float64(out.LaneDistance) / float64(sc.SearchRings+1)
+	speedScore := 0.0
+	if !math.IsNaN(out.SpeedZ) {
+		speedScore = math.Min(out.SpeedZ/6, 1)
+	}
+	out.Composite = math.Min(1, 0.6*laneScore+0.25*speedScore+0.15*courseScore)
+	return out
+}
+
+// ScoreTrack evaluates a whole track and returns the mean composite score —
+// the disruption indicator used in the Suez experiment.
+func (sc *Scorer) ScoreTrack(recs []model.PositionRecord, vt model.VesselType) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range recs {
+		sum += sc.Score(r, vt).Composite
+	}
+	return sum / float64(len(recs))
+}

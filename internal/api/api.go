@@ -1,0 +1,359 @@
+// Package api exposes an inventory over HTTP as a JSON API — the online
+// querying service the paper describes for maritime stakeholders. The
+// polserve command wraps this handler; it is a separate package so the API
+// surface is testable with httptest.
+//
+// Endpoints:
+//
+//	GET /v1/info                         build info and group counts
+//	GET /v1/cell?lat=&lng=[&type=]       per-location statistical summary
+//	GET /v1/destinations?lat=&lng=&n=    top destinations at a location
+//	GET /v1/eta?lat=&lng=[&origin=&dest=&type=]  baseline ETA estimate
+//	GET /v1/odcells?origin=&dest=&type=  cells of an OD key
+//	GET /v1/forecast?origin=&dest=&type=&lat=&lng=  route forecast (A*)
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/eta"
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/routing"
+)
+
+// Server answers inventory queries over HTTP.
+type Server struct {
+	inv *inventory.Inventory
+	est *eta.Estimator
+	gaz *ports.Gazetteer
+}
+
+// NewServer builds a Server over a loaded inventory and port gazetteer.
+func NewServer(inv *inventory.Inventory, gaz *ports.Gazetteer) *Server {
+	return &Server{inv: inv, est: eta.New(inv), gaz: gaz}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	mux.HandleFunc("GET /v1/cell", s.handleCell)
+	mux.HandleFunc("GET /v1/destinations", s.handleDestinations)
+	mux.HandleFunc("GET /v1/eta", s.handleETA)
+	mux.HandleFunc("GET /v1/odcells", s.handleODCells)
+	mux.HandleFunc("GET /v1/forecast", s.handleForecast)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) parseLatLng(r *http.Request) (geo.LatLng, error) {
+	lat, err1 := strconv.ParseFloat(r.URL.Query().Get("lat"), 64)
+	lng, err2 := strconv.ParseFloat(r.URL.Query().Get("lng"), 64)
+	if err1 != nil || err2 != nil {
+		return geo.LatLng{}, fmt.Errorf("lat and lng query parameters are required numbers")
+	}
+	p := geo.LatLng{Lat: lat, Lng: lng}
+	if !p.Valid() {
+		return geo.LatLng{}, fmt.Errorf("coordinate out of range")
+	}
+	return p, nil
+}
+
+// ParseVesselType maps the API's type parameter to a market segment.
+func ParseVesselType(s string) (model.VesselType, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return model.VesselUnknown, nil
+	case "cargo":
+		return model.VesselCargo, nil
+	case "container":
+		return model.VesselContainer, nil
+	case "bulk":
+		return model.VesselBulk, nil
+	case "tanker":
+		return model.VesselTanker, nil
+	case "passenger":
+		return model.VesselPassenger, nil
+	default:
+		return 0, fmt.Errorf("unknown vessel type %q", s)
+	}
+}
+
+func (s *Server) resolvePort(v string) (model.PortID, error) {
+	if v == "" {
+		return model.NoPort, nil
+	}
+	if id, err := strconv.Atoi(v); err == nil {
+		if _, ok := s.gaz.ByID(model.PortID(id)); !ok {
+			return model.NoPort, fmt.Errorf("unknown port id %d", id)
+		}
+		return model.PortID(id), nil
+	}
+	if p, ok := s.gaz.ByName(v); ok {
+		return p.ID, nil
+	}
+	return model.NoPort, fmt.Errorf("unknown port %q", v)
+}
+
+func (s *Server) portName(id model.PortID) string {
+	if p, ok := s.gaz.ByID(id); ok {
+		return p.Name
+	}
+	return fmt.Sprintf("port-%d", id)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	bi := s.inv.Info()
+	groups := map[string]int{}
+	for _, gs := range inventory.AllGroupSets {
+		groups[gs.String()] = s.inv.CountGroups(gs)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"resolution":  bi.Resolution,
+		"rawRecords":  bi.RawRecords,
+		"usedRecords": bi.UsedRecords,
+		"builtAt":     time.Unix(bi.BuiltUnix, 0).UTC().Format(time.RFC3339),
+		"description": bi.Description,
+		"groups":      groups,
+		"cells":       len(s.inv.Cells(inventory.GSCell)),
+		"utilization": s.inv.Utilization(),
+	})
+}
+
+// Summary is the JSON shape of a cell's statistical summary.
+type Summary struct {
+	Cell        string      `json:"cell"`
+	CenterLat   float64     `json:"centerLat"`
+	CenterLng   float64     `json:"centerLng"`
+	Records     uint64      `json:"records"`
+	Ships       uint64      `json:"ships"`
+	Trips       uint64      `json:"trips"`
+	SpeedMean   float64     `json:"speedMeanKn"`
+	SpeedStd    float64     `json:"speedStdKn"`
+	SpeedP10    float64     `json:"speedP10Kn"`
+	SpeedP50    float64     `json:"speedP50Kn"`
+	SpeedP90    float64     `json:"speedP90Kn"`
+	CourseMean  float64     `json:"courseMeanDeg"`
+	CourseBins  []uint64    `json:"courseBins30Deg"`
+	HeadingMean float64     `json:"headingMeanDeg"`
+	ATAMeanSec  float64     `json:"ataMeanSeconds"`
+	ETOMeanSec  float64     `json:"etoMeanSeconds"`
+	TopOrigins  []PortCount `json:"topOrigins"`
+	TopDests    []PortCount `json:"topDestinations"`
+	Transitions []CellCount `json:"topTransitions"`
+}
+
+// PortCount pairs a port with an observation count.
+type PortCount struct {
+	Port  string `json:"port"`
+	Count uint64 `json:"count"`
+}
+
+// CellCount pairs a cell id with an observation count.
+type CellCount struct {
+	Cell  string `json:"cell"`
+	Count uint64 `json:"count"`
+}
+
+func (s *Server) summary(cell hexgrid.Cell, cs *inventory.CellSummary) Summary {
+	p := cell.LatLng()
+	p10, p50, p90 := cs.SpeedPercentiles()
+	out := Summary{
+		Cell: cell.String(), CenterLat: p.Lat, CenterLng: p.Lng,
+		Records: cs.Records, Ships: cs.Ships.Estimate(), Trips: cs.Trips.Estimate(),
+		SpeedMean: cs.Speed.Mean(), SpeedStd: cs.Speed.Std(),
+		SpeedP10: p10, SpeedP50: p50, SpeedP90: p90,
+		CourseMean: cs.Course.Mean(), CourseBins: cs.CourseBins.Bins(),
+		HeadingMean: cs.Heading.Mean(),
+		ATAMeanSec:  cs.ATA.Mean(), ETOMeanSec: cs.ETO.Mean(),
+	}
+	for _, e := range cs.Origins.Top(5) {
+		out.TopOrigins = append(out.TopOrigins, PortCount{s.portName(model.PortID(e.Key)), e.Count})
+	}
+	for _, e := range cs.Dests.Top(5) {
+		out.TopDests = append(out.TopDests, PortCount{s.portName(model.PortID(e.Key)), e.Count})
+	}
+	for _, e := range cs.TopTransitions(5) {
+		out.Transitions = append(out.Transitions, CellCount{hexgrid.Cell(e.Key).String(), e.Count})
+	}
+	return out
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	p, err := s.parseLatLng(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	vt, err := ParseVesselType(r.URL.Query().Get("type"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cell := hexgrid.LatLngToCell(p, s.inv.Info().Resolution)
+	var cs *inventory.CellSummary
+	var ok bool
+	if vt != model.VesselUnknown {
+		cs, ok = s.inv.TypeSummary(cell, vt)
+	} else {
+		cs, ok = s.inv.Cell(cell)
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no historical traffic in cell %v", cell)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.summary(cell, cs))
+}
+
+func (s *Server) handleDestinations(w http.ResponseWriter, r *http.Request) {
+	p, err := s.parseLatLng(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if n <= 0 {
+		n = 5
+	}
+	cs, ok := s.inv.At(p)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no historical traffic at %.3f,%.3f", p.Lat, p.Lng)
+		return
+	}
+	out := []PortCount{}
+	for _, e := range cs.Dests.Top(n) {
+		out = append(out, PortCount{s.portName(model.PortID(e.Key)), e.Count})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleETA(w http.ResponseWriter, r *http.Request) {
+	p, err := s.parseLatLng(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	vt, err := ParseVesselType(r.URL.Query().Get("type"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	origin, err := s.resolvePort(r.URL.Query().Get("origin"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dest, err := s.resolvePort(r.URL.Query().Get("dest"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	est, ok := s.est.Estimate(eta.Query{Pos: p, VType: vt, Origin: origin, Dest: dest})
+	if !ok {
+		httpError(w, http.StatusNotFound, "no ATA history at %.3f,%.3f", p.Lat, p.Lng)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"meanSeconds": est.Mean.Seconds(),
+		"stdSeconds":  est.Std.Seconds(),
+		"p10Seconds":  est.P10.Seconds(),
+		"p50Seconds":  est.P50.Seconds(),
+		"p90Seconds":  est.P90.Seconds(),
+		"records":     est.Records,
+		"source":      est.Source.String(),
+	})
+}
+
+// CellPos is a cell with its center coordinates.
+type CellPos struct {
+	Cell string  `json:"cell"`
+	Lat  float64 `json:"lat"`
+	Lng  float64 `json:"lng"`
+}
+
+func (s *Server) handleODCells(w http.ResponseWriter, r *http.Request) {
+	origin, dest, vt, err := s.parseODKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells := s.inv.ODCells(origin, dest, vt)
+	out := make([]CellPos, 0, len(cells))
+	for _, c := range cells {
+		p := c.LatLng()
+		out = append(out, CellPos{c.String(), p.Lat, p.Lng})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) parseODKey(r *http.Request) (model.PortID, model.PortID, model.VesselType, error) {
+	origin, err := s.resolvePort(r.URL.Query().Get("origin"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dest, err := s.resolvePort(r.URL.Query().Get("dest"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	vt, err := ParseVesselType(r.URL.Query().Get("type"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if origin == model.NoPort || dest == model.NoPort {
+		return 0, 0, 0, fmt.Errorf("origin and dest are required")
+	}
+	return origin, dest, vt, nil
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	origin, dest, vt, err := s.parseODKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := s.parseLatLng(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	destPort, _ := s.gaz.ByID(dest)
+	path, err := routing.Forecast(s.inv, origin, dest, vt, p, destPort.Pos)
+	switch err {
+	case nil:
+	case routing.ErrNoHistory:
+		httpError(w, http.StatusNotFound, "no inventory history for this key")
+		return
+	case routing.ErrNoPath:
+		httpError(w, http.StatusNotFound, "transition graph has no path")
+		return
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]CellPos, 0, len(path))
+	for _, c := range path {
+		q := c.LatLng()
+		out = append(out, CellPos{c.String(), q.Lat, q.Lng})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

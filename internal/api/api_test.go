@@ -1,0 +1,207 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/sim"
+	"github.com/patternsoflife/pol/internal/testutil"
+)
+
+var (
+	fixture *testutil.Fixture
+	ts      *httptest.Server
+)
+
+func setup(t *testing.T) (*testutil.Fixture, *httptest.Server) {
+	t.Helper()
+	if fixture == nil {
+		fixture = testutil.Build(t, sim.Config{Vessels: 20, Days: 20, Seed: 55}, 6)
+		srv := NewServer(fixture.Inventory, ports.Default())
+		ts = httptest.NewServer(srv.Handler())
+	}
+	return fixture, ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+}
+
+func TestInfoEndpoint(t *testing.T) {
+	_, ts := setup(t)
+	var info struct {
+		Resolution  int            `json:"resolution"`
+		RawRecords  int64          `json:"rawRecords"`
+		Groups      map[string]int `json:"groups"`
+		Cells       int            `json:"cells"`
+		Utilization float64        `json:"utilization"`
+	}
+	get(t, ts, "/v1/info", http.StatusOK, &info)
+	if info.Resolution != 6 {
+		t.Errorf("resolution %d", info.Resolution)
+	}
+	if info.RawRecords == 0 || info.Cells == 0 || len(info.Groups) != 3 {
+		t.Errorf("info degenerate: %+v", info)
+	}
+	if info.Utilization <= 0 || info.Utilization >= 1 {
+		t.Errorf("utilization %v", info.Utilization)
+	}
+}
+
+// laneQuery returns a query string for a location guaranteed to have data.
+func laneQuery(t *testing.T, f *testutil.Fixture) string {
+	t.Helper()
+	for _, v := range f.CompletedVoyages() {
+		track := f.TrackDuring(v)
+		if len(track) < 10 {
+			continue
+		}
+		mid := track[len(track)/2]
+		if _, ok := f.Inventory.At(mid.Pos); ok {
+			return fmt.Sprintf("lat=%f&lng=%f", mid.Pos.Lat, mid.Pos.Lng)
+		}
+	}
+	t.Fatal("no lane location found")
+	return ""
+}
+
+func TestCellEndpoint(t *testing.T) {
+	f, ts := setup(t)
+	var s Summary
+	get(t, ts, "/v1/cell?"+laneQuery(t, f), http.StatusOK, &s)
+	if s.Records == 0 || s.Cell == "" {
+		t.Errorf("summary degenerate: %+v", s)
+	}
+	if !(s.SpeedP10 <= s.SpeedP50 && s.SpeedP50 <= s.SpeedP90) {
+		t.Errorf("percentiles unordered: %+v", s)
+	}
+	if len(s.CourseBins) != 12 {
+		t.Errorf("course bins %d, want 12", len(s.CourseBins))
+	}
+	if len(s.TopDests) == 0 {
+		t.Error("no destinations in lane cell")
+	}
+}
+
+func TestCellEndpointErrors(t *testing.T) {
+	_, ts := setup(t)
+	get(t, ts, "/v1/cell", http.StatusBadRequest, nil)
+	get(t, ts, "/v1/cell?lat=abc&lng=3", http.StatusBadRequest, nil)
+	get(t, ts, "/v1/cell?lat=95&lng=3", http.StatusBadRequest, nil)
+	get(t, ts, "/v1/cell?lat=-55&lng=-140", http.StatusNotFound, nil)
+	get(t, ts, "/v1/cell?lat=1&lng=1&type=zeppelin", http.StatusBadRequest, nil)
+}
+
+func TestDestinationsEndpoint(t *testing.T) {
+	f, ts := setup(t)
+	var dests []PortCount
+	get(t, ts, "/v1/destinations?"+laneQuery(t, f)+"&n=3", http.StatusOK, &dests)
+	if len(dests) == 0 || len(dests) > 3 {
+		t.Errorf("destinations: %+v", dests)
+	}
+	for _, d := range dests {
+		if d.Port == "" || d.Count == 0 {
+			t.Errorf("degenerate destination %+v", d)
+		}
+	}
+	get(t, ts, "/v1/destinations?lat=-55&lng=-140", http.StatusNotFound, nil)
+}
+
+func TestETAEndpoint(t *testing.T) {
+	f, ts := setup(t)
+	var est struct {
+		MeanSeconds float64 `json:"meanSeconds"`
+		Records     uint64  `json:"records"`
+		Source      string  `json:"source"`
+	}
+	get(t, ts, "/v1/eta?"+laneQuery(t, f), http.StatusOK, &est)
+	if est.MeanSeconds <= 0 || est.Records == 0 || est.Source == "" {
+		t.Errorf("eta degenerate: %+v", est)
+	}
+	get(t, ts, "/v1/eta?lat=-55&lng=-140", http.StatusNotFound, nil)
+	get(t, ts, "/v1/eta?lat=1&lng=1&origin=Atlantis", http.StatusBadRequest, nil)
+}
+
+func TestODCellsAndForecastEndpoints(t *testing.T) {
+	f, ts := setup(t)
+	// Find a voyage with OD history.
+	var v sim.Voyage
+	for _, cand := range f.CompletedVoyages() {
+		if len(f.Inventory.ODCells(cand.Route.Origin, cand.Route.Dest, cand.VType)) > 10 {
+			v = cand
+			break
+		}
+	}
+	if v.MMSI == 0 {
+		t.Fatal("no OD key with history")
+	}
+	typeName := v.VType.String()
+	q := url.Values{}
+	q.Set("origin", fmt.Sprint(uint32(v.Route.Origin)))
+	q.Set("dest", fmt.Sprint(uint32(v.Route.Dest)))
+	q.Set("type", typeName)
+
+	var cells []CellPos
+	get(t, ts, "/v1/odcells?"+q.Encode(), http.StatusOK, &cells)
+	if len(cells) <= 10 {
+		t.Fatalf("odcells returned %d", len(cells))
+	}
+	// Forecast from the first cell of the track.
+	track := f.TrackDuring(v)
+	q.Set("lat", fmt.Sprint(track[len(track)/4].Pos.Lat))
+	q.Set("lng", fmt.Sprint(track[len(track)/4].Pos.Lng))
+	var path []CellPos
+	get(t, ts, "/v1/forecast?"+q.Encode(), http.StatusOK, &path)
+	if len(path) < 3 {
+		t.Errorf("forecast path %d cells", len(path))
+	}
+	// Missing key parts are rejected.
+	get(t, ts, "/v1/odcells?origin=1", http.StatusBadRequest, nil)
+	get(t, ts, "/v1/forecast?origin=1&dest=2&type=container&lat=0&lng=0", http.StatusNotFound, nil)
+	get(t, ts, "/v1/odcells?origin=999999&dest=2", http.StatusBadRequest, nil)
+}
+
+func TestPortNameResolutionInQueries(t *testing.T) {
+	f, ts := setup(t)
+	// Port names (not just ids) resolve in eta queries.
+	get(t, ts, "/v1/eta?"+laneQuery(t, f)+"&origin=Rotterdam&dest=Singapore&type=container",
+		http.StatusOK, nil)
+}
+
+func TestParseVesselType(t *testing.T) {
+	cases := map[string]model.VesselType{
+		"": model.VesselUnknown, "cargo": model.VesselCargo, "CONTAINER": model.VesselContainer,
+		"Bulk": model.VesselBulk, "tanker": model.VesselTanker, "passenger": model.VesselPassenger,
+	}
+	for in, want := range cases {
+		got, err := ParseVesselType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseVesselType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseVesselType("submarine"); err == nil {
+		t.Error("unknown type must error")
+	}
+}

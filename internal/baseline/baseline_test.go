@@ -1,0 +1,238 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/model"
+)
+
+// blob generates n points normally scattered around a center.
+func blob(rng *rand.Rand, center geo.LatLng, spreadM float64, n int) []geo.LatLng {
+	out := make([]geo.LatLng, n)
+	for i := range out {
+		out[i] = geo.Destination(center, rng.Float64()*360, rng.NormFloat64()*spreadM)
+	}
+	return out
+}
+
+func TestDBSCANFindsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var points []geo.LatLng
+	centers := []geo.LatLng{
+		{Lat: 50, Lng: 0}, {Lat: 50.5, Lng: 1.5}, {Lat: 51.2, Lng: -1},
+	}
+	for _, c := range centers {
+		points = append(points, blob(rng, c, 2000, 60)...)
+	}
+	// Isolated noise points far away.
+	for i := 0; i < 5; i++ {
+		points = append(points, geo.Destination(geo.LatLng{Lat: 52.5, Lng: 3}, float64(i)*72, 50e3+float64(i)*40e3))
+	}
+	labels := DBSCAN(points, 5000, 5)
+	if got := NumClusters(labels); got != 3 {
+		t.Fatalf("found %d clusters, want 3", got)
+	}
+	// Points of one blob share a label.
+	for b := 0; b < 3; b++ {
+		first := labels[b*60]
+		if first == Noise {
+			t.Fatalf("blob %d labelled noise", b)
+		}
+		for i := 1; i < 60; i++ {
+			if labels[b*60+i] != first {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+	// The isolated tail is noise.
+	noise := 0
+	for _, l := range labels[180:] {
+		if l == Noise {
+			noise++
+		}
+	}
+	if noise != 5 {
+		t.Errorf("%d of 5 isolated points labelled noise", noise)
+	}
+}
+
+func TestDBSCANDensitySkewSensitivity(t *testing.T) {
+	// The paper (§2, [20]) motivates the grid method by DBSCAN's
+	// sensitivity on density-skewed AIS data: parameters tuned for a dense
+	// region dissolve sparse lanes into noise. Reproduce that failure mode.
+	rng := rand.New(rand.NewSource(2))
+	var points []geo.LatLng
+	// Dense harbour cluster: 500 points within ~2 km.
+	points = append(points, blob(rng, geo.LatLng{Lat: 51.95, Lng: 4.05}, 2000, 500)...)
+	// Sparse open-sea lane: 40 points strung over 800 km.
+	laneStart := geo.LatLng{Lat: 49, Lng: -6}
+	for i := 0; i < 40; i++ {
+		points = append(points, geo.Destination(laneStart, 250, float64(i)*20e3))
+	}
+	labels := DBSCAN(points, 3000, 8) // parameters tuned for the harbour
+	laneNoise := 0
+	for _, l := range labels[500:] {
+		if l == Noise {
+			laneNoise++
+		}
+	}
+	if laneNoise < 35 {
+		t.Errorf("expected the sparse lane to dissolve into noise, only %d/40 noise", laneNoise)
+	}
+	if NumClusters(labels) < 1 {
+		t.Error("harbour cluster must survive")
+	}
+}
+
+func TestDBSCANEdgeCases(t *testing.T) {
+	if got := DBSCAN(nil, 100, 3); len(got) != 0 {
+		t.Error("empty input")
+	}
+	labels := DBSCAN([]geo.LatLng{{Lat: 0, Lng: 0}}, 0, 3)
+	if labels[0] != Noise {
+		t.Error("eps=0 labels everything noise")
+	}
+	// minPts=1: every point is its own core.
+	labels = DBSCAN([]geo.LatLng{{Lat: 0, Lng: 0}, {Lat: 20, Lng: 20}}, 1000, 1)
+	if NumClusters(labels) != 2 {
+		t.Errorf("minPts=1: %d clusters, want 2", NumClusters(labels))
+	}
+}
+
+func TestKMeansSeparatesGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := blob(rng, geo.LatLng{Lat: 10, Lng: 10}, 10e3, 50)
+	b := blob(rng, geo.LatLng{Lat: 20, Lng: 30}, 10e3, 50)
+	points := append(append([]geo.LatLng{}, a...), b...)
+	assign, centroids := KMeans(points, 2, 50)
+	if len(centroids) != 2 {
+		t.Fatalf("centroids %d", len(centroids))
+	}
+	// All of group a shares one label, all of b the other.
+	for i := 1; i < 50; i++ {
+		if assign[i] != assign[0] {
+			t.Fatal("group a split")
+		}
+		if assign[50+i] != assign[50] {
+			t.Fatal("group b split")
+		}
+	}
+	if assign[0] == assign[50] {
+		t.Fatal("groups merged")
+	}
+	// Centroids land near the true centers.
+	for _, c := range centroids {
+		dA := geo.Haversine(c, geo.LatLng{Lat: 10, Lng: 10})
+		dB := geo.Haversine(c, geo.LatLng{Lat: 20, Lng: 30})
+		if dA > 50e3 && dB > 50e3 {
+			t.Errorf("centroid %v far from both groups", c)
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if a, c := KMeans(nil, 3, 10); a != nil || c != nil {
+		t.Error("empty input")
+	}
+	pts := []geo.LatLng{{Lat: 1, Lng: 1}, {Lat: 2, Lng: 2}}
+	a, c := KMeans(pts, 10, 10) // k > n clamps
+	if len(c) != 2 || len(a) != 2 {
+		t.Errorf("clamp: %d centroids", len(c))
+	}
+	a, c = KMeans(pts, 0, 10) // k < 1 clamps to 1
+	if len(c) != 1 || a[0] != 0 || a[1] != 0 {
+		t.Error("k=0 must clamp to a single cluster")
+	}
+}
+
+func TestConvexHull(t *testing.T) {
+	// A square plus interior points: the hull is the 4 corners.
+	pts := []geo.LatLng{
+		{Lat: 0, Lng: 0}, {Lat: 0, Lng: 10}, {Lat: 10, Lng: 10}, {Lat: 10, Lng: 0},
+		{Lat: 5, Lng: 5}, {Lat: 3, Lng: 7}, {Lat: 8, Lng: 2},
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices, want 4", len(hull))
+	}
+	if !hull.Contains(geo.LatLng{Lat: 5, Lng: 5}) {
+		t.Error("hull must contain interior point")
+	}
+	if hull.Contains(geo.LatLng{Lat: 15, Lng: 5}) {
+		t.Error("hull must not contain exterior point")
+	}
+	// Degenerate inputs.
+	if got := ConvexHull(pts[:2]); len(got) != 2 {
+		t.Errorf("two points: %d", len(got))
+	}
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("empty: %d", len(got))
+	}
+}
+
+func TestRouteModel(t *testing.T) {
+	// A synthetic 1000 km journey between two fake ports.
+	start := geo.LatLng{Lat: 40, Lng: -10}
+	var pts []geo.LatLng
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i <= 100; i++ {
+		p := geo.Destination(start, 90, float64(i)*10e3)
+		pts = append(pts, geo.Destination(p, rng.Float64()*360, rng.Float64()*4e3))
+	}
+	trips := []TripPoints{{Origin: 1, Dest: 2, VType: model.VesselContainer, Points: pts}}
+	m := BuildRouteModel(trips, 1)
+	if m.Routes() != 1 {
+		t.Fatalf("routes %d", m.Routes())
+	}
+	if m.Vertices == 0 {
+		t.Fatal("no hull vertices")
+	}
+	if m.Describe() == "" {
+		t.Error("describe must render")
+	}
+	// On-route points are covered; an off-route point is not.
+	covered := 0
+	for i := 10; i <= 90; i += 10 {
+		if m.Covers(1, 2, model.VesselContainer, pts[i]) {
+			covered++
+		}
+	}
+	if covered < 7 {
+		t.Errorf("only %d/9 on-route points covered", covered)
+	}
+	off := geo.Destination(start, 0, 300e3)
+	if m.Covers(1, 2, model.VesselContainer, off) {
+		t.Error("off-route point must not be covered")
+	}
+	if m.Covers(9, 9, model.VesselTanker, pts[5]) {
+		t.Error("unknown key must not cover")
+	}
+	// Trips with too few points are skipped.
+	m2 := BuildRouteModel([]TripPoints{{Origin: 1, Dest: 2, Points: pts[:3]}}, 1)
+	if m2.Routes() != 0 {
+		t.Error("short trips must be skipped")
+	}
+}
+
+func BenchmarkDBSCAN(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var points []geo.LatLng
+	for c := 0; c < 10; c++ {
+		points = append(points, blob(rng, geo.LatLng{Lat: float64(40 + c), Lng: float64(c * 2)}, 3000, 200)...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DBSCAN(points, 5000, 5)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	points := blob(rng, geo.LatLng{Lat: 45, Lng: 5}, 100e3, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(points, 20, 30)
+	}
+}

@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"math"
+
+	"github.com/patternsoflife/pol/internal/geo"
+)
+
+// DouglasPeucker simplifies a trajectory to the minimal vertex subset whose
+// great-circle deviation from the original stays within toleranceM metres —
+// the classical per-trajectory compression the related work applies before
+// clustering (§2). It always keeps the endpoints. The returned indices are
+// ascending positions into the input.
+func DouglasPeucker(track []geo.LatLng, toleranceM float64) []int {
+	n := len(track)
+	if n <= 2 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+
+	type span struct{ lo, hi int }
+	stack := []span{{0, n - 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		// Find the interior point farthest from the chord.
+		far, farD := -1, toleranceM
+		for i := s.lo + 1; i < s.hi; i++ {
+			d := pointToChordM(track[i], track[s.lo], track[s.hi])
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		if far >= 0 {
+			keep[far] = true
+			stack = append(stack, span{s.lo, far}, span{far, s.hi})
+		}
+	}
+	var out []int
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pointToChordM returns the distance from p to the great-circle chord a-b,
+// clamped to the segment (distance to the nearer endpoint when the
+// perpendicular foot falls outside).
+func pointToChordM(p, a, b geo.LatLng) float64 {
+	ab := geo.Haversine(a, b)
+	if ab == 0 {
+		return geo.Haversine(a, p)
+	}
+	ap := geo.Haversine(a, p)
+	bp := geo.Haversine(b, p)
+	// Cross-track distance is valid only when the along-track projection
+	// lies within the segment; detect overshoot with the triangle sides.
+	ct := geo.CrossTrackDistance(p, a, b)
+	along := ap*ap - ct*ct
+	if along < 0 {
+		along = 0
+	}
+	alongD := sqrt(along)
+	if alongD > ab {
+		return bp
+	}
+	// Behind the start?
+	bearingAP := geo.InitialBearing(a, p)
+	bearingAB := geo.InitialBearing(a, b)
+	if geo.AngleDiff(bearingAP, bearingAB) > 90 {
+		return ap
+	}
+	if ct < 0 {
+		return -ct
+	}
+	return ct
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

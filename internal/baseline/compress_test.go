@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/geo"
+)
+
+func TestDouglasPeuckerStraightLine(t *testing.T) {
+	// A perfectly straight track simplifies to its endpoints.
+	start := geo.LatLng{Lat: 0, Lng: 0}
+	var track []geo.LatLng
+	for i := 0; i <= 50; i++ {
+		track = append(track, geo.Destination(start, 90, float64(i)*5e3))
+	}
+	kept := DouglasPeucker(track, 100)
+	if len(kept) > 4 { // great-circle vs rhumb leaves tiny deviations
+		t.Errorf("straight line kept %d points, want ~2", len(kept))
+	}
+	if kept[0] != 0 || kept[len(kept)-1] != 50 {
+		t.Error("endpoints must be kept")
+	}
+}
+
+func TestDouglasPeuckerKeepsTurns(t *testing.T) {
+	// An L-shaped track must keep the corner.
+	start := geo.LatLng{Lat: 10, Lng: 10}
+	var track []geo.LatLng
+	for i := 0; i <= 20; i++ {
+		track = append(track, geo.Destination(start, 90, float64(i)*5e3))
+	}
+	corner := track[len(track)-1]
+	for i := 1; i <= 20; i++ {
+		track = append(track, geo.Destination(corner, 0, float64(i)*5e3))
+	}
+	kept := DouglasPeucker(track, 500)
+	cornerKept := false
+	for _, k := range kept {
+		if k == 20 {
+			cornerKept = true
+		}
+	}
+	if !cornerKept {
+		t.Errorf("corner must survive simplification; kept %v", kept)
+	}
+	if len(kept) > 8 {
+		t.Errorf("L-track kept %d points, want few", len(kept))
+	}
+}
+
+func TestDouglasPeuckerToleranceBound(t *testing.T) {
+	// Every dropped point must be within tolerance of the simplified
+	// polyline.
+	rng := rand.New(rand.NewSource(5))
+	start := geo.LatLng{Lat: 40, Lng: -30}
+	var track []geo.LatLng
+	for i := 0; i <= 200; i++ {
+		p := geo.Destination(start, 80, float64(i)*3e3)
+		track = append(track, geo.Destination(p, rng.Float64()*360, rng.Float64()*800))
+	}
+	const tol = 2000.0
+	kept := DouglasPeucker(track, tol)
+	if len(kept) < 2 || len(kept) >= len(track) {
+		t.Fatalf("kept %d of %d", len(kept), len(track))
+	}
+	// Check deviation of each original point against its enclosing
+	// simplified segment.
+	for i, p := range track {
+		// Find the kept span containing i.
+		lo, hi := 0, len(kept)-1
+		for s := 0; s+1 < len(kept); s++ {
+			if kept[s] <= i && i <= kept[s+1] {
+				lo, hi = kept[s], kept[s+1]
+				break
+			}
+		}
+		if d := pointToChordM(p, track[lo], track[hi]); d > tol*1.05 {
+			t.Fatalf("point %d deviates %.0f m > tolerance", i, d)
+		}
+	}
+}
+
+func TestDouglasPeuckerDegenerate(t *testing.T) {
+	if got := DouglasPeucker(nil, 100); len(got) != 0 {
+		t.Error("empty track")
+	}
+	one := []geo.LatLng{{Lat: 1, Lng: 1}}
+	if got := DouglasPeucker(one, 100); len(got) != 1 || got[0] != 0 {
+		t.Error("single point")
+	}
+	two := []geo.LatLng{{Lat: 1, Lng: 1}, {Lat: 2, Lng: 2}}
+	if got := DouglasPeucker(two, 100); len(got) != 2 {
+		t.Error("two points")
+	}
+	// Duplicate points (zero-length chords) must not crash.
+	dup := []geo.LatLng{{Lat: 1, Lng: 1}, {Lat: 1, Lng: 1}, {Lat: 1, Lng: 1}}
+	if got := DouglasPeucker(dup, 100); len(got) < 2 {
+		t.Error("duplicate points")
+	}
+}
+
+func TestPointToChord(t *testing.T) {
+	a := geo.LatLng{Lat: 0, Lng: 0}
+	b := geo.LatLng{Lat: 0, Lng: 10}
+	// Perpendicular deviation mid-chord.
+	if d := pointToChordM(geo.LatLng{Lat: 1, Lng: 5}, a, b); d < 100e3 || d > 120e3 {
+		t.Errorf("mid deviation %.0f m", d)
+	}
+	// Beyond the end: distance to b.
+	p := geo.LatLng{Lat: 0, Lng: 12}
+	want := geo.Haversine(p, b)
+	if d := pointToChordM(p, a, b); d < want*0.95 || d > want*1.05 {
+		t.Errorf("overshoot distance %.0f, want ≈ %.0f", d, want)
+	}
+	// Before the start: distance to a.
+	q := geo.LatLng{Lat: 0, Lng: -3}
+	wantQ := geo.Haversine(q, a)
+	if d := pointToChordM(q, a, b); d < wantQ*0.95 || d > wantQ*1.05 {
+		t.Errorf("undershoot distance %.0f, want ≈ %.0f", d, wantQ)
+	}
+}
+
+func BenchmarkDouglasPeucker(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	start := geo.LatLng{Lat: 40, Lng: -30}
+	var track []geo.LatLng
+	for i := 0; i <= 2000; i++ {
+		p := geo.Destination(start, 80, float64(i)*2e3)
+		track = append(track, geo.Destination(p, rng.Float64()*360, rng.Float64()*500))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DouglasPeucker(track, 1000)
+	}
+}

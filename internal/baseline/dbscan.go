@@ -1,0 +1,188 @@
+// Package baseline implements the clustering-based route-modelling
+// approaches that dominate the related work the paper positions itself
+// against (§2): DBSCAN density clustering (the TREAD lineage), k-means, and
+// the journey-partitioned convex-hull route model of the authors' own prior
+// work (Zissis et al., "A Distributed Spatial Method for Modeling Maritime
+// Routes"). The polbench harness compares these baselines against the grid
+// inventory on model size and route coverage, reproducing the paper's
+// argument that grid summaries sidestep DBSCAN's density-skew sensitivity.
+package baseline
+
+import (
+	"math"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+)
+
+// Noise is the cluster id DBSCAN assigns to noise points.
+const Noise = -1
+
+// DBSCAN clusters geographic points by density (Ester et al. 1996): a point
+// with at least minPts neighbours within epsM metres is a core point; core
+// points chain into clusters; non-core points within reach join as border
+// points; the rest is noise. Returns one cluster id per input point
+// (0..k-1, or Noise).
+//
+// Region queries are accelerated with a hexgrid bucket index at a
+// resolution whose cell size covers eps, so the overall cost is near-linear
+// for realistic densities.
+func DBSCAN(points []geo.LatLng, epsM float64, minPts int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 || epsM <= 0 || minPts < 1 {
+		return labels
+	}
+
+	idx := newBucketIndex(points, epsM)
+	visited := make([]bool, n)
+	clusterID := 0
+	var queue []int
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		neighbors := idx.regionQuery(points, i, epsM)
+		if len(neighbors) < minPts {
+			continue // noise (may later become a border point)
+		}
+		// Expand a new cluster from this core point.
+		labels[i] = clusterID
+		queue = append(queue[:0], neighbors...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = clusterID // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = clusterID
+			jn := idx.regionQuery(points, j, epsM)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+		clusterID++
+	}
+	return labels
+}
+
+// NumClusters returns the cluster count of a DBSCAN labelling.
+func NumClusters(labels []int) int {
+	max := -1
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	return max + 1
+}
+
+// bucketIndex buckets points into hexgrid cells large enough that all
+// eps-neighbours of a point lie in the point's cell or its immediate
+// neighbours.
+type bucketIndex struct {
+	res     int
+	buckets map[hexgrid.Cell][]int
+}
+
+func newBucketIndex(points []geo.LatLng, epsM float64) *bucketIndex {
+	// Pick the finest resolution whose edge length still exceeds eps:
+	// then any two points within eps are at most one cell apart.
+	res := 0
+	for r := hexgrid.MaxResolution; r >= 0; r-- {
+		if hexgrid.EdgeLengthKm(r)*1000 >= epsM {
+			res = r
+			break
+		}
+	}
+	b := &bucketIndex{res: res, buckets: make(map[hexgrid.Cell][]int)}
+	for i, p := range points {
+		c := hexgrid.LatLngToCell(p, res)
+		b.buckets[c] = append(b.buckets[c], i)
+	}
+	return b
+}
+
+// regionQuery returns the indices of all points within epsM of point i
+// (including i itself).
+func (b *bucketIndex) regionQuery(points []geo.LatLng, i int, epsM float64) []int {
+	center := hexgrid.LatLngToCell(points[i], b.res)
+	var out []int
+	for _, c := range hexgrid.GridDisk(center, 1) {
+		for _, j := range b.buckets[c] {
+			if geo.Haversine(points[i], points[j]) <= epsM {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm over the
+// equal-area projection, deterministic via evenly spaced initial centroids
+// along the input order. Returns per-point assignments and the centroids.
+func KMeans(points []geo.LatLng, k, maxIter int) ([]int, []geo.LatLng) {
+	n := len(points)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	proj := make([]geo.Projected, n)
+	for i, p := range points {
+		proj[i] = geo.ProjectEqualArea(p)
+	}
+	centroids := make([]geo.Projected, k)
+	for c := 0; c < k; c++ {
+		centroids[c] = proj[c*n/k]
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range proj {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				d := (p.X-ctr.X)*(p.X-ctr.X) + (p.Y-ctr.Y)*(p.Y-ctr.Y)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([]geo.Projected, k)
+		counts := make([]int, k)
+		for i, p := range proj {
+			sums[assign[i]].X += p.X
+			sums[assign[i]].Y += p.Y
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] > 0 {
+				centroids[c] = geo.Projected{X: sums[c].X / float64(counts[c]), Y: sums[c].Y / float64(counts[c])}
+			}
+		}
+	}
+	out := make([]geo.LatLng, k)
+	for c, ctr := range centroids {
+		out[c] = geo.UnprojectEqualArea(ctr)
+	}
+	return assign, out
+}

@@ -1,0 +1,356 @@
+// Package dataflow is a small in-process parallel dataset engine — the
+// from-scratch substitute for the Apache Spark substrate the paper runs on.
+//
+// A Dataset[T] is a lazy, partitioned collection. Narrow transformations
+// (Map, Filter, FlatMap, MapPartitions, SortWithinPartitions) fuse into
+// their parent's per-partition computation and never materialize
+// intermediate state. Wide transformations (ReduceByKey, AggregateByKey,
+// GroupByKey, RepartitionByKey) introduce a hash shuffle: the parent is
+// evaluated once, bucketed by key hash, and downstream partitions read their
+// bucket. Actions (Collect, Count, Foreach) trigger execution across a
+// bounded worker pool.
+//
+// The engine provides exactly the execution semantics the paper's
+// methodology needs (§3.3, Figure 3): partitioning by vessel identifier for
+// the cleaning and trip-extraction phases, then re-partitioning by group
+// identifier with map-side combining for the feature-extraction reduce.
+//
+// Datasets are immutable and safe to share; all user functions must be safe
+// to call concurrently from multiple goroutines (they receive distinct
+// partitions). Panics inside user functions are captured and returned as
+// errors from actions, like Spark task failures.
+package dataflow
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Context owns execution resources and metrics for a family of datasets.
+type Context struct {
+	parallelism int
+	metrics     *Metrics
+}
+
+// NewContext returns a Context executing up to parallelism concurrent
+// partition tasks. Values below 1 default to GOMAXPROCS.
+func NewContext(parallelism int) *Context {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Context{parallelism: parallelism, metrics: newMetrics()}
+}
+
+// Parallelism returns the worker-pool width.
+func (c *Context) Parallelism() int { return c.parallelism }
+
+// Metrics returns the execution metrics collected so far.
+func (c *Context) Metrics() *Metrics { return c.metrics }
+
+// Dataset is a lazy partitioned collection of T.
+type Dataset[T any] struct {
+	ctx     *Context
+	nParts  int
+	name    string
+	compute func(part int) ([]T, error)
+}
+
+// Context returns the owning execution context.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return d.nParts }
+
+// Name returns the stage name used in metrics.
+func (d *Dataset[T]) Name() string { return d.name }
+
+// Pair is a keyed record, the element type of all by-key operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Parallelize distributes items round-robin over numPartitions partitions
+// (values below 1 default to the context parallelism).
+func Parallelize[T any](ctx *Context, items []T, numPartitions int) *Dataset[T] {
+	if numPartitions < 1 {
+		numPartitions = ctx.parallelism
+	}
+	if numPartitions > len(items) && len(items) > 0 {
+		numPartitions = len(items)
+	}
+	if len(items) == 0 {
+		numPartitions = 1
+	}
+	return &Dataset[T]{
+		ctx:    ctx,
+		nParts: numPartitions,
+		name:   "parallelize",
+		compute: func(part int) ([]T, error) {
+			n := len(items)
+			lo := part * n / numPartitions
+			hi := (part + 1) * n / numPartitions
+			return items[lo:hi], nil
+		},
+	}
+}
+
+// FromPartitions wraps pre-partitioned data without copying.
+func FromPartitions[T any](ctx *Context, parts [][]T) *Dataset[T] {
+	if len(parts) == 0 {
+		parts = [][]T{nil}
+	}
+	return &Dataset[T]{
+		ctx:     ctx,
+		nParts:  len(parts),
+		name:    "fromPartitions",
+		compute: func(part int) ([]T, error) { return parts[part], nil },
+	}
+}
+
+// Generate creates a dataset whose partitions are produced on demand by gen,
+// which is called once per partition index in [0, numPartitions). This is
+// how the simulator exposes a fleet's AIS stream without materializing it
+// up front.
+func Generate[T any](ctx *Context, numPartitions int, gen func(part int) []T) *Dataset[T] {
+	if numPartitions < 1 {
+		numPartitions = 1
+	}
+	return &Dataset[T]{
+		ctx:     ctx,
+		nParts:  numPartitions,
+		name:    "generate",
+		compute: func(part int) ([]T, error) { return gen(part), nil },
+	}
+}
+
+// guard converts a panic from a user function into an error.
+func guard(stage string, err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("dataflow: stage %s panicked: %v", stage, r)
+	}
+}
+
+// Map applies f to every element.
+func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
+	out := &Dataset[U]{ctx: d.ctx, nParts: d.nParts, name: name}
+	out.compute = func(part int) (res []U, err error) {
+		defer guard(name, &err)
+		in, err := d.compute(part)
+		if err != nil {
+			return nil, err
+		}
+		res = make([]U, len(in))
+		for i, x := range in {
+			res[i] = f(x)
+		}
+		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)))
+		return res, nil
+	}
+	return out
+}
+
+// Filter keeps the elements matching pred.
+func Filter[T any](d *Dataset[T], name string, pred func(T) bool) *Dataset[T] {
+	out := &Dataset[T]{ctx: d.ctx, nParts: d.nParts, name: name}
+	out.compute = func(part int) (res []T, err error) {
+		defer guard(name, &err)
+		in, err := d.compute(part)
+		if err != nil {
+			return nil, err
+		}
+		res = make([]T, 0, len(in)/2)
+		for _, x := range in {
+			if pred(x) {
+				res = append(res, x)
+			}
+		}
+		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)))
+		return res, nil
+	}
+	return out
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], name string, f func(T) []U) *Dataset[U] {
+	out := &Dataset[U]{ctx: d.ctx, nParts: d.nParts, name: name}
+	out.compute = func(part int) (res []U, err error) {
+		defer guard(name, &err)
+		in, err := d.compute(part)
+		if err != nil {
+			return nil, err
+		}
+		for _, x := range in {
+			res = append(res, f(x)...)
+		}
+		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)))
+		return res, nil
+	}
+	return out
+}
+
+// MapPartitions applies f to each whole partition, enabling per-partition
+// state (sorting, sessionization, combining).
+func MapPartitions[T, U any](d *Dataset[T], name string, f func(part int, in []T) []U) *Dataset[U] {
+	out := &Dataset[U]{ctx: d.ctx, nParts: d.nParts, name: name}
+	out.compute = func(part int) (res []U, err error) {
+		defer guard(name, &err)
+		in, err := d.compute(part)
+		if err != nil {
+			return nil, err
+		}
+		res = f(part, in)
+		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)))
+		return res, nil
+	}
+	return out
+}
+
+// SortWithinPartitions sorts each partition independently with less —
+// the paper's per-vessel timestamp ordering step.
+func SortWithinPartitions[T any](d *Dataset[T], name string, less func(a, b T) bool) *Dataset[T] {
+	return MapPartitions(d, name, func(_ int, in []T) []T {
+		out := make([]T, len(in))
+		copy(out, in)
+		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+		return out
+	})
+}
+
+// KeyBy pairs every element with the key extracted by f.
+func KeyBy[K comparable, T any](d *Dataset[T], name string, f func(T) K) *Dataset[Pair[K, T]] {
+	return Map(d, name, func(x T) Pair[K, T] { return Pair[K, T]{Key: f(x), Value: x} })
+}
+
+// Values drops the keys of a keyed dataset.
+func Values[K comparable, V any](d *Dataset[Pair[K, V]], name string) *Dataset[V] {
+	return Map(d, name, func(p Pair[K, V]) V { return p.Value })
+}
+
+// Cache materializes the dataset on first evaluation and serves subsequent
+// computations from memory. Use it when a dataset feeds multiple downstream
+// stages.
+func Cache[T any](d *Dataset[T]) *Dataset[T] {
+	var once sync.Once
+	var parts [][]T
+	var cacheErr error
+	out := &Dataset[T]{ctx: d.ctx, nParts: d.nParts, name: d.name + ".cache"}
+	out.compute = func(part int) ([]T, error) {
+		once.Do(func() {
+			parts = make([][]T, d.nParts)
+			cacheErr = runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+				rows, err := d.compute(p)
+				if err != nil {
+					return err
+				}
+				parts[p] = rows
+				return nil
+			})
+		})
+		if cacheErr != nil {
+			return nil, cacheErr
+		}
+		return parts[part], nil
+	}
+	return out
+}
+
+// runParallel executes f(0..tasks-1) over at most width goroutines and
+// returns the first error.
+func runParallel(width, tasks int, f func(i int) error) error {
+	if width > tasks {
+		width = tasks
+	}
+	if width < 1 {
+		width = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if err != nil || next >= tasks {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if e := f(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}
+
+// Collect evaluates all partitions in parallel and returns the
+// concatenated elements in partition order.
+func Collect[T any](d *Dataset[T]) ([]T, error) {
+	parts := make([][]T, d.nParts)
+	err := runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+		rows, e := d.compute(p)
+		if e != nil {
+			return e
+		}
+		parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count evaluates the dataset and returns its total element count.
+func Count[T any](d *Dataset[T]) (int64, error) {
+	var mu sync.Mutex
+	var total int64
+	err := runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+		rows, e := d.compute(p)
+		if e != nil {
+			return e
+		}
+		mu.Lock()
+		total += int64(len(rows))
+		mu.Unlock()
+		return nil
+	})
+	return total, err
+}
+
+// ForeachPartition evaluates the dataset, invoking f once per partition.
+// f must be safe for concurrent calls on distinct partitions.
+func ForeachPartition[T any](d *Dataset[T], f func(part int, rows []T) error) error {
+	return runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+		rows, e := d.compute(p)
+		if e != nil {
+			return e
+		}
+		return f(p, rows)
+	})
+}

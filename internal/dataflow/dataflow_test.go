@@ -1,0 +1,480 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func intsUpTo(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollect(t *testing.T) {
+	ctx := NewContext(4)
+	d := Parallelize(ctx, intsUpTo(100), 7)
+	if d.NumPartitions() != 7 {
+		t.Errorf("partitions %d, want 7", d.NumPartitions())
+	}
+	got, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("collected %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order not preserved at %d: %d", i, v)
+		}
+	}
+}
+
+func TestParallelizeEdgeCases(t *testing.T) {
+	ctx := NewContext(2)
+	empty := Parallelize(ctx, []int(nil), 4)
+	got, err := Collect(empty)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty dataset: %v, %v", got, err)
+	}
+	// More partitions than elements must not create empty imbalance crashes.
+	tiny := Parallelize(ctx, []int{1, 2}, 10)
+	got, _ = Collect(tiny)
+	if len(got) != 2 {
+		t.Errorf("tiny dataset lost records: %v", got)
+	}
+	if n, _ := Count(tiny); n != 2 {
+		t.Errorf("count %d", n)
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := NewContext(4)
+	d := Parallelize(ctx, intsUpTo(1000), 8)
+	squares := Map(d, "square", func(x int) int { return x * x })
+	evens := Filter(squares, "even", func(x int) bool { return x%2 == 0 })
+	doubled := FlatMap(evens, "dup", func(x int) []int { return []int{x, x} })
+	got, err := Collect(doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 { // 500 even squares × 2
+		t.Fatalf("got %d records, want 1000", len(got))
+	}
+	for i := 0; i+1 < len(got); i += 2 {
+		if got[i] != got[i+1] || got[i]%2 != 0 {
+			t.Fatalf("bad pair at %d: %d,%d", i, got[i], got[i+1])
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	ctx := NewContext(4)
+	d := Generate(ctx, 5, func(part int) []int {
+		return []int{part * 10, part*10 + 1}
+	})
+	got, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 10, 11, 20, 21, 30, 31, 40, 41}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMapPartitionsSeesWholePartition(t *testing.T) {
+	ctx := NewContext(4)
+	d := Parallelize(ctx, intsUpTo(100), 4)
+	sums := MapPartitions(d, "sum", func(_ int, in []int) []int {
+		total := 0
+		for _, x := range in {
+			total += x
+		}
+		return []int{total}
+	})
+	got, err := Collect(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("want 4 partition sums, got %d", len(got))
+	}
+	total := 0
+	for _, s := range got {
+		total += s
+	}
+	if total != 4950 {
+		t.Errorf("total %d, want 4950", total)
+	}
+}
+
+func TestSortWithinPartitions(t *testing.T) {
+	ctx := NewContext(4)
+	data := []int{5, 3, 9, 1, 8, 2, 7, 4, 6, 0}
+	d := Parallelize(ctx, data, 2)
+	sorted := SortWithinPartitions(d, "sort", func(a, b int) bool { return a < b })
+	err := ForeachPartition(sorted, func(part int, rows []int) error {
+		if !sort.IntsAreSorted(rows) {
+			return fmt.Errorf("partition %d not sorted: %v", part, rows)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+	// The source dataset must be untouched (sort copies).
+	orig, _ := Collect(d)
+	if fmt.Sprint(orig) != fmt.Sprint(data) {
+		t.Error("sort mutated its parent")
+	}
+}
+
+func TestKeyByAndValues(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, []string{"a", "bb", "ccc"}, 2)
+	keyed := KeyBy(d, "len", func(s string) int { return len(s) })
+	pairs, err := Collect(keyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.Key != len(p.Value) {
+			t.Errorf("pair %+v", p)
+		}
+	}
+	vals, _ := Collect(Values(keyed, "vals"))
+	if strings.Join(vals, ",") != "a,bb,ccc" {
+		t.Errorf("values %v", vals)
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := NewContext(4)
+	var pairs []Pair[string, int]
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, Pair[string, int]{Key: fmt.Sprintf("k%d", i%10), Value: 1})
+	}
+	d := Parallelize(ctx, pairs, 8)
+	counts := ReduceByKey(d, "count", 4, func(a, b int) int { return a + b })
+	got, err := Collect(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("want 10 keys, got %d", len(got))
+	}
+	for _, p := range got {
+		if p.Value != 100 {
+			t.Errorf("key %s count %d, want 100", p.Key, p.Value)
+		}
+	}
+}
+
+func TestReduceByKeyMapSideCombining(t *testing.T) {
+	// With 10 distinct keys over 8 partitions, the shuffle must carry at
+	// most 8×10 pre-combined records rather than all 10000 raw ones.
+	ctx := NewContext(4)
+	var pairs []Pair[int, int]
+	for i := 0; i < 10000; i++ {
+		pairs = append(pairs, Pair[int, int]{Key: i % 10, Value: 1})
+	}
+	d := Parallelize(ctx, pairs, 8)
+	counts := ReduceByKey(d, "combtest", 4, func(a, b int) int { return a + b })
+	if _, err := Collect(counts); err != nil {
+		t.Fatal(err)
+	}
+	if shuffled := ctx.Metrics().ShuffledRecords(); shuffled > 80 {
+		t.Errorf("shuffled %d records; map-side combining should cap at 80", shuffled)
+	}
+}
+
+func TestAggregateByKey(t *testing.T) {
+	ctx := NewContext(4)
+	var pairs []Pair[string, float64]
+	for i := 0; i < 300; i++ {
+		pairs = append(pairs, Pair[string, float64]{Key: []string{"x", "y", "z"}[i%3], Value: float64(i)})
+	}
+	d := Parallelize(ctx, pairs, 6)
+	type acc struct {
+		n   int
+		sum float64
+	}
+	avg := AggregateByKey(d, "avg", 3,
+		func() acc { return acc{} },
+		func(a acc, v float64) acc { return acc{a.n + 1, a.sum + v} },
+		func(a, b acc) acc { return acc{a.n + b.n, a.sum + b.sum} },
+	)
+	got, err := Collect(avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("want 3 keys, got %d", len(got))
+	}
+	for _, p := range got {
+		if p.Value.n != 100 {
+			t.Errorf("key %s n=%d, want 100", p.Key, p.Value.n)
+		}
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := NewContext(4)
+	var pairs []Pair[int, int]
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, Pair[int, int]{Key: i % 5, Value: i})
+	}
+	d := Parallelize(ctx, pairs, 4)
+	grouped := GroupByKey(d, "group", 3)
+	got, err := Collect(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("want 5 groups, got %d", len(got))
+	}
+	for _, g := range got {
+		if len(g.Value) != 20 {
+			t.Errorf("key %d has %d values, want 20", g.Key, len(g.Value))
+		}
+		for _, v := range g.Value {
+			if v%5 != g.Key {
+				t.Errorf("value %d in wrong group %d", v, g.Key)
+			}
+		}
+	}
+}
+
+func TestRepartitionByKeyColocatesKeys(t *testing.T) {
+	ctx := NewContext(4)
+	var pairs []Pair[uint32, int]
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, Pair[uint32, int]{Key: uint32(i % 17), Value: i})
+	}
+	d := Parallelize(ctx, pairs, 8)
+	re := RepartitionByKey(d, "repart", 5)
+	if re.NumPartitions() != 5 {
+		t.Fatalf("partitions %d", re.NumPartitions())
+	}
+	var mu sync.Mutex
+	keyPart := make(map[uint32]int)
+	err := ForeachPartition(re, func(part int, rows []Pair[uint32, int]) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range rows {
+			if prev, ok := keyPart[r.Key]; ok && prev != part {
+				return fmt.Errorf("key %d in partitions %d and %d", r.Key, prev, part)
+			}
+			keyPart[r.Key] = part
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+	if n, _ := Count(re); n != 1000 {
+		t.Errorf("repartition lost records: %d", n)
+	}
+}
+
+func TestRepartitionPreservesPerKeyOrder(t *testing.T) {
+	// Records of one key arriving from one input partition must stay in
+	// order — the property the per-vessel sort relies on.
+	ctx := NewContext(1)
+	var pairs []Pair[uint32, int]
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, Pair[uint32, int]{Key: 7, Value: i})
+	}
+	d := Parallelize(ctx, pairs, 1)
+	re := RepartitionByKey(d, "order", 3)
+	rows, err := Collect(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Value <= rows[i-1].Value {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestCacheComputesOnce(t *testing.T) {
+	ctx := NewContext(4)
+	var evals atomic.Int64
+	d := Map(Parallelize(ctx, intsUpTo(100), 4), "counted", func(x int) int {
+		evals.Add(1)
+		return x
+	})
+	cached := Cache(d)
+	if _, err := Collect(cached); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(cached); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Count(cached); err != nil {
+		t.Fatal(err)
+	}
+	if got := evals.Load(); got != 100 {
+		t.Errorf("parent evaluated %d element-times, want 100 (cached)", got)
+	}
+}
+
+func TestUncachedRecomputes(t *testing.T) {
+	ctx := NewContext(4)
+	var evals atomic.Int64
+	d := Map(Parallelize(ctx, intsUpTo(10), 2), "counted", func(x int) int {
+		evals.Add(1)
+		return x
+	})
+	Collect(d)
+	Collect(d)
+	if got := evals.Load(); got != 20 {
+		t.Errorf("lazy dataset must recompute: %d element-times, want 20", got)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	ctx := NewContext(4)
+	d := Map(Parallelize(ctx, intsUpTo(10), 2), "boom", func(x int) int {
+		if x == 7 {
+			panic("bad record")
+		}
+		return x
+	})
+	if _, err := Collect(d); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("panic must surface as stage error, got %v", err)
+	}
+}
+
+func TestShuffleAfterPanicPropagates(t *testing.T) {
+	ctx := NewContext(2)
+	d := KeyBy(Map(Parallelize(ctx, intsUpTo(10), 2), "boom2", func(x int) int {
+		panic("die")
+	}), "key", func(x int) int { return x })
+	r := ReduceByKey(d, "reduce", 2, func(a, b int) int { return a + b })
+	if _, err := Collect(r); err == nil {
+		t.Error("shuffle must propagate upstream errors")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, intsUpTo(50), 2)
+	f := Filter(d, "keep-even", func(x int) bool { return x%2 == 0 })
+	if _, err := Collect(f); err != nil {
+		t.Fatal(err)
+	}
+	s := ctx.Metrics().Stage("keep-even")
+	if s.RecordsIn != 50 || s.RecordsOut != 25 {
+		t.Errorf("stage metrics %+v", s)
+	}
+	if !strings.Contains(ctx.Metrics().String(), "keep-even") {
+		t.Error("metrics table must list the stage")
+	}
+	if len(ctx.Metrics().Stages()) == 0 {
+		t.Error("stages list empty")
+	}
+}
+
+func TestContextDefaults(t *testing.T) {
+	ctx := NewContext(0)
+	if ctx.Parallelism() < 1 {
+		t.Error("parallelism must default to >= 1")
+	}
+}
+
+func TestHashKeyDeterministicAndSpread(t *testing.T) {
+	if HashKey(uint64(42)) != HashKey(uint64(42)) {
+		t.Error("hash must be deterministic")
+	}
+	if HashKey("abc") != HashKey("abc") {
+		t.Error("string hash must be deterministic")
+	}
+	if HashKey(uint32(1)) == HashKey(uint32(2)) {
+		t.Error("distinct keys should hash differently")
+	}
+	// Buckets must be reasonably balanced for sequential keys.
+	const n, buckets = 10000, 16
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[HashKey(i)%buckets]++
+	}
+	for b, c := range counts {
+		if c < n/buckets/2 || c > n/buckets*2 {
+			t.Errorf("bucket %d has %d of %d", b, c, n)
+		}
+	}
+	// Struct keys fall back to formatted hashing.
+	type od struct{ a, b int }
+	if HashKey(od{1, 2}) != HashKey(od{1, 2}) {
+		t.Error("fallback hash must be deterministic")
+	}
+	if HashKey(od{1, 2}) == HashKey(od{2, 1}) {
+		t.Error("fallback hash must distinguish fields")
+	}
+}
+
+func BenchmarkMapFilterPipeline(b *testing.B) {
+	ctx := NewContext(4)
+	data := intsUpTo(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Parallelize(ctx, data, 8)
+		m := Map(d, "m", func(x int) int { return x * 2 })
+		f := Filter(m, "f", func(x int) bool { return x%3 == 0 })
+		if _, err := Count(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduceByKey(b *testing.B) {
+	ctx := NewContext(4)
+	pairs := make([]Pair[int, int], 100000)
+	for i := range pairs {
+		pairs[i] = Pair[int, int]{Key: i % 1000, Value: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Parallelize(ctx, pairs, 8)
+		r := ReduceByKey(d, "r", 4, func(a, b int) int { return a + b })
+		if _, err := Count(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCachePropagatesAndLatchesErrors(t *testing.T) {
+	ctx := NewContext(2)
+	d := Map(Parallelize(ctx, intsUpTo(10), 2), "cboom", func(x int) int {
+		panic("cache me if you can")
+	})
+	cached := Cache(d)
+	if _, err := Collect(cached); err == nil {
+		t.Fatal("cache must propagate upstream errors")
+	}
+	// The error is latched: later reads fail the same way without
+	// recomputing.
+	if _, err := Collect(cached); err == nil {
+		t.Fatal("cached error must persist")
+	}
+}
+
+func TestValuesAfterShuffle(t *testing.T) {
+	ctx := NewContext(2)
+	pairs := []Pair[int, string]{{Key: 1, Value: "a"}, {Key: 2, Value: "b"}}
+	re := RepartitionByKey(Parallelize(ctx, pairs, 2), "vs", 2)
+	vals, err := Collect(Values(re, "vals"))
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("values after shuffle: %v, %v", vals, err)
+	}
+}

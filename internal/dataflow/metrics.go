@@ -1,0 +1,90 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metrics aggregates per-stage record counts and shuffle volume for a
+// Context. All methods are safe for concurrent use.
+type Metrics struct {
+	mu          sync.Mutex
+	stages      map[string]*StageMetrics
+	order       []string
+	shuffledRec int64
+}
+
+// StageMetrics is the record flow of one named stage.
+type StageMetrics struct {
+	Name       string
+	RecordsIn  int64
+	RecordsOut int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{stages: make(map[string]*StageMetrics)}
+}
+
+func (m *Metrics) add(stage string, in, out int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.stages[stage]
+	if !ok {
+		s = &StageMetrics{Name: stage}
+		m.stages[stage] = s
+		m.order = append(m.order, stage)
+	}
+	s.RecordsIn += in
+	s.RecordsOut += out
+}
+
+func (m *Metrics) addShuffle(records int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shuffledRec += records
+}
+
+// Stage returns a copy of the metrics for one stage (zero value if the
+// stage never ran).
+func (m *Metrics) Stage(name string) StageMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.stages[name]; ok {
+		return *s
+	}
+	return StageMetrics{Name: name}
+}
+
+// ShuffledRecords returns the total records moved through shuffles.
+func (m *Metrics) ShuffledRecords() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shuffledRec
+}
+
+// Stages returns copies of all stage metrics in first-seen order.
+func (m *Metrics) Stages() []StageMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]StageMetrics, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, *m.stages[name])
+	}
+	return out
+}
+
+// String renders a compact table of all stages, sorted by name for
+// determinism.
+func (m *Metrics) String() string {
+	stages := m.Stages()
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Name < stages[j].Name })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %12s %12s\n", "stage", "in", "out")
+	for _, s := range stages {
+		fmt.Fprintf(&b, "%-40s %12d %12d\n", s.Name, s.RecordsIn, s.RecordsOut)
+	}
+	fmt.Fprintf(&b, "shuffled records: %d\n", m.ShuffledRecords())
+	return b.String()
+}

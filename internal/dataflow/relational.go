@@ -1,0 +1,103 @@
+package dataflow
+
+// Relational operations over keyed datasets: joins, union, distinct and
+// per-key counting. The pipeline's static-information annotation is a
+// broadcast join (the vessel inventory is small); the shuffle join exists
+// for symmetric large-large cases.
+
+// Union concatenates two datasets partition-wise. The result has the sum
+// of the partition counts.
+func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
+	out := &Dataset[T]{ctx: a.ctx, nParts: a.nParts + b.nParts, name: name}
+	out.compute = func(part int) ([]T, error) {
+		if part < a.nParts {
+			return a.compute(part)
+		}
+		return b.compute(part - a.nParts)
+	}
+	return out
+}
+
+// Distinct removes duplicate elements via a hash shuffle, so equal elements
+// meet in one partition. The element type must be a valid map key.
+func Distinct[T comparable](d *Dataset[T], name string, numPartitions int) *Dataset[T] {
+	keyed := KeyBy(d, name+".key", func(x T) T { return x })
+	shuffled := shuffle(keyed, name+".shuffle", numPartitions)
+	return MapPartitions(shuffled, name+".dedup", func(_ int, in []Pair[T, T]) []T {
+		seen := make(map[T]struct{}, len(in))
+		out := make([]T, 0, len(in))
+		for _, p := range in {
+			if _, dup := seen[p.Key]; !dup {
+				seen[p.Key] = struct{}{}
+				out = append(out, p.Key)
+			}
+		}
+		return out
+	})
+}
+
+// CountByKey returns the per-key element counts of a keyed dataset.
+func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int) *Dataset[Pair[K, int64]] {
+	ones := Map(d, name+".ones", func(p Pair[K, V]) Pair[K, int64] {
+		return Pair[K, int64]{Key: p.Key, Value: 1}
+	})
+	return ReduceByKey(ones, name, numPartitions, func(a, b int64) int64 { return a + b })
+}
+
+// BroadcastJoin joins a keyed dataset against a small in-memory map — the
+// shape of the pipeline's vessel-static annotation (§3.3.1). Rows without a
+// match are dropped (inner join); f builds the output row.
+func BroadcastJoin[K comparable, V, S, R any](d *Dataset[Pair[K, V]], name string, small map[K]S, f func(K, V, S) R) *Dataset[R] {
+	return MapPartitions(d, name, func(_ int, in []Pair[K, V]) []R {
+		out := make([]R, 0, len(in))
+		for _, p := range in {
+			if s, ok := small[p.Key]; ok {
+				out = append(out, f(p.Key, p.Value, s))
+			}
+		}
+		return out
+	})
+}
+
+// JoinedPair is one inner-join result row.
+type JoinedPair[K comparable, L, R any] struct {
+	Key   K
+	Left  L
+	Right R
+}
+
+// Join computes the inner join of two keyed datasets via a co-shuffle:
+// both sides hash into the same partitioning, then each partition builds a
+// map over the smaller-looking side. Every (left, right) combination per
+// key is emitted.
+func Join[K comparable, L, R any](left *Dataset[Pair[K, L]], right *Dataset[Pair[K, R]], name string, numPartitions int) *Dataset[JoinedPair[K, L, R]] {
+	if numPartitions < 1 {
+		numPartitions = left.ctx.parallelism
+	}
+	ls := shuffle(left, name+".left", numPartitions)
+	rs := shuffle(right, name+".right", numPartitions)
+	out := &Dataset[JoinedPair[K, L, R]]{ctx: left.ctx, nParts: numPartitions, name: name}
+	out.compute = func(part int) (res []JoinedPair[K, L, R], err error) {
+		defer guard(name, &err)
+		lRows, err := ls.compute(part)
+		if err != nil {
+			return nil, err
+		}
+		rRows, err := rs.compute(part)
+		if err != nil {
+			return nil, err
+		}
+		rightByKey := make(map[K][]R, len(rRows))
+		for _, p := range rRows {
+			rightByKey[p.Key] = append(rightByKey[p.Key], p.Value)
+		}
+		for _, lp := range lRows {
+			for _, rv := range rightByKey[lp.Key] {
+				res = append(res, JoinedPair[K, L, R]{Key: lp.Key, Left: lp.Value, Right: rv})
+			}
+		}
+		left.ctx.metrics.add(name, int64(len(lRows)+len(rRows)), int64(len(res)))
+		return res, nil
+	}
+	return out
+}

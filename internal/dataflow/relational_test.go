@@ -1,0 +1,140 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestUnion(t *testing.T) {
+	ctx := NewContext(2)
+	a := Parallelize(ctx, []int{1, 2, 3}, 2)
+	b := Parallelize(ctx, []int{4, 5}, 1)
+	u := Union(a, b, "union")
+	if u.NumPartitions() != 3 {
+		t.Errorf("partitions %d, want 3", u.NumPartitions())
+	}
+	got, err := Collect(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3 4 5]" {
+		t.Errorf("union %v", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := NewContext(4)
+	var data []int
+	for i := 0; i < 1000; i++ {
+		data = append(data, i%37)
+	}
+	d := Distinct(Parallelize(ctx, data, 8), "distinct", 4)
+	got, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("distinct produced %d values, want 37", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("missing value %d", i)
+		}
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := NewContext(4)
+	var pairs []Pair[string, int]
+	for i := 0; i < 120; i++ {
+		pairs = append(pairs, Pair[string, int]{Key: []string{"a", "b", "c"}[i%3], Value: i})
+	}
+	counts, err := Collect(CountByKey(Parallelize(ctx, pairs, 6), "count", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 {
+		t.Fatalf("keys %d", len(counts))
+	}
+	for _, c := range counts {
+		if c.Value != 40 {
+			t.Errorf("key %s count %d, want 40", c.Key, c.Value)
+		}
+	}
+}
+
+func TestBroadcastJoin(t *testing.T) {
+	ctx := NewContext(2)
+	pairs := []Pair[int, string]{
+		{Key: 1, Value: "x"}, {Key: 2, Value: "y"}, {Key: 3, Value: "z"},
+	}
+	small := map[int]string{1: "ONE", 3: "THREE"}
+	joined := BroadcastJoin(Parallelize(ctx, pairs, 2), "bjoin", small,
+		func(k int, v, s string) string { return fmt.Sprintf("%d:%s:%s", k, v, s) })
+	got, err := Collect(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	want := []string{"1:x:ONE", "3:z:THREE"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("broadcast join %v, want %v", got, want)
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	ctx := NewContext(4)
+	left := Parallelize(ctx, []Pair[int, string]{
+		{Key: 1, Value: "l1"}, {Key: 2, Value: "l2"}, {Key: 2, Value: "l2b"}, {Key: 9, Value: "orphan"},
+	}, 2)
+	right := Parallelize(ctx, []Pair[int, string]{
+		{Key: 1, Value: "r1"}, {Key: 2, Value: "r2"}, {Key: 7, Value: "orphan"},
+	}, 3)
+	rows, err := Collect(Join(left, right, "join", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []string
+	for _, r := range rows {
+		flat = append(flat, fmt.Sprintf("%d/%s/%s", r.Key, r.Left, r.Right))
+	}
+	sort.Strings(flat)
+	want := []string{"1/l1/r1", "2/l2/r2", "2/l2b/r2"}
+	if fmt.Sprint(flat) != fmt.Sprint(want) {
+		t.Errorf("join %v, want %v", flat, want)
+	}
+}
+
+func TestJoinManyToMany(t *testing.T) {
+	ctx := NewContext(2)
+	left := Parallelize(ctx, []Pair[int, int]{{Key: 5, Value: 1}, {Key: 5, Value: 2}}, 1)
+	right := Parallelize(ctx, []Pair[int, int]{{Key: 5, Value: 10}, {Key: 5, Value: 20}, {Key: 5, Value: 30}}, 1)
+	rows, err := Collect(Join(left, right, "m2m", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Errorf("many-to-many join produced %d rows, want 6", len(rows))
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	ctx := NewContext(2)
+	left := Parallelize(ctx, []Pair[int, int]{{Key: 1, Value: 1}}, 1)
+	empty := Parallelize(ctx, []Pair[int, int]{}, 1)
+	rows, err := Collect(Join(left, empty, "joinEmpty", 2))
+	if err != nil || len(rows) != 0 {
+		t.Errorf("join with empty side: %v, %v", rows, err)
+	}
+}
+
+func TestJoinPropagatesErrors(t *testing.T) {
+	ctx := NewContext(2)
+	bad := Map(Parallelize(ctx, []int{1}, 1), "boom", func(int) Pair[int, int] { panic("die") })
+	right := Parallelize(ctx, []Pair[int, int]{{Key: 1, Value: 1}}, 1)
+	if _, err := Collect(Join(bad, right, "joinErr", 2)); err == nil {
+		t.Error("join must propagate upstream panics")
+	}
+}

@@ -1,0 +1,212 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HashKey maps a key of any common identifier type to a well-distributed
+// uint64, deterministically across runs. It backs the hash partitioner of
+// all shuffle operations. Unsupported key types hash via their formatted
+// representation.
+func HashKey(k any) uint64 {
+	switch v := k.(type) {
+	case uint64:
+		return mix64(v)
+	case uint32:
+		return mix64(uint64(v))
+	case int:
+		return mix64(uint64(int64(v)))
+	case int64:
+		return mix64(uint64(v))
+	case int32:
+		return mix64(uint64(int64(v)))
+	case string:
+		return hashString(v)
+	case interface{ Hash64() uint64 }:
+		return v.Hash64()
+	default:
+		return hashString(fmt.Sprint(k))
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// shuffle hash-partitions a keyed dataset into n buckets. The parent is
+// evaluated exactly once (guarded by sync.Once) on first access to any
+// output partition; every input partition is bucketed by key hash and the
+// buckets concatenated per output partition. Records with equal keys always
+// land in the same output partition.
+func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int) *Dataset[Pair[K, V]] {
+	if n < 1 {
+		n = d.ctx.parallelism
+	}
+	var once sync.Once
+	var buckets [][]Pair[K, V] // n output partitions
+	var shuffleErr error
+
+	out := &Dataset[Pair[K, V]]{ctx: d.ctx, nParts: n, name: name}
+	out.compute = func(part int) ([]Pair[K, V], error) {
+		once.Do(func() {
+			// Per input partition, bucket locally (no locks), then merge.
+			local := make([][][]Pair[K, V], d.nParts)
+			shuffleErr = runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+				rows, err := d.compute(p)
+				if err != nil {
+					return err
+				}
+				b := make([][]Pair[K, V], n)
+				for _, r := range rows {
+					i := int(HashKey(r.Key) % uint64(n))
+					b[i] = append(b[i], r)
+				}
+				local[p] = b
+				return nil
+			})
+			if shuffleErr != nil {
+				return
+			}
+			buckets = make([][]Pair[K, V], n)
+			var rows int64
+			for _, lb := range local {
+				for i, b := range lb {
+					buckets[i] = append(buckets[i], b...)
+					rows += int64(len(b))
+				}
+			}
+			d.ctx.metrics.add(name, rows, rows)
+			d.ctx.metrics.addShuffle(rows)
+		})
+		if shuffleErr != nil {
+			return nil, shuffleErr
+		}
+		return buckets[part], nil
+	}
+	return out
+}
+
+// RepartitionByKey redistributes a keyed dataset into numPartitions hash
+// partitions — the paper's "partition by vessel identifier" step. All
+// records with the same key land in the same partition; order within an
+// input partition is preserved per bucket.
+func RepartitionByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int) *Dataset[Pair[K, V]] {
+	return shuffle(d, name, numPartitions)
+}
+
+// ReduceByKey combines all values sharing a key with the associative,
+// commutative function combine. Values are pre-combined within each input
+// partition (map-side combining) before the shuffle, so shuffle volume is
+// proportional to distinct keys, not records — the property that makes the
+// paper's grouping-set aggregation tractable.
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int, combine func(V, V) V) *Dataset[Pair[K, V]] {
+	combined := MapPartitions(d, name+".combine", func(_ int, in []Pair[K, V]) []Pair[K, V] {
+		acc := make(map[K]V, len(in)/2+1)
+		for _, p := range in {
+			if cur, ok := acc[p.Key]; ok {
+				acc[p.Key] = combine(cur, p.Value)
+			} else {
+				acc[p.Key] = p.Value
+			}
+		}
+		out := make([]Pair[K, V], 0, len(acc))
+		for k, v := range acc {
+			out = append(out, Pair[K, V]{Key: k, Value: v})
+		}
+		return out
+	})
+	shuffled := shuffle(combined, name+".shuffle", numPartitions)
+	return MapPartitions(shuffled, name+".reduce", func(_ int, in []Pair[K, V]) []Pair[K, V] {
+		acc := make(map[K]V, len(in))
+		for _, p := range in {
+			if cur, ok := acc[p.Key]; ok {
+				acc[p.Key] = combine(cur, p.Value)
+			} else {
+				acc[p.Key] = p.Value
+			}
+		}
+		out := make([]Pair[K, V], 0, len(acc))
+		for k, v := range acc {
+			out = append(out, Pair[K, V]{Key: k, Value: v})
+		}
+		return out
+	})
+}
+
+// AggregateByKey folds values into per-key accumulators: newAcc creates an
+// empty accumulator, seqOp folds one value in, combOp merges two
+// accumulators. Accumulators are built within each input partition and
+// merged after the shuffle — the map/reduce split of the paper's feature
+// extraction (§3.3.4).
+func AggregateByKey[K comparable, V, A any](
+	d *Dataset[Pair[K, V]], name string, numPartitions int,
+	newAcc func() A, seqOp func(A, V) A, combOp func(A, A) A,
+) *Dataset[Pair[K, A]] {
+	partial := MapPartitions(d, name+".partial", func(_ int, in []Pair[K, V]) []Pair[K, A] {
+		acc := make(map[K]A, len(in)/2+1)
+		for _, p := range in {
+			a, ok := acc[p.Key]
+			if !ok {
+				a = newAcc()
+			}
+			acc[p.Key] = seqOp(a, p.Value)
+		}
+		out := make([]Pair[K, A], 0, len(acc))
+		for k, a := range acc {
+			out = append(out, Pair[K, A]{Key: k, Value: a})
+		}
+		return out
+	})
+	shuffled := shuffle(partial, name+".shuffle", numPartitions)
+	return MapPartitions(shuffled, name+".merge", func(_ int, in []Pair[K, A]) []Pair[K, A] {
+		acc := make(map[K]A, len(in))
+		for _, p := range in {
+			if cur, ok := acc[p.Key]; ok {
+				acc[p.Key] = combOp(cur, p.Value)
+			} else {
+				acc[p.Key] = p.Value
+			}
+		}
+		out := make([]Pair[K, A], 0, len(acc))
+		for k, a := range acc {
+			out = append(out, Pair[K, A]{Key: k, Value: a})
+		}
+		return out
+	})
+}
+
+// GroupByKey gathers all values per key into a slice. Prefer ReduceByKey or
+// AggregateByKey when a mergeable accumulator exists; GroupByKey
+// materializes every value and is provided for sessionization-style logic
+// (the paper's per-vessel trip splitting).
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int) *Dataset[Pair[K, []V]] {
+	shuffled := shuffle(d, name+".shuffle", numPartitions)
+	return MapPartitions(shuffled, name+".group", func(_ int, in []Pair[K, V]) []Pair[K, []V] {
+		acc := make(map[K][]V, len(in)/4+1)
+		for _, p := range in {
+			acc[p.Key] = append(acc[p.Key], p.Value)
+		}
+		out := make([]Pair[K, []V], 0, len(acc))
+		for k, vs := range acc {
+			out = append(out, Pair[K, []V]{Key: k, Value: vs})
+		}
+		return out
+	})
+}

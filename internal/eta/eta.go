@@ -1,0 +1,88 @@
+// Package eta implements the paper's §4.1.2 use case: a baseline estimator
+// of time-to-destination built purely from the inventory's historical ATA
+// (actual time to arrival) statistics. Given a vessel's position — and, when
+// known, its origin/destination ports and market segment — the estimator
+// returns the distribution of remaining travel time observed for historical
+// traffic in the same cell, preferring the most specific grouping set that
+// has data.
+package eta
+
+import (
+	"time"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+)
+
+// Estimate is the historical time-to-destination distribution at a
+// location.
+type Estimate struct {
+	Mean    time.Duration // mean remaining time
+	Std     time.Duration // standard deviation
+	P10     time.Duration // 10th percentile (paper's approximate percentiles)
+	P50     time.Duration
+	P90     time.Duration
+	Records uint64             // observations behind the estimate
+	Source  inventory.GroupSet // grouping set that answered
+}
+
+// Estimator answers ETA queries from an inventory.
+type Estimator struct {
+	inv *inventory.Inventory
+}
+
+// New returns an estimator over the inventory.
+func New(inv *inventory.Inventory) *Estimator {
+	return &Estimator{inv: inv}
+}
+
+// Query describes one ETA request. Zero values mean "unknown": an unknown
+// origin/destination or vessel type degrades gracefully to a less specific
+// grouping set.
+type Query struct {
+	Pos    geo.LatLng
+	VType  model.VesselType
+	Origin model.PortID
+	Dest   model.PortID
+}
+
+// Estimate returns the historical remaining-time distribution for the
+// query, or ok=false when the location has no inventory data under any
+// applicable grouping set. Specificity order follows the paper: the
+// (cell, origin, destination, vessel-type) summary when the voyage is
+// known, then (cell, vessel-type), then the all-traffic cell summary.
+func (e *Estimator) Estimate(q Query) (Estimate, bool) {
+	cell := hexgrid.LatLngToCell(q.Pos, e.inv.Info().Resolution)
+	if cell == hexgrid.InvalidCell {
+		return Estimate{}, false
+	}
+	if q.Origin != model.NoPort && q.Dest != model.NoPort {
+		if s, ok := e.inv.ODSummary(cell, q.Origin, q.Dest, q.VType); ok && s.ATA.Weight() > 0 {
+			return fromSummary(s, inventory.GSCellODType), true
+		}
+	}
+	if q.VType != model.VesselUnknown {
+		if s, ok := e.inv.TypeSummary(cell, q.VType); ok && s.ATA.Weight() > 0 {
+			return fromSummary(s, inventory.GSCellType), true
+		}
+	}
+	if s, ok := e.inv.Cell(cell); ok && s.ATA.Weight() > 0 {
+		return fromSummary(s, inventory.GSCell), true
+	}
+	return Estimate{}, false
+}
+
+func fromSummary(s *inventory.CellSummary, src inventory.GroupSet) Estimate {
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	return Estimate{
+		Mean:    sec(s.ATA.Mean()),
+		Std:     sec(s.ATA.Std()),
+		P10:     sec(s.ATADig.Quantile(0.10)),
+		P50:     sec(s.ATADig.Quantile(0.50)),
+		P90:     sec(s.ATADig.Quantile(0.90)),
+		Records: s.Records,
+		Source:  src,
+	}
+}

@@ -1,0 +1,69 @@
+package geo
+
+import "testing"
+
+func seg(aLat, aLng, bLat, bLng float64) [2]LatLng {
+	return [2]LatLng{{Lat: aLat, Lng: aLng}, {Lat: bLat, Lng: bLng}}
+}
+
+func TestSegmentsIntersectCrossing(t *testing.T) {
+	a := seg(0, 0, 10, 10)
+	b := seg(0, 10, 10, 0)
+	if !SegmentsIntersect(a[0], a[1], b[0], b[1]) {
+		t.Error("crossing diagonals must intersect")
+	}
+}
+
+func TestSegmentsIntersectDisjoint(t *testing.T) {
+	a := seg(0, 0, 1, 1)
+	b := seg(5, 5, 6, 6)
+	if SegmentsIntersect(a[0], a[1], b[0], b[1]) {
+		t.Error("far-apart segments must not intersect")
+	}
+	// Parallel, offset.
+	c := seg(0, 0, 0, 10)
+	d := seg(1, 0, 1, 10)
+	if SegmentsIntersect(c[0], c[1], d[0], d[1]) {
+		t.Error("parallel offset segments must not intersect")
+	}
+}
+
+func TestSegmentsIntersectTouchingEndpoint(t *testing.T) {
+	a := seg(0, 0, 5, 5)
+	b := seg(5, 5, 10, 0)
+	if !SegmentsIntersect(a[0], a[1], b[0], b[1]) {
+		t.Error("segments sharing an endpoint intersect (closed segments)")
+	}
+}
+
+func TestSegmentsIntersectTJunction(t *testing.T) {
+	a := seg(0, 0, 10, 0) // horizontal along lat 0..10? (lat axis)
+	b := seg(5, 0, 5, 5)  // starts on a's interior
+	if !SegmentsIntersect(a[0], a[1], b[0], b[1]) {
+		t.Error("T-junction must intersect")
+	}
+}
+
+func TestSegmentsIntersectCollinear(t *testing.T) {
+	// Overlapping collinear segments.
+	a := seg(0, 0, 0, 10)
+	b := seg(0, 5, 0, 15)
+	if !SegmentsIntersect(a[0], a[1], b[0], b[1]) {
+		t.Error("overlapping collinear segments intersect")
+	}
+	// Disjoint collinear segments.
+	c := seg(0, 0, 0, 4)
+	d := seg(0, 6, 0, 10)
+	if SegmentsIntersect(c[0], c[1], d[0], d[1]) {
+		t.Error("disjoint collinear segments must not intersect")
+	}
+}
+
+func TestSegmentsIntersectNearMiss(t *testing.T) {
+	// A segment ending just short of another.
+	a := seg(0, 0, 4.999, 5)
+	b := seg(5, 0, 5, 10)
+	if SegmentsIntersect(a[0], a[1], b[0], b[1]) {
+		t.Error("near miss must not intersect")
+	}
+}

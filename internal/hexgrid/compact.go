@@ -1,0 +1,102 @@
+package hexgrid
+
+import (
+	"fmt"
+
+	"github.com/patternsoflife/pol/internal/geo"
+)
+
+// CompactCells replaces every complete sibling group in the input with its
+// parent cell, repeatedly, returning a minimal mixed-resolution covering of
+// the same area — the H3 compact operation. The input must be a duplicate-
+// free set of cells at one resolution; the output is sorted-free (input
+// order is not preserved). It returns an error on mixed resolutions or
+// invalid cells.
+func CompactCells(cells []Cell) ([]Cell, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	res := cells[0].Resolution()
+	current := make(map[Cell]struct{}, len(cells))
+	for _, c := range cells {
+		if !c.Valid() {
+			return nil, fmt.Errorf("hexgrid: compact: invalid cell %v", c)
+		}
+		if c.Resolution() != res {
+			return nil, fmt.Errorf("hexgrid: compact: mixed resolutions %d and %d", res, c.Resolution())
+		}
+		current[c] = struct{}{}
+	}
+	var out []Cell
+	for r := res; r > 0 && len(current) > 0; r-- {
+		// Group the remaining cells by parent.
+		byParent := make(map[Cell][]Cell)
+		for c := range current {
+			byParent[c.Parent(r-1)] = append(byParent[c.Parent(r-1)], c)
+		}
+		next := make(map[Cell]struct{})
+		for parent, kids := range byParent {
+			if len(kids) == len(parent.Children(r)) {
+				// Complete sibling set: promote.
+				next[parent] = struct{}{}
+				continue
+			}
+			out = append(out, kids...)
+		}
+		current = next
+	}
+	for c := range current {
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// LineCells returns the contiguous chain of cells a great-circle segment
+// from a to b crosses at the given resolution, in travel order starting at
+// a's cell and ending at b's. The segment is sampled at sub-cell steps;
+// consecutive duplicate cells collapse, so the result is the grid trace of
+// the line (the H3 gridPathCells analogue, but geodesic).
+func LineCells(a, b geo.LatLng, res int) []Cell {
+	start := LatLngToCell(a, res)
+	end := LatLngToCell(b, res)
+	if start == InvalidCell || end == InvalidCell {
+		return nil
+	}
+	if start == end {
+		return []Cell{start}
+	}
+	dist := geo.Haversine(a, b)
+	// Quarter-edge steps guarantee no cell on the line is skipped.
+	step := EdgeLengthKm(res) * 1000 / 4
+	n := int(dist/step) + 1
+	out := []Cell{start}
+	for i := 1; i <= n; i++ {
+		p := geo.Interpolate(a, b, float64(i)/float64(n))
+		c := LatLngToCell(p, res)
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	if out[len(out)-1] != end {
+		out = append(out, end)
+	}
+	return out
+}
+
+// UncompactCells expands a mixed-resolution cell set to a uniform target
+// resolution. Cells already at the target pass through; coarser cells
+// expand to their descendants. It returns an error if any cell is finer
+// than the target or invalid.
+func UncompactCells(cells []Cell, res int) ([]Cell, error) {
+	var out []Cell
+	for _, c := range cells {
+		if !c.Valid() {
+			return nil, fmt.Errorf("hexgrid: uncompact: invalid cell %v", c)
+		}
+		if c.Resolution() > res {
+			return nil, fmt.Errorf("hexgrid: uncompact: cell %v finer than target %d", c, res)
+		}
+		out = append(out, c.Children(res)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package hexgrid
+
+import (
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/geo"
+)
+
+func TestCompactCompleteSiblings(t *testing.T) {
+	parent := LatLngToCell(geo.LatLng{Lat: 40, Lng: 10}, 5)
+	kids := parent.Children(6)
+	got, err := CompactCells(kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != parent {
+		t.Errorf("complete sibling set must compact to the parent: %v", got)
+	}
+}
+
+func TestCompactPartialSiblings(t *testing.T) {
+	parent := LatLngToCell(geo.LatLng{Lat: 40, Lng: 10}, 5)
+	kids := parent.Children(6)
+	partial := kids[:len(kids)-1]
+	got, err := CompactCells(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(partial) {
+		t.Errorf("partial sibling set must stay expanded: %d cells", len(got))
+	}
+}
+
+func TestCompactTwoLevels(t *testing.T) {
+	grandparent := LatLngToCell(geo.LatLng{Lat: -20, Lng: 60}, 4)
+	kids := grandparent.Children(6)
+	got, err := CompactCells(kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != grandparent {
+		t.Errorf("two-level compaction failed: %d cells", len(got))
+	}
+}
+
+func TestCompactMixedArea(t *testing.T) {
+	// One full parent's children plus an unrelated distant cell.
+	parent := LatLngToCell(geo.LatLng{Lat: 40, Lng: 10}, 5)
+	cells := parent.Children(6)
+	lone := LatLngToCell(geo.LatLng{Lat: -30, Lng: -120}, 6)
+	cells = append(cells, lone)
+	got, err := CompactCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want parent + lone cell, got %d cells", len(got))
+	}
+	seen := map[Cell]bool{}
+	for _, c := range got {
+		seen[c] = true
+	}
+	if !seen[parent] || !seen[lone] {
+		t.Errorf("compacted set %v missing expected cells", got)
+	}
+}
+
+func TestCompactErrors(t *testing.T) {
+	a := LatLngToCell(geo.LatLng{Lat: 1, Lng: 1}, 6)
+	b := LatLngToCell(geo.LatLng{Lat: 1, Lng: 1}, 7)
+	if _, err := CompactCells([]Cell{a, b}); err == nil {
+		t.Error("mixed resolutions must fail")
+	}
+	if _, err := CompactCells([]Cell{InvalidCell}); err == nil {
+		t.Error("invalid cell must fail")
+	}
+	got, err := CompactCells(nil)
+	if err != nil || got != nil {
+		t.Error("empty input is a no-op")
+	}
+}
+
+func TestUncompactRoundTrip(t *testing.T) {
+	parent := LatLngToCell(geo.LatLng{Lat: 40, Lng: 10}, 5)
+	kids := parent.Children(6)
+	compact, err := CompactCells(kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := UncompactCells(compact, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expanded) != len(kids) {
+		t.Fatalf("round trip: %d cells, want %d", len(expanded), len(kids))
+	}
+	want := map[Cell]bool{}
+	for _, c := range kids {
+		want[c] = true
+	}
+	for _, c := range expanded {
+		if !want[c] {
+			t.Errorf("unexpected cell %v after round trip", c)
+		}
+	}
+}
+
+func TestUncompactMixedResolutions(t *testing.T) {
+	coarse := LatLngToCell(geo.LatLng{Lat: 40, Lng: 10}, 5)
+	fine := LatLngToCell(geo.LatLng{Lat: -30, Lng: -120}, 6)
+	out, err := UncompactCells([]Cell{coarse, fine}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(coarse.Children(6))+1 {
+		t.Errorf("mixed uncompact: %d cells", len(out))
+	}
+	for _, c := range out {
+		if c.Resolution() != 6 {
+			t.Errorf("cell %v at wrong resolution", c)
+		}
+	}
+}
+
+func TestUncompactErrors(t *testing.T) {
+	fine := LatLngToCell(geo.LatLng{Lat: 1, Lng: 1}, 7)
+	if _, err := UncompactCells([]Cell{fine}, 6); err == nil {
+		t.Error("finer-than-target must fail")
+	}
+	if _, err := UncompactCells([]Cell{InvalidCell}, 6); err == nil {
+		t.Error("invalid cell must fail")
+	}
+}
+
+func TestLineCellsContiguousChain(t *testing.T) {
+	a := geo.LatLng{Lat: 50, Lng: -5}
+	b := geo.LatLng{Lat: 52, Lng: 4}
+	path := LineCells(a, b, 6)
+	if len(path) < 10 {
+		t.Fatalf("path has only %d cells", len(path))
+	}
+	if path[0] != LatLngToCell(a, 6) || path[len(path)-1] != LatLngToCell(b, 6) {
+		t.Error("path must start and end at the endpoint cells")
+	}
+	for i := 1; i < len(path); i++ {
+		if d := GridDistance(path[i-1], path[i]); d != 1 {
+			t.Fatalf("hop %d has grid distance %d, want 1 (contiguous)", i, d)
+		}
+	}
+	// No immediate backtracking duplicates.
+	seenTwiceInARow := false
+	for i := 1; i < len(path); i++ {
+		if path[i] == path[i-1] {
+			seenTwiceInARow = true
+		}
+	}
+	if seenTwiceInARow {
+		t.Error("consecutive duplicates must collapse")
+	}
+}
+
+func TestLineCellsDegenerate(t *testing.T) {
+	p := geo.LatLng{Lat: 10, Lng: 10}
+	path := LineCells(p, p, 6)
+	if len(path) != 1 {
+		t.Errorf("same-point line: %d cells", len(path))
+	}
+	if LineCells(geo.LatLng{Lat: 95, Lng: 0}, p, 6) != nil {
+		t.Error("invalid endpoint must yield nil")
+	}
+	// Neighbouring points: exactly the two cells.
+	q := geo.Destination(p, 90, 8000)
+	path = LineCells(p, q, 6)
+	if len(path) < 2 || len(path) > 3 {
+		t.Errorf("short line: %d cells", len(path))
+	}
+}
+
+func TestLineCellsCrossesDateline(t *testing.T) {
+	a := geo.LatLng{Lat: 20, Lng: 179.5}
+	b := geo.LatLng{Lat: 20, Lng: -179.5}
+	path := LineCells(a, b, 5)
+	if len(path) < 2 {
+		t.Fatalf("dateline path: %d cells", len(path))
+	}
+	for i := 1; i < len(path); i++ {
+		if d := GridDistance(path[i-1], path[i]); d != 1 {
+			t.Fatalf("dateline hop %d distance %d", i, d)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package inventory
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/model"
+)
+
+// BuildInfo records the provenance of an inventory.
+type BuildInfo struct {
+	Resolution  int    // hexgrid resolution of all cells
+	RawRecords  int64  // records entering the pipeline
+	UsedRecords int64  // trip-annotated records aggregated
+	BuiltUnix   int64  // build timestamp
+	Description string // free-form dataset description
+}
+
+// Inventory is the in-memory global inventory: group identifier →
+// statistical summary. It is immutable after Build/Load aside from the
+// explicit Put used by builders.
+type Inventory struct {
+	info   BuildInfo
+	groups map[GroupKey]*CellSummary
+
+	// Secondary index for route forecasting: (origin, dest, vtype) → cells,
+	// built lazily.
+	odIndex map[odKey][]hexgrid.Cell
+}
+
+type odKey struct {
+	origin, dest model.PortID
+	vtype        model.VesselType
+}
+
+// New returns an empty inventory with the given build info.
+func New(info BuildInfo) *Inventory {
+	return &Inventory{info: info, groups: make(map[GroupKey]*CellSummary)}
+}
+
+// Info returns the build provenance.
+func (inv *Inventory) Info() BuildInfo { return inv.info }
+
+// SetInfo replaces the build provenance (used by builders).
+func (inv *Inventory) SetInfo(info BuildInfo) { inv.info = info }
+
+// Len returns the number of groups across all grouping sets.
+func (inv *Inventory) Len() int { return len(inv.groups) }
+
+// Put inserts or merges a summary under the key.
+func (inv *Inventory) Put(key GroupKey, s *CellSummary) {
+	if cur, ok := inv.groups[key]; ok {
+		cur.Merge(s)
+		return
+	}
+	inv.groups[key] = s
+	inv.odIndex = nil
+}
+
+// MergeFrom folds another inventory of the same resolution into this one —
+// the incremental-update path: periodic (e.g. monthly) builds merge into a
+// running yearly inventory without re-scanning raw data, because every
+// Table-3 statistic is a mergeable sketch. It returns an error on
+// resolution mismatch.
+func (inv *Inventory) MergeFrom(other *Inventory) error {
+	if other.info.Resolution != inv.info.Resolution {
+		return fmt.Errorf("inventory: merge resolution %d into %d",
+			other.info.Resolution, inv.info.Resolution)
+	}
+	other.Each(func(k GroupKey, s *CellSummary) bool {
+		c := NewCellSummary()
+		c.Merge(s)
+		inv.Put(k, c)
+		return true
+	})
+	inv.info.RawRecords += other.info.RawRecords
+	inv.info.UsedRecords += other.info.UsedRecords
+	return nil
+}
+
+// Get returns the summary for an exact group identifier.
+func (inv *Inventory) Get(key GroupKey) (*CellSummary, bool) {
+	s, ok := inv.groups[key]
+	return s, ok
+}
+
+// Cell returns the all-traffic summary of a cell (grouping set GSCell).
+func (inv *Inventory) Cell(cell hexgrid.Cell) (*CellSummary, bool) {
+	return inv.Get(GroupKey{Set: GSCell, Cell: cell})
+}
+
+// At returns the all-traffic summary of the cell containing the given
+// location at the inventory's resolution — the paper's "query for a
+// specific location".
+func (inv *Inventory) At(p geo.LatLng) (*CellSummary, bool) {
+	return inv.Cell(hexgrid.LatLngToCell(p, inv.info.Resolution))
+}
+
+// CountGroups returns the number of groups in one grouping set.
+func (inv *Inventory) CountGroups(set GroupSet) int {
+	n := 0
+	for k := range inv.groups {
+		if k.Set == set {
+			n++
+		}
+	}
+	return n
+}
+
+// Cells returns all cells of one grouping set, sorted for determinism.
+func (inv *Inventory) Cells(set GroupSet) []hexgrid.Cell {
+	seen := make(map[hexgrid.Cell]struct{})
+	for k := range inv.groups {
+		if k.Set == set {
+			seen[k.Cell] = struct{}{}
+		}
+	}
+	out := make([]hexgrid.Cell, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Each calls f for every (key, summary) pair, in unspecified order.
+func (inv *Inventory) Each(f func(GroupKey, *CellSummary) bool) {
+	for k, s := range inv.groups {
+		if !f(k, s) {
+			return
+		}
+	}
+}
+
+// MostFrequentDestination returns the top destination of a cell's
+// all-traffic summary (Figure 6's query).
+func (inv *Inventory) MostFrequentDestination(cell hexgrid.Cell) (model.PortID, uint64, bool) {
+	s, ok := inv.Cell(cell)
+	if !ok {
+		return model.NoPort, 0, false
+	}
+	port, count := s.TopDestination()
+	return port, count, port != model.NoPort
+}
+
+// ODCells returns every cell that has traffic for the (origin, destination,
+// vessel-type) key — the paper's route-forecasting retrieval ("the full set
+// of possible transition locations for the selected key"). The result is
+// sorted for determinism.
+func (inv *Inventory) ODCells(origin, dest model.PortID, vt model.VesselType) []hexgrid.Cell {
+	if inv.odIndex == nil {
+		inv.odIndex = make(map[odKey][]hexgrid.Cell)
+		for k := range inv.groups {
+			if k.Set == GSCellODType {
+				ok := odKey{origin: k.Origin, dest: k.Dest, vtype: k.VType}
+				inv.odIndex[ok] = append(inv.odIndex[ok], k.Cell)
+			}
+		}
+		for _, cells := range inv.odIndex {
+			sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+		}
+	}
+	return inv.odIndex[odKey{origin: origin, dest: dest, vtype: vt}]
+}
+
+// ODSummary returns the summary for a cell under the OD grouping set.
+func (inv *Inventory) ODSummary(cell hexgrid.Cell, origin, dest model.PortID, vt model.VesselType) (*CellSummary, bool) {
+	return inv.Get(GroupKey{Set: GSCellODType, Cell: cell, VType: vt, Origin: origin, Dest: dest})
+}
+
+// TypeSummary returns the summary for a cell under the (cell, vessel-type)
+// grouping set.
+func (inv *Inventory) TypeSummary(cell hexgrid.Cell, vt model.VesselType) (*CellSummary, bool) {
+	return inv.Get(GroupKey{Set: GSCellType, Cell: cell, VType: vt})
+}
+
+// Compression returns the paper's Table-4 compression metric for a grouping
+// set: the fraction of raw records saved by querying groups instead of
+// scanning records, 1 − groups/records.
+func (inv *Inventory) Compression(set GroupSet) float64 {
+	if inv.info.RawRecords == 0 {
+		return 0
+	}
+	return 1 - float64(inv.CountGroups(set))/float64(inv.info.RawRecords)
+}
+
+// Utilization returns the paper's Table-4 H3-utilization metric: the
+// fraction of all grid cells at the inventory resolution that carry
+// traffic.
+func (inv *Inventory) Utilization() float64 {
+	total := hexgrid.NumCells(inv.info.Resolution)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(inv.Cells(GSCell))) / float64(total)
+}
+
+// CoverageUtilization returns utilization within a coverage envelope: the
+// fraction of cells inside the bounding box that carry traffic. On a
+// reduced-scale synthetic dataset the paper's global utilization is not
+// reproducible in absolute value; the envelope version preserves the
+// res-6 > res-7 shape.
+func (inv *Inventory) CoverageUtilization(box geo.BBox) float64 {
+	cells := inv.Cells(GSCell)
+	if len(cells) == 0 {
+		return 0
+	}
+	inside := 0
+	for _, c := range cells {
+		if box.Contains(c.LatLng()) {
+			inside++
+		}
+	}
+	total := len(hexgrid.CoverBBox(box, inv.info.Resolution))
+	if total == 0 {
+		return 0
+	}
+	return float64(inside) / float64(total)
+}
+
+// Validate performs internal consistency checks (used by tests and the
+// file loader): every key's set is known, cells match the resolution, and
+// summaries are non-nil.
+func (inv *Inventory) Validate() error {
+	for k, s := range inv.groups {
+		if s == nil {
+			return fmt.Errorf("inventory: nil summary for %v", k)
+		}
+		switch k.Set {
+		case GSCell, GSCellType, GSCellODType:
+		default:
+			return fmt.Errorf("inventory: unknown grouping set %d", k.Set)
+		}
+		if !k.Cell.Valid() {
+			return fmt.Errorf("inventory: invalid cell in key %v", k)
+		}
+		if k.Cell.Resolution() != inv.info.Resolution {
+			return fmt.Errorf("inventory: key %v at resolution %d, want %d",
+				k, k.Cell.Resolution(), inv.info.Resolution)
+		}
+	}
+	return nil
+}

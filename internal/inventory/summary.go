@@ -1,0 +1,237 @@
+package inventory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/stats"
+)
+
+// TopNCapacity is the number of heavy-hitter slots kept for the origin,
+// destination and transition features.
+const TopNCapacity = 16
+
+// Observation is one grid-projected, trip-annotated report together with
+// its forward cell transition (InvalidCell when the trip ends before
+// leaving the cell). It is the value type flowing into the feature
+// extraction reduce.
+type Observation struct {
+	Rec      model.TripRecord
+	NextCell hexgrid.Cell
+}
+
+// CellSummary is the full per-group statistical summary of Table 3:
+//
+//	Records      count
+//	Ships        distinct count (HyperLogLog)
+//	Course       circular mean* + 30° bins
+//	Heading      circular mean* + 30° bins
+//	Speed        mean, std, p10/p50/p90
+//	Trips        distinct count (HyperLogLog)
+//	ETO          mean, std, percentiles (elapsed time from origin, seconds)
+//	ATA          mean, std, percentiles (actual time to arrival, seconds)
+//	Origin       top-N ports
+//	Destination  top-N ports
+//	Transitions  top-N neighbouring cells
+//
+// Summaries are mergeable in any order; construct with NewCellSummary.
+type CellSummary struct {
+	Records     uint64
+	Ships       *stats.HyperLogLog
+	Course      stats.CircularMean
+	CourseBins  *stats.AngularHistogram
+	Heading     stats.CircularMean
+	HeadingBins *stats.AngularHistogram
+	Speed       stats.Welford
+	SpeedDig    *stats.TDigest
+	Trips       *stats.HyperLogLog
+	ETO         stats.Welford
+	ETODig      *stats.TDigest
+	ATA         stats.Welford
+	ATADig      *stats.TDigest
+	Origins     *stats.TopN
+	Dests       *stats.TopN
+	Transitions *stats.TopN
+}
+
+// NewCellSummary returns an empty summary.
+func NewCellSummary() *CellSummary {
+	return &CellSummary{
+		Ships:       stats.NewHyperLogLog(stats.HLLPrecision),
+		CourseBins:  stats.NewAngularHistogram(stats.DefaultAngularBins),
+		HeadingBins: stats.NewAngularHistogram(stats.DefaultAngularBins),
+		SpeedDig:    stats.NewTDigest(stats.DefaultCompression),
+		Trips:       stats.NewHyperLogLog(stats.HLLPrecision),
+		ETODig:      stats.NewTDigest(stats.DefaultCompression),
+		ATADig:      stats.NewTDigest(stats.DefaultCompression),
+		Origins:     stats.NewTopN(TopNCapacity),
+		Dests:       stats.NewTopN(TopNCapacity),
+		Transitions: stats.NewTopN(TopNCapacity),
+	}
+}
+
+// Add folds one observation into the summary.
+func (s *CellSummary) Add(o Observation) {
+	r := o.Rec
+	s.Records++
+	s.Ships.AddUint64(uint64(r.MMSI))
+	if !math.IsNaN(r.COG) {
+		s.Course.Add(r.COG)
+		s.CourseBins.Add(r.COG)
+	}
+	if !math.IsNaN(r.Heading) {
+		s.Heading.Add(r.Heading)
+		s.HeadingBins.Add(r.Heading)
+	}
+	if !math.IsNaN(r.SOG) {
+		s.Speed.Add(r.SOG)
+		s.SpeedDig.Add(r.SOG)
+	}
+	s.Trips.AddUint64(r.TripID)
+	s.ETO.Add(r.ETO())
+	s.ETODig.Add(r.ETO())
+	s.ATA.Add(r.ATA())
+	s.ATADig.Add(r.ATA())
+	s.Origins.Add(uint64(r.Origin))
+	s.Dests.Add(uint64(r.Dest))
+	if o.NextCell != hexgrid.InvalidCell {
+		s.Transitions.Add(uint64(o.NextCell))
+	}
+}
+
+// Merge folds another summary into this one.
+func (s *CellSummary) Merge(o *CellSummary) {
+	if o == nil {
+		return
+	}
+	s.Records += o.Records
+	s.Ships.Merge(o.Ships)
+	s.Course.Merge(&o.Course)
+	s.CourseBins.Merge(o.CourseBins)
+	s.Heading.Merge(&o.Heading)
+	s.HeadingBins.Merge(o.HeadingBins)
+	s.Speed.Merge(&o.Speed)
+	s.SpeedDig.Merge(o.SpeedDig)
+	s.Trips.Merge(o.Trips)
+	s.ETO.Merge(&o.ETO)
+	s.ETODig.Merge(o.ETODig)
+	s.ATA.Merge(&o.ATA)
+	s.ATADig.Merge(o.ATADig)
+	s.Origins.Merge(o.Origins)
+	s.Dests.Merge(o.Dests)
+	s.Transitions.Merge(o.Transitions)
+}
+
+// TopDestination returns the most frequent destination port and its count,
+// or (NoPort, 0) if the summary is empty.
+func (s *CellSummary) TopDestination() (model.PortID, uint64) {
+	top := s.Dests.Top(1)
+	if len(top) == 0 {
+		return model.NoPort, 0
+	}
+	return model.PortID(top[0].Key), top[0].Count
+}
+
+// TopOrigin returns the most frequent origin port and its count.
+func (s *CellSummary) TopOrigin() (model.PortID, uint64) {
+	top := s.Origins.Top(1)
+	if len(top) == 0 {
+		return model.NoPort, 0
+	}
+	return model.PortID(top[0].Key), top[0].Count
+}
+
+// TopTransitions returns up to n most frequent next cells with counts.
+func (s *CellSummary) TopTransitions(n int) []stats.TopEntry {
+	return s.Transitions.Top(n)
+}
+
+// SpeedPercentiles returns the paper's 10th/50th/90th speed percentiles.
+func (s *CellSummary) SpeedPercentiles() (p10, p50, p90 float64) {
+	return s.SpeedDig.Quantile(0.10), s.SpeedDig.Quantile(0.50), s.SpeedDig.Quantile(0.90)
+}
+
+// AppendBinary appends the summary's binary encoding to buf.
+func (s *CellSummary) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, s.Records)
+	buf = s.Ships.AppendBinary(buf)
+	buf = s.Course.AppendBinary(buf)
+	buf = s.CourseBins.AppendBinary(buf)
+	buf = s.Heading.AppendBinary(buf)
+	buf = s.HeadingBins.AppendBinary(buf)
+	buf = s.Speed.AppendBinary(buf)
+	buf = s.SpeedDig.AppendBinary(buf)
+	buf = s.Trips.AppendBinary(buf)
+	buf = s.ETO.AppendBinary(buf)
+	buf = s.ETODig.AppendBinary(buf)
+	buf = s.ATA.AppendBinary(buf)
+	buf = s.ATADig.AppendBinary(buf)
+	buf = s.Origins.AppendBinary(buf)
+	buf = s.Dests.AppendBinary(buf)
+	buf = s.Transitions.AppendBinary(buf)
+	return buf
+}
+
+// DecodeCellSummary decodes a summary from the front of data and returns
+// the remaining bytes.
+func DecodeCellSummary(data []byte) (*CellSummary, []byte, error) {
+	s := &CellSummary{}
+	if len(data) < 8 {
+		return nil, nil, fmt.Errorf("inventory: %w", stats.ErrCorrupt)
+	}
+	s.Records = binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	var err error
+	fail := func(what string) (*CellSummary, []byte, error) {
+		return nil, nil, fmt.Errorf("inventory: decode %s: %w", what, err)
+	}
+	if s.Ships, data, err = stats.DecodeHyperLogLog(data); err != nil {
+		return fail("ships")
+	}
+	if s.Course, data, err = stats.DecodeCircularMean(data); err != nil {
+		return fail("course")
+	}
+	if s.CourseBins, data, err = stats.DecodeAngularHistogram(data); err != nil {
+		return fail("course bins")
+	}
+	if s.Heading, data, err = stats.DecodeCircularMean(data); err != nil {
+		return fail("heading")
+	}
+	if s.HeadingBins, data, err = stats.DecodeAngularHistogram(data); err != nil {
+		return fail("heading bins")
+	}
+	if s.Speed, data, err = stats.DecodeWelford(data); err != nil {
+		return fail("speed")
+	}
+	if s.SpeedDig, data, err = stats.DecodeTDigest(data); err != nil {
+		return fail("speed digest")
+	}
+	if s.Trips, data, err = stats.DecodeHyperLogLog(data); err != nil {
+		return fail("trips")
+	}
+	if s.ETO, data, err = stats.DecodeWelford(data); err != nil {
+		return fail("eto")
+	}
+	if s.ETODig, data, err = stats.DecodeTDigest(data); err != nil {
+		return fail("eto digest")
+	}
+	if s.ATA, data, err = stats.DecodeWelford(data); err != nil {
+		return fail("ata")
+	}
+	if s.ATADig, data, err = stats.DecodeTDigest(data); err != nil {
+		return fail("ata digest")
+	}
+	if s.Origins, data, err = stats.DecodeTopN(data); err != nil {
+		return fail("origins")
+	}
+	if s.Dests, data, err = stats.DecodeTopN(data); err != nil {
+		return fail("destinations")
+	}
+	if s.Transitions, data, err = stats.DecodeTopN(data); err != nil {
+		return fail("transitions")
+	}
+	return s, data, nil
+}

@@ -1,0 +1,68 @@
+package predict
+
+import (
+	"sort"
+
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+)
+
+// CellPrediction is one candidate next cell with its historical share of
+// outgoing transitions.
+type CellPrediction struct {
+	Cell  hexgrid.Cell
+	Share float64 // fraction of recorded transitions out of the cell
+}
+
+// NextCells predicts where a vessel in the given cell moves next, from the
+// inventory's recorded cell transitions (Table 3's "transitions" feature,
+// the same data Figure 2.f organizes into a graph). The most specific
+// grouping set with data answers: the OD key when origin/destination are
+// known, then (cell, vessel-type), then all traffic. Results are sorted by
+// descending share; ok is false when the cell has no recorded transitions
+// under any applicable grouping set.
+func NextCells(inv *inventory.Inventory, cell hexgrid.Cell, vt model.VesselType, origin, dest model.PortID) ([]CellPrediction, bool) {
+	var s *inventory.CellSummary
+	var found bool
+	if origin != model.NoPort && dest != model.NoPort {
+		if cand, ok := inv.ODSummary(cell, origin, dest, vt); ok && cand.Transitions.Len() > 0 {
+			s, found = cand, true
+		}
+	}
+	if !found && vt != model.VesselUnknown {
+		if cand, ok := inv.TypeSummary(cell, vt); ok && cand.Transitions.Len() > 0 {
+			s, found = cand, true
+		}
+	}
+	if !found {
+		if cand, ok := inv.Cell(cell); ok && cand.Transitions.Len() > 0 {
+			s, found = cand, true
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	entries := s.TopTransitions(inventory.TopNCapacity)
+	var total float64
+	for _, e := range entries {
+		total += float64(e.Count)
+	}
+	if total == 0 {
+		return nil, false
+	}
+	out := make([]CellPrediction, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, CellPrediction{
+			Cell:  hexgrid.Cell(e.Key),
+			Share: float64(e.Count) / total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out, true
+}

@@ -1,0 +1,231 @@
+package predict
+
+import (
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/sim"
+	"github.com/patternsoflife/pol/internal/testutil"
+)
+
+var fixture *testutil.Fixture
+
+func getFixture(t *testing.T) *testutil.Fixture {
+	t.Helper()
+	if fixture == nil {
+		fixture = testutil.Build(t, sim.Config{Vessels: 25, Days: 30, Seed: 77}, 6)
+	}
+	return fixture
+}
+
+func TestPredictorRecoversTrueDestination(t *testing.T) {
+	// Replay each completed voyage with the destination hidden: after
+	// observing most of the trip, the true destination must rank in the
+	// top-3 for a clear majority of voyages. (The inventory contains the
+	// voyage's own history, so this checks the voting machinery and the
+	// discriminative power of the per-cell destination statistics.)
+	f := getFixture(t)
+	voys := f.CompletedVoyages()
+	if len(voys) < 10 {
+		t.Fatalf("only %d completed voyages", len(voys))
+	}
+	top1, top3, evaluated := 0, 0, 0
+	for _, v := range voys {
+		track := f.TrackDuring(v)
+		if len(track) < 20 {
+			continue
+		}
+		p := New(f.Inventory, v.VType)
+		for _, r := range track[:len(track)*9/10] {
+			p.Observe(r.Pos)
+		}
+		evaluated++
+		for rank, pred := range p.Top(3) {
+			if pred.Port == v.Route.Dest {
+				top3++
+				if rank == 0 {
+					top1++
+				}
+				break
+			}
+		}
+	}
+	if evaluated < 10 {
+		t.Fatalf("only %d voyages evaluated", evaluated)
+	}
+	if frac := float64(top3) / float64(evaluated); frac < 0.6 {
+		t.Errorf("top-3 accuracy %.0f%% (%d/%d), want >= 60%%", frac*100, top3, evaluated)
+	}
+	if top1 == 0 {
+		t.Error("top-1 accuracy must be nonzero")
+	}
+	t.Logf("destination prediction: top-1 %d/%d, top-3 %d/%d", top1, evaluated, top3, evaluated)
+}
+
+func TestAccuracyRisesWithObservedFraction(t *testing.T) {
+	f := getFixture(t)
+	voys := f.CompletedVoyages()
+	hit := func(frac float64) (int, int) {
+		hits, n := 0, 0
+		for _, v := range voys {
+			track := f.TrackDuring(v)
+			if len(track) < 20 {
+				continue
+			}
+			p := New(f.Inventory, v.VType)
+			for _, r := range track[:int(float64(len(track))*frac)] {
+				p.Observe(r.Pos)
+			}
+			n++
+			for _, pred := range p.Top(3) {
+				if pred.Port == v.Route.Dest {
+					hits++
+					break
+				}
+			}
+		}
+		return hits, n
+	}
+	early, n1 := hit(0.2)
+	late, n2 := hit(0.9)
+	if n1 == 0 || n2 == 0 {
+		t.Fatal("no voyages evaluated")
+	}
+	if late < early {
+		t.Errorf("top-3 hits must not fall as more trip is observed: %d/%d early vs %d/%d late",
+			early, n1, late, n2)
+	}
+	t.Logf("top-3 hits at 20%% observed: %d/%d; at 90%%: %d/%d", early, n1, late, n2)
+}
+
+func TestPredictorLifecycle(t *testing.T) {
+	f := getFixture(t)
+	p := New(f.Inventory, model.VesselContainer)
+	if _, ok := p.Best(); ok {
+		t.Error("no observations yet: Best must report !ok")
+	}
+	if p.Observations() != 0 {
+		t.Error("fresh predictor has observations")
+	}
+	// Observing open ocean contributes nothing but counts.
+	p.Observe(geo.LatLng{Lat: -55, Lng: -140})
+	if p.Observations() != 1 {
+		t.Error("observation count must advance")
+	}
+	if _, ok := p.Best(); ok {
+		t.Error("open-ocean observation must not produce a prediction")
+	}
+	// Observing a lane cell produces candidates.
+	voys := f.CompletedVoyages()
+	track := f.TrackDuring(voys[0])
+	for _, r := range track[:10] {
+		p.Observe(r.Pos)
+	}
+	if _, ok := p.Best(); !ok {
+		t.Error("lane observations must produce a prediction")
+	}
+	if len(p.Top(1000)) > inventory.TopNCapacity*10 {
+		t.Error("candidate set implausibly large")
+	}
+	p.Reset()
+	if p.Observations() != 0 {
+		t.Error("reset must clear observations")
+	}
+	if _, ok := p.Best(); ok {
+		t.Error("reset must clear votes")
+	}
+}
+
+func TestTopDeterministicOrder(t *testing.T) {
+	f := getFixture(t)
+	p := New(f.Inventory, model.VesselContainer)
+	voys := f.CompletedVoyages()
+	for _, r := range f.TrackDuring(voys[0])[:20] {
+		p.Observe(r.Pos)
+	}
+	a := p.Top(5)
+	b := p.Top(5)
+	if len(a) != len(b) {
+		t.Fatal("unstable top size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("top order not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Score > a[i-1].Score {
+			t.Fatal("top not sorted by score")
+		}
+	}
+}
+
+func TestNextCellsFollowsTraffic(t *testing.T) {
+	f := getFixture(t)
+	inv := f.Inventory
+	// Walk a voyage: at each en-route cell, the actual next cell should
+	// rank among the predicted next cells most of the time.
+	voys := f.CompletedVoyages()
+	var hits, total int
+	for _, v := range voys[:min(8, len(voys))] {
+		track := f.TrackDuring(v)
+		var cells []hexgrid.Cell
+		for _, r := range track {
+			c := hexgrid.LatLngToCell(r.Pos, 6)
+			if len(cells) == 0 || cells[len(cells)-1] != c {
+				cells = append(cells, c)
+			}
+		}
+		for i := 0; i+1 < len(cells); i++ {
+			preds, ok := NextCells(inv, cells[i], v.VType, v.Route.Origin, v.Route.Dest)
+			if !ok {
+				continue
+			}
+			total++
+			for _, p := range preds {
+				if p.Cell == cells[i+1] {
+					hits++
+					break
+				}
+			}
+		}
+	}
+	if total < 50 {
+		t.Fatalf("only %d predictions evaluated", total)
+	}
+	if frac := float64(hits) / float64(total); frac < 0.7 {
+		t.Errorf("next-cell hit rate %.0f%%, want >= 70%%", frac*100)
+	}
+}
+
+func TestNextCellsProperties(t *testing.T) {
+	f := getFixture(t)
+	v := f.CompletedVoyages()[0]
+	track := f.TrackDuring(v)
+	cell := hexgrid.LatLngToCell(track[len(track)/2].Pos, 6)
+	preds, ok := NextCells(f.Inventory, cell, v.VType, v.Route.Origin, v.Route.Dest)
+	if !ok {
+		t.Fatal("mid-voyage cell must have transitions")
+	}
+	var sum float64
+	for i, p := range preds {
+		if !p.Cell.Valid() {
+			t.Error("invalid predicted cell")
+		}
+		sum += p.Share
+		if i > 0 && p.Share > preds[i-1].Share {
+			t.Error("predictions must sort by descending share")
+		}
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("shares must sum to 1, got %v", sum)
+	}
+	// A cell with no traffic has no prediction.
+	empty := hexgrid.LatLngToCell(geo.LatLng{Lat: -60, Lng: -150}, 6)
+	if _, ok := NextCells(f.Inventory, empty, v.VType, 0, 0); ok {
+		t.Error("empty cell must not predict")
+	}
+}

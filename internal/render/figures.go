@@ -1,0 +1,130 @@
+package render
+
+import (
+	"image"
+	"image/color"
+	"math"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+)
+
+// renderAuto picks the pixel-sampled Map for regional zooms and the
+// dot-per-cell DotMap for world-scale views where cells are subpixel.
+func renderAuto(inv *inventory.Inventory, box geo.BBox, width int, value CellValue, ramp Ramp) *image.RGBA {
+	res := inv.Info().Resolution
+	if useDots(box, width, res) {
+		return DotMap(box, width, inv.Cells(inventory.GSCell), value, ramp)
+	}
+	return Map(box, width, res, value, ramp)
+}
+
+// SpeedMap renders the paper's Figure-1-left / Figure-4-middle view: the
+// average speed per cell, blue = slow, red = fast, normalized to
+// [0, maxKnots] (24 knots covers the commercial fleet).
+func SpeedMap(inv *inventory.Inventory, box geo.BBox, width int, maxKnots float64) *image.RGBA {
+	if maxKnots <= 0 {
+		maxKnots = 24
+	}
+	return renderAuto(inv, box, width, func(c hexgrid.Cell) (float64, bool) {
+		s, ok := inv.Cell(c)
+		if !ok || s.Speed.Weight() == 0 {
+			return 0, false
+		}
+		return s.Speed.Mean() / maxKnots, true
+	}, SequentialRamp)
+}
+
+// CourseMap renders the Figure-1-right / Figure-4-bottom view: the circular
+// mean course per cell on the angular colour wheel (green north, blue east,
+// red south, yellow west).
+func CourseMap(inv *inventory.Inventory, box geo.BBox, width int) *image.RGBA {
+	return renderAuto(inv, box, width, func(c hexgrid.Cell) (float64, bool) {
+		s, ok := inv.Cell(c)
+		if !ok {
+			return 0, false
+		}
+		mean := s.Course.Mean()
+		if math.IsNaN(mean) {
+			return 0, false
+		}
+		return mean, true
+	}, AngularRamp)
+}
+
+// TripFrequencyMap renders the Figure-4-top view: distinct trips per cell
+// on a log-compressed heat ramp.
+func TripFrequencyMap(inv *inventory.Inventory, box geo.BBox, width int) *image.RGBA {
+	// Normalize by the busiest cell in the box.
+	var maxTrips float64 = 1
+	for _, c := range inv.Cells(inventory.GSCell) {
+		if !box.Contains(c.LatLng()) {
+			continue
+		}
+		if s, ok := inv.Cell(c); ok {
+			if v := float64(s.Trips.Estimate()); v > maxTrips {
+				maxTrips = v
+			}
+		}
+	}
+	logMax := math.Log1p(maxTrips)
+	return renderAuto(inv, box, width, func(c hexgrid.Cell) (float64, bool) {
+		s, ok := inv.Cell(c)
+		if !ok {
+			return 0, false
+		}
+		return math.Log1p(float64(s.Trips.Estimate())) / logMax, true
+	}, HeatRamp)
+}
+
+// ATAMap renders the paper's Figure 5: average actual time to destination
+// per cell, normalized by the maximum observed mean (heat ramp: bright =
+// long remaining time).
+func ATAMap(inv *inventory.Inventory, box geo.BBox, width int) *image.RGBA {
+	var maxATA float64 = 1
+	for _, c := range inv.Cells(inventory.GSCell) {
+		if s, ok := inv.Cell(c); ok && s.ATA.Weight() > 0 {
+			if v := s.ATA.Mean(); v > maxATA {
+				maxATA = v
+			}
+		}
+	}
+	return renderAuto(inv, box, width, func(c hexgrid.Cell) (float64, bool) {
+		s, ok := inv.Cell(c)
+		if !ok || s.ATA.Weight() == 0 {
+			return 0, false
+		}
+		return s.ATA.Mean() / maxATA, true
+	}, HeatRamp)
+}
+
+// DestinationMap renders the paper's Figure 6: cells whose most frequent
+// destination is one of the highlighted ports, each in its categorical
+// colour; all other cells stay at the background.
+func DestinationMap(inv *inventory.Inventory, box geo.BBox, width int, highlight []model.PortID) *image.RGBA {
+	classOf := make(map[model.PortID]int, len(highlight))
+	for i, p := range highlight {
+		classOf[p] = i
+	}
+	categorical := func(v float64) color.RGBA {
+		i := int(v + 0.5)
+		if i < 0 {
+			i = 0
+		}
+		return CategoricalPalette[i%len(CategoricalPalette)]
+	}
+	return renderAuto(inv, box, width, func(c hexgrid.Cell) (float64, bool) {
+		s, ok := inv.Cell(c)
+		if !ok {
+			return 0, false
+		}
+		top, _ := s.TopDestination()
+		cls, ok := classOf[top]
+		if !ok {
+			return 0, false
+		}
+		return float64(cls), true
+	}, categorical)
+}

@@ -1,0 +1,253 @@
+// Package render draws inventory features as raster maps — the paper's
+// Figures 1 and 4 (average speed and course), Figure 5 (average time to
+// destination) and Figure 6 (most frequent destination), using only the
+// standard library image stack.
+//
+// Rendering is pixel-exact with respect to the grid: every pixel maps
+// through the equirectangular projection to a coordinate, to its hexgrid
+// cell, and takes that cell's colour, so hexagon boundaries emerge
+// naturally without polygon rasterization.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"os"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+)
+
+// Background is the colour of cells with no data (deep sea blue-grey).
+var Background = color.RGBA{R: 18, G: 24, B: 38, A: 255}
+
+// WorldBox is the whole-world bounding box used by the global figures.
+var WorldBox = geo.BBox{MinLat: -75, MinLng: -180, MaxLat: 80, MaxLng: 180}
+
+// BalticBox is the Figure-4 regional bounding box.
+var BalticBox = geo.BBox{MinLat: 53, MinLng: 9, MaxLat: 66, MaxLng: 31}
+
+// CellValue returns a cell's scalar value; ok=false leaves the pixel at the
+// background colour.
+type CellValue func(hexgrid.Cell) (float64, bool)
+
+// Ramp maps a value to a colour. Values are pre-normalized to [0, 1] for
+// scalar ramps; angular ramps receive degrees.
+type Ramp func(v float64) color.RGBA
+
+// Map renders the value function over the box at the given grid resolution.
+// width is the image width in pixels; height follows the box aspect ratio.
+func Map(box geo.BBox, width int, res int, value CellValue, ramp Ramp) *image.RGBA {
+	if width < 16 {
+		width = 16
+	}
+	height := int(float64(width) * (box.MaxLat - box.MinLat) / (box.MaxLng - box.MinLng))
+	if height < 8 {
+		height = 8
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	// Cache per-cell colours: adjacent pixels usually share a cell.
+	cache := make(map[hexgrid.Cell]color.RGBA)
+	for y := 0; y < height; y++ {
+		lat := box.MaxLat - (float64(y)+0.5)/float64(height)*(box.MaxLat-box.MinLat)
+		for x := 0; x < width; x++ {
+			lng := box.MinLng + (float64(x)+0.5)/float64(width)*(box.MaxLng-box.MinLng)
+			cell := hexgrid.LatLngToCell(geo.LatLng{Lat: lat, Lng: lng}, res)
+			c, ok := cache[cell]
+			if !ok {
+				if v, has := value(cell); has {
+					c = ramp(v)
+				} else {
+					c = Background
+				}
+				cache[cell] = c
+			}
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+// DotMap renders one filled dot per populated cell — the right projection
+// when cells are smaller than pixels (global maps of res-6 cells), where
+// per-pixel sampling would alias thin lanes into dotted lines. Dots are
+// sized to cover at least the cell footprint, minimum one pixel.
+func DotMap(box geo.BBox, width int, cells []hexgrid.Cell, value CellValue, ramp Ramp) *image.RGBA {
+	if width < 16 {
+		width = 16
+	}
+	height := int(float64(width) * (box.MaxLat - box.MinLat) / (box.MaxLng - box.MinLng))
+	if height < 8 {
+		height = 8
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			img.SetRGBA(x, y, Background)
+		}
+	}
+	degPerPixel := (box.MaxLng - box.MinLng) / float64(width)
+	for _, cell := range cells {
+		v, ok := value(cell)
+		if !ok {
+			continue
+		}
+		c := ramp(v)
+		p := cell.LatLng()
+		if !box.Contains(p) {
+			continue
+		}
+		// Cell diameter in pixels (approximate, using the cell edge as
+		// degrees at the equator scale).
+		cellDeg := 2 * hexgrid.EdgeLengthKm(cell.Resolution()) / 111.0
+		r := int(cellDeg / degPerPixel / 2)
+		if r < 1 {
+			r = 1
+		}
+		cx := int((p.Lng - box.MinLng) / (box.MaxLng - box.MinLng) * float64(width))
+		cy := int((box.MaxLat - p.Lat) / (box.MaxLat - box.MinLat) * float64(height))
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if dx*dx+dy*dy > r*r+r {
+					continue
+				}
+				x, y := cx+dx, cy+dy
+				if x >= 0 && x < width && y >= 0 && y < height {
+					img.SetRGBA(x, y, c)
+				}
+			}
+		}
+	}
+	return img
+}
+
+// useDots reports whether cells at the resolution are smaller than the
+// pixels of a rendering, in which case DotMap avoids aliasing.
+func useDots(box geo.BBox, width, res int) bool {
+	degPerPixel := (box.MaxLng - box.MinLng) / float64(width)
+	cellDeg := 2 * hexgrid.EdgeLengthKm(res) / 111.0
+	return cellDeg < degPerPixel*1.5
+}
+
+// WritePNG writes the image to path.
+func WritePNG(img image.Image, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("render: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		return fmt.Errorf("render: encode %s: %w", path, err)
+	}
+	return f.Sync()
+}
+
+// SequentialRamp maps [0,1] from cool blue through white to hot red — the
+// paper's Figure-1 speed colouring ("blue is low speed and red is high").
+func SequentialRamp(v float64) color.RGBA {
+	v = clamp01(v)
+	stops := []color.RGBA{
+		{R: 28, G: 60, B: 180, A: 255},
+		{R: 90, G: 160, B: 230, A: 255},
+		{R: 245, G: 245, B: 235, A: 255},
+		{R: 250, G: 150, B: 70, A: 255},
+		{R: 210, G: 30, B: 30, A: 255},
+	}
+	return lerpStops(stops, v)
+}
+
+// HeatRamp maps [0,1] through a dark-to-bright "inferno-like" sequence,
+// used for trip-frequency and ATA maps.
+func HeatRamp(v float64) color.RGBA {
+	v = clamp01(v)
+	stops := []color.RGBA{
+		{R: 15, G: 10, B: 60, A: 255},
+		{R: 110, G: 20, B: 110, A: 255},
+		{R: 210, G: 60, B: 75, A: 255},
+		{R: 250, G: 160, B: 50, A: 255},
+		{R: 252, G: 250, B: 160, A: 255},
+	}
+	return lerpStops(stops, v)
+}
+
+// AngularRamp maps an angle in degrees to a hue wheel matching the paper's
+// Figure-1 course colouring: green at north, blue at east, red at south,
+// yellow at west.
+func AngularRamp(deg float64) color.RGBA {
+	a := math.Mod(deg, 360)
+	if a < 0 {
+		a += 360
+	}
+	// Anchor hues (HSV degrees): N=120 (green), E=240 (blue), S=0 (red),
+	// W=60 (yellow), wrapping back to green.
+	anchors := []float64{120, 240, 360, 420, 480} // monotone hue track
+	seg := a / 90
+	i := int(seg)
+	if i >= 4 {
+		i = 3
+	}
+	f := seg - float64(i)
+	hue := anchors[i]*(1-f) + anchors[i+1]*f
+	r, g, b := hsv(math.Mod(hue, 360), 0.85, 0.95)
+	return color.RGBA{R: r, G: g, B: b, A: 255}
+}
+
+// CategoricalPalette returns visually distinct colours for class maps
+// (Figure 6 uses dark orange / purple / green).
+var CategoricalPalette = []color.RGBA{
+	{R: 230, G: 120, B: 20, A: 255}, // dark orange (Singapore)
+	{R: 140, G: 60, B: 180, A: 255}, // purple (Shanghai)
+	{R: 60, G: 170, B: 80, A: 255},  // green (Rotterdam)
+	{R: 230, G: 70, B: 120, A: 255},
+	{R: 70, G: 150, B: 220, A: 255},
+	{R: 200, G: 200, B: 60, A: 255},
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func lerpStops(stops []color.RGBA, v float64) color.RGBA {
+	pos := v * float64(len(stops)-1)
+	i := int(pos)
+	if i >= len(stops)-1 {
+		return stops[len(stops)-1]
+	}
+	f := pos - float64(i)
+	a, b := stops[i], stops[i+1]
+	lerp := func(x, y uint8) uint8 { return uint8(float64(x)*(1-f) + float64(y)*f) }
+	return color.RGBA{R: lerp(a.R, b.R), G: lerp(a.G, b.G), B: lerp(a.B, b.B), A: 255}
+}
+
+// hsv converts HSV (h in degrees, s/v in [0,1]) to 8-bit RGB.
+func hsv(h, s, v float64) (uint8, uint8, uint8) {
+	c := v * s
+	x := c * (1 - math.Abs(math.Mod(h/60, 2)-1))
+	m := v - c
+	var r, g, b float64
+	switch {
+	case h < 60:
+		r, g, b = c, x, 0
+	case h < 120:
+		r, g, b = x, c, 0
+	case h < 180:
+		r, g, b = 0, c, x
+	case h < 240:
+		r, g, b = 0, x, c
+	case h < 300:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	to8 := func(f float64) uint8 { return uint8(math.Round((f + m) * 255)) }
+	return to8(r), to8(g), to8(b)
+}

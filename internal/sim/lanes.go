@@ -1,0 +1,598 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/ports"
+)
+
+// Canal identifies a man-made chokepoint whose edges can be closed by a
+// disruption scenario (the paper's Suez motivation).
+type Canal uint8
+
+// Canals.
+const (
+	NoCanal Canal = iota
+	SuezCanal
+	PanamaCanal
+)
+
+// waypoint is a named node of the global shipping-lane graph.
+type waypoint struct {
+	name string
+	pos  geo.LatLng
+}
+
+// laneEdge connects two nodes of the routing graph.
+type laneEdge struct {
+	to    int
+	distM float64
+	canal Canal
+}
+
+// LaneGraph is the global maritime routing graph: hand-built sea waypoints
+// chained along the world's main shipping lanes, with every gazetteer port
+// attached to its nearby waypoints. Routes between ports are geodesic
+// shortest paths over this graph — the synthetic stand-in for the "vaguely
+// defined" sea lanes the paper describes.
+type LaneGraph struct {
+	gaz       *ports.Gazetteer
+	waypoints []waypoint
+	// nodes: 0..len(waypoints)-1 are waypoints; waypoint count + (portID-1)
+	// are ports.
+	adj [][]laneEdge
+}
+
+// waypointTable returns the hand-built waypoint list. Positions are
+// mid-channel / open-sea coordinates along real shipping lanes.
+func waypointTable() []waypoint {
+	w := func(name string, lat, lng float64) waypoint {
+		return waypoint{name: name, pos: geo.LatLng{Lat: lat, Lng: lng}}
+	}
+	return []waypoint{
+		// North Sea and Baltic
+		w("dover", 51.05, 1.45),
+		w("northsea-s", 52.00, 3.20),
+		w("northsea-mid", 54.50, 5.50),
+		w("skagen", 57.80, 10.70),
+		w("kattegat", 56.70, 11.90),
+		w("oresund", 55.60, 12.75),
+		w("bornholm", 55.20, 15.20),
+		w("baltic-mid", 55.80, 18.20),
+		w("gotland-e", 57.50, 20.20),
+		w("gulf-finland", 59.65, 24.50),
+		w("gdansk-bay", 54.80, 19.00),
+		w("norway-s", 58.50, 7.00),
+		// English Channel and Biscay
+		w("channel-mid", 50.15, -1.20),
+		w("ushant", 48.70, -5.60),
+		w("biscay", 45.50, -6.50),
+		w("finisterre", 43.20, -9.80),
+		w("lisbon-coast", 38.60, -9.80),
+		w("st-vincent", 36.80, -9.40),
+		// Mediterranean
+		w("gibraltar", 35.95, -5.70),
+		w("alboran", 36.30, -2.00),
+		w("algiers-coast", 37.40, 4.00),
+		w("sardinia-s", 38.10, 8.40),
+		w("lion-gulf", 42.40, 4.80),
+		w("ligurian", 43.70, 8.50),
+		w("sicily-strait", 37.20, 11.40),
+		w("malta-e", 35.80, 15.20),
+		w("ionian", 36.80, 19.00),
+		w("crete-s", 34.40, 24.50),
+		w("aegean-s", 36.60, 24.80),
+		w("dardanelles", 40.10, 26.00),
+		w("marmara", 40.85, 28.30),
+		w("bosporus", 41.20, 29.15),
+		w("blacksea-mid", 43.60, 31.50),
+		// Suez and Red Sea
+		w("portsaid-app", 31.60, 32.30),
+		w("gulf-suez", 28.80, 33.10),
+		w("redsea-n", 27.20, 34.80),
+		w("redsea-mid", 20.50, 38.60),
+		w("bab-el-mandeb", 12.60, 43.40),
+		w("gulf-aden", 12.80, 47.50),
+		w("socotra", 12.80, 54.50),
+		// Arabian Sea and Persian Gulf
+		w("arabian-sea", 16.50, 61.00),
+		w("hormuz-app", 25.20, 57.50),
+		w("hormuz", 26.40, 56.60),
+		w("persian-gulf", 27.20, 51.60),
+		w("india-w", 17.00, 71.50),
+		// Indian subcontinent and Bay of Bengal
+		w("cape-comorin", 7.00, 77.40),
+		w("dondra", 5.50, 80.70),
+		w("bengal-mid", 13.00, 86.00),
+		w("bengal-n", 20.00, 89.00),
+		// Malacca and Southeast Asia
+		w("malacca-n", 5.80, 97.20),
+		w("malacca-mid", 3.60, 99.80),
+		w("singapore-strait", 1.15, 103.70),
+		w("scs-s", 3.50, 106.50),
+		w("scs-mid", 10.50, 111.50),
+		w("scs-n", 17.50, 114.50),
+		w("hk-app", 21.80, 114.30),
+		w("taiwan-strait", 24.40, 119.20),
+		w("luzon-strait", 21.00, 120.90),
+		// East Asia
+		w("east-china", 28.80, 123.50),
+		w("yellow-sea", 35.50, 123.00),
+		w("bohai", 38.30, 119.80),
+		w("korea-strait", 34.00, 128.80),
+		w("japan-s", 33.50, 136.50),
+		w("tokyo-app", 34.60, 139.70),
+		// North Pacific great-circle lane
+		w("npac-w", 40.50, 155.00),
+		w("npac-mid", 46.00, 180.00),
+		w("npac-e", 49.00, -150.00),
+		w("juan-de-fuca", 48.40, -125.50),
+		w("calif-coast", 38.50, -125.00),
+		w("la-app", 33.50, -119.50),
+		w("baja-s", 22.50, -110.50),
+		w("c-america-w", 12.00, -92.00),
+		w("panama-w", 7.20, -79.70),
+		// Panama, Caribbean, Gulf of Mexico
+		w("colon-app", 9.60, -79.90),
+		w("caribbean-w", 13.50, -78.50),
+		w("caribbean-mid", 15.50, -72.00),
+		w("yucatan", 21.80, -85.50),
+		w("gulf-mex", 25.50, -90.00),
+		w("florida-strait", 24.20, -81.50),
+		w("bahamas-e", 26.80, -76.00),
+		// US East Coast and North Atlantic
+		w("hatteras", 35.20, -74.50),
+		w("ny-app", 40.30, -73.00),
+		w("natl-w", 41.50, -60.00),
+		w("natl-mid", 45.00, -40.00),
+		w("natl-e", 48.50, -15.00),
+		w("azores", 38.50, -28.00),
+		// Atlantic south
+		w("canaries", 28.50, -15.50),
+		w("cape-verde", 16.50, -25.00),
+		w("equator-atl", 0.50, -29.50),
+		w("recife", -8.50, -34.00),
+		w("cabo-frio", -23.50, -41.50),
+		w("rio-plata", -35.50, -53.50),
+		// West and South Africa
+		w("guinea-gulf", 3.00, 2.00),
+		w("angola-coast", -12.00, 11.00),
+		w("sw-africa", -28.00, 14.50),
+		w("cape-agulhas", -35.50, 20.00),
+		w("mozambique-s", -27.50, 34.00),
+		w("mozambique-channel", -18.00, 41.50),
+		w("tanzania-coast", -7.50, 40.50),
+		w("madagascar-s", -27.00, 47.00),
+		// Indian Ocean crossing and Australasia
+		w("indian-mid", -12.00, 72.00),
+		w("sunda-strait", -6.50, 104.80),
+		w("lombok", -9.20, 115.80),
+		w("nw-australia", -17.50, 117.50),
+		w("sw-australia", -35.50, 114.00),
+		w("bight", -37.50, 131.00),
+		w("bass-strait", -39.80, 146.50),
+		w("tasman-se", -36.50, 152.50),
+		w("sydney-app", -34.10, 151.60),
+		w("coral-s", -27.50, 154.50),
+		w("nz-n", -35.50, 173.50),
+		// South America Pacific
+		w("ecuador-coast", -3.00, -81.80),
+		w("peru-coast", -14.50, -76.80),
+		w("chile-coast", -32.50, -72.20),
+	}
+}
+
+// laneChains lists the lane edges as chains of waypoint names; each
+// consecutive pair becomes a bidirectional edge.
+func laneChains() [][]string {
+	return [][]string{
+		// North Sea / Baltic
+		{"dover", "northsea-s", "northsea-mid", "skagen", "kattegat", "oresund", "bornholm", "baltic-mid", "gotland-e", "gulf-finland"},
+		{"bornholm", "gdansk-bay"},
+		{"skagen", "norway-s"},
+		// Channel / Biscay / Iberia
+		{"dover", "channel-mid", "ushant", "biscay", "finisterre", "lisbon-coast", "st-vincent", "gibraltar"},
+		// Mediterranean spine and branches
+		{"gibraltar", "alboran", "algiers-coast", "sardinia-s", "sicily-strait", "malta-e", "crete-s", "portsaid-app"},
+		{"sardinia-s", "lion-gulf", "ligurian"},
+		{"malta-e", "ionian", "aegean-s", "dardanelles", "marmara", "bosporus", "blacksea-mid"},
+		// Red Sea / Gulf of Aden
+		{"gulf-suez", "redsea-n", "redsea-mid", "bab-el-mandeb", "gulf-aden", "socotra"},
+		{"socotra", "arabian-sea"},
+		{"arabian-sea", "hormuz-app", "hormuz", "persian-gulf"},
+		{"arabian-sea", "india-w"},
+		{"india-w", "cape-comorin"},
+		{"arabian-sea", "cape-comorin"},
+		// Indian subcontinent / Bay of Bengal
+		{"cape-comorin", "dondra", "bengal-mid", "bengal-n"},
+		// To Malacca
+		{"dondra", "malacca-n", "malacca-mid", "singapore-strait"},
+		// South China Sea / East Asia
+		{"singapore-strait", "scs-s", "scs-mid", "scs-n", "hk-app"},
+		{"scs-n", "taiwan-strait", "east-china", "yellow-sea", "bohai"},
+		{"scs-n", "luzon-strait"},
+		{"east-china", "korea-strait"},
+		{"east-china", "japan-s", "tokyo-app"},
+		// North Pacific
+		{"tokyo-app", "npac-w", "npac-mid", "npac-e", "juan-de-fuca"},
+		{"npac-e", "calif-coast", "la-app"},
+		{"la-app", "baja-s", "c-america-w", "panama-w"},
+		// Panama / Caribbean / Gulf
+		{"panama-w", "colon-app"}, // the canal itself (flagged below)
+		{"colon-app", "caribbean-w", "caribbean-mid"},
+		{"caribbean-w", "yucatan", "gulf-mex"},
+		{"yucatan", "florida-strait", "bahamas-e", "hatteras", "ny-app"},
+		// North Atlantic
+		{"ny-app", "natl-w", "natl-mid", "natl-e", "ushant"},
+		{"natl-e", "biscay"},
+		{"natl-mid", "azores", "st-vincent"},
+		// Atlantic south
+		{"st-vincent", "canaries", "cape-verde", "equator-atl", "recife", "cabo-frio", "rio-plata"},
+		{"equator-atl", "guinea-gulf", "angola-coast", "sw-africa", "cape-agulhas"},
+		{"cape-verde", "guinea-gulf"},
+		// Africa east and Indian Ocean
+		{"cape-agulhas", "mozambique-s", "mozambique-channel", "tanzania-coast"},
+		{"tanzania-coast", "gulf-aden"},
+		{"cape-agulhas", "madagascar-s", "indian-mid"},
+		{"indian-mid", "dondra"},
+		{"indian-mid", "sunda-strait"},
+		{"indian-mid", "nw-australia"},
+		// Australasia
+		{"sunda-strait", "lombok", "nw-australia"},
+		{"sunda-strait", "singapore-strait"},
+		{"nw-australia", "sw-australia", "bight", "bass-strait", "tasman-se", "sydney-app", "coral-s"},
+		{"tasman-se", "nz-n"},
+		{"coral-s", "nz-n"},
+		{"lombok", "coral-s"}, // northern route to the Coral Sea
+		// South America Pacific coast
+		{"panama-w", "ecuador-coast", "peru-coast", "chile-coast"},
+		// Caribbean to South Atlantic
+		{"caribbean-mid", "equator-atl"},
+	}
+}
+
+// canalCrossing reports which canal (if any) an edge between two positions
+// transits. A canal is modelled as an isthmus line inside a bounding
+// region: any edge whose endpoints fall on opposite sides of the line while
+// both lie inside the region must pass through the canal. This catches both
+// the explicit lane edge across the canal and port-attachment edges of
+// ports sitting at the canal mouths (Suez, Port Said, Colón, Balboa), so a
+// blockage cannot be bypassed through a port node.
+func canalCrossing(a, b geo.LatLng) Canal {
+	type isthmus struct {
+		canal  Canal
+		region geo.BBox
+		// side returns which bank a point is on.
+		side func(geo.LatLng) int
+	}
+	isthmuses := []isthmus{
+		{
+			canal:  SuezCanal,
+			region: geo.BBox{MinLat: 26.5, MinLng: 28.0, MaxLat: 33.5, MaxLng: 36.5},
+			side: func(p geo.LatLng) int {
+				if p.Lat > 30.05 { // Mediterranean side
+					return 0
+				}
+				return 1 // Red Sea side
+			},
+		},
+		{
+			canal:  PanamaCanal,
+			region: geo.BBox{MinLat: 6.5, MinLng: -81.5, MaxLat: 11.0, MaxLng: -78.0},
+			side: func(p geo.LatLng) int {
+				if p.Lat > 9.05 { // Caribbean side
+					return 0
+				}
+				return 1 // Pacific side
+			},
+		},
+	}
+	for _, is := range isthmuses {
+		if is.region.Contains(a) && is.region.Contains(b) && is.side(a) != is.side(b) {
+			return is.canal
+		}
+	}
+	return NoCanal
+}
+
+// landBarriers returns polylines traced along land interiors that
+// port-attachment edges must not cross. They keep automatic port attachment
+// from creating overland shortcuts (a port linking to a waypoint in another
+// basin). Hand-authored lane chains are exempt — they are drawn along water
+// by construction — as are the explicit canal transits.
+func landBarriers() [][]geo.LatLng {
+	line := func(pts ...[2]float64) []geo.LatLng {
+		out := make([]geo.LatLng, len(pts))
+		for i, p := range pts {
+			out[i] = geo.LatLng{Lat: p[0], Lng: p[1]}
+		}
+		return out
+	}
+	return [][]geo.LatLng{
+		// Central America north of the Panama canal.
+		line([2]float64{30, -101}, [2]float64{22, -99}, [2]float64{18, -96},
+			[2]float64{15.5, -92.5}, [2]float64{13, -87.5}, [2]float64{11, -85},
+			[2]float64{10.2, -83.5}, [2]float64{9.6, -81.5}),
+		// South America north-west, south of the canal.
+		line([2]float64{8.6, -78.8}, [2]float64{7, -77}, [2]float64{4, -75}),
+		// The Malay peninsula (blocks Bay of Bengal ↔ Gulf of Thailand
+		// shortcuts that bypass the Singapore Strait).
+		line([2]float64{13.5, 99.2}, [2]float64{10, 98.8}, [2]float64{7, 100.2},
+			[2]float64{4.8, 101.6}),
+		// The Peloponnese (Aegean ↔ Ionian separation).
+		line([2]float64{39.5, 21.3}, [2]float64{37.6, 22.2}, [2]float64{36.9, 22.4}),
+		// England and Wales (Irish Sea ports must round Land's End).
+		line([2]float64{55.0, -2.0}, [2]float64{53.0, -3.3}, [2]float64{51.9, -3.6},
+			[2]float64{51.5, -1.0}),
+		// The Korean peninsula spine.
+		line([2]float64{38.3, 126.9}, [2]float64{36.5, 127.5}, [2]float64{35.0, 128.5},
+			[2]float64{34.3, 126.5}),
+		// Central Honshu (Osaka-bay ports round the Kii peninsula).
+		line([2]float64{35.8, 139.0}, [2]float64{34.4, 135.8}),
+	}
+}
+
+// crossesLand reports whether the segment a-b crosses any land barrier.
+func crossesLand(a, b geo.LatLng) bool {
+	for _, barrier := range landBarriers() {
+		for i := 0; i+1 < len(barrier); i++ {
+			if geo.SegmentsIntersect(a, b, barrier[i], barrier[i+1]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NewLaneGraph builds the routing graph over the gazetteer: the waypoint
+// lanes plus port attachment edges (each port links to its nearest
+// waypoints).
+func NewLaneGraph(gaz *ports.Gazetteer) (*LaneGraph, error) {
+	wps := waypointTable()
+	byName := make(map[string]int, len(wps))
+	for i, w := range wps {
+		if _, dup := byName[w.name]; dup {
+			return nil, fmt.Errorf("sim: duplicate waypoint %q", w.name)
+		}
+		byName[w.name] = i
+	}
+	g := &LaneGraph{
+		gaz:       gaz,
+		waypoints: wps,
+		adj:       make([][]laneEdge, len(wps)+gaz.Len()),
+	}
+	addEdge := func(a, b int) {
+		pa, pb := g.nodePos(a), g.nodePos(b)
+		d := geo.Haversine(pa, pb)
+		canal := canalCrossing(pa, pb)
+		g.adj[a] = append(g.adj[a], laneEdge{to: b, distM: d, canal: canal})
+		g.adj[b] = append(g.adj[b], laneEdge{to: a, distM: d, canal: canal})
+	}
+	// The Suez canal lane edge connects portsaid-app to gulf-suez directly;
+	// canal flags are derived geometrically by canalCrossing.
+	for _, chain := range append(laneChains(), []string{"portsaid-app", "gulf-suez"}) {
+		for i := 0; i+1 < len(chain); i++ {
+			a, ok := byName[chain[i]]
+			if !ok {
+				return nil, fmt.Errorf("sim: unknown waypoint %q in chain", chain[i])
+			}
+			b, ok := byName[chain[i+1]]
+			if !ok {
+				return nil, fmt.Errorf("sim: unknown waypoint %q in chain", chain[i+1])
+			}
+			addEdge(a, b)
+		}
+	}
+	// Attach each port to its two nearest waypoints.
+	for _, p := range gaz.All() {
+		type cand struct {
+			idx int
+			d   float64
+		}
+		cands := make([]cand, len(wps))
+		for i, w := range wps {
+			cands[i] = cand{i, geo.Haversine(p.Pos, w.pos)}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+		portNode := len(wps) + int(p.ID) - 1
+		links := 0
+		nearestLinked := -1.0
+		for _, c := range cands {
+			if links >= 2 || (links >= 1 && c.d > 2.5*nearestLinked+500e3) {
+				break
+			}
+			if crossesLand(p.Pos, wps[c.idx].pos) {
+				continue
+			}
+			addEdge(portNode, c.idx)
+			if links == 0 {
+				nearestLinked = c.d
+			}
+			links++
+		}
+		if links == 0 {
+			// Connectivity fallback: link to the nearest waypoint even if
+			// the straight segment grazes a barrier.
+			addEdge(portNode, cands[0].idx)
+		}
+	}
+	return g, nil
+}
+
+// nodePos returns the geographic position of a graph node.
+func (g *LaneGraph) nodePos(node int) geo.LatLng {
+	if node < len(g.waypoints) {
+		return g.waypoints[node].pos
+	}
+	p, _ := g.gaz.ByID(model.PortID(node - len(g.waypoints) + 1))
+	return p.Pos
+}
+
+func (g *LaneGraph) portNode(id model.PortID) int {
+	return len(g.waypoints) + int(id) - 1
+}
+
+// Route is a planned port-to-port voyage track.
+type Route struct {
+	Origin, Dest model.PortID
+	Points       []geo.LatLng // polyline from origin port to destination port
+	DistM        float64      // total length in metres
+	Canals       []Canal      // canals transited, in order
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+
+// Plan computes the shortest lane route between two ports. Canals listed in
+// blocked are closed (the Suez-blockage scenario). It returns an error if no
+// route exists or the ports are unknown.
+func (g *LaneGraph) Plan(origin, dest model.PortID, blocked ...Canal) (Route, error) {
+	if _, ok := g.gaz.ByID(origin); !ok {
+		return Route{}, fmt.Errorf("sim: unknown origin port %d", origin)
+	}
+	if _, ok := g.gaz.ByID(dest); !ok {
+		return Route{}, fmt.Errorf("sim: unknown destination port %d", dest)
+	}
+	isBlocked := func(c Canal) bool {
+		for _, b := range blocked {
+			if b == c && c != NoCanal {
+				return true
+			}
+		}
+		return false
+	}
+	src, dst := g.portNode(origin), g.portNode(dest)
+	const inf = math.MaxFloat64
+	dist := make([]float64, len(g.adj))
+	prev := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		// Ports are voyage endpoints, never through-nodes: a lane does not
+		// route through another port's harbour.
+		if it.node != src && it.node >= len(g.waypoints) {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			if isBlocked(e.canal) {
+				continue
+			}
+			nd := it.dist + e.distM
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = it.node
+				heap.Push(q, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return Route{}, fmt.Errorf("sim: no route from port %d to port %d", origin, dest)
+	}
+	// Reconstruct the node path.
+	var nodes []int
+	for n := dst; n != -1; n = prev[n] {
+		nodes = append(nodes, n)
+	}
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	r := Route{Origin: origin, Dest: dest, DistM: dist[dst]}
+	r.Points = make([]geo.LatLng, len(nodes))
+	for i, n := range nodes {
+		r.Points[i] = g.nodePos(n)
+	}
+	// Record canal transits in order.
+	for i := 0; i+1 < len(nodes); i++ {
+		for _, e := range g.adj[nodes[i]] {
+			if e.to == nodes[i+1] && e.canal != NoCanal {
+				r.Canals = append(r.Canals, e.canal)
+				break
+			}
+		}
+	}
+	return r, nil
+}
+
+// Transits reports whether the route passes through the given canal.
+func (r Route) Transits(c Canal) bool {
+	for _, t := range r.Canals {
+		if t == c {
+			return true
+		}
+	}
+	return false
+}
+
+// PointAtDistance returns the position at the given distance (metres) from
+// the route start, interpolating along great-circle segments. Distances
+// beyond the route length clamp to the endpoints.
+func (r Route) PointAtDistance(distM float64) geo.LatLng {
+	if len(r.Points) == 0 {
+		return geo.LatLng{}
+	}
+	if distM <= 0 {
+		return r.Points[0]
+	}
+	remaining := distM
+	for i := 0; i+1 < len(r.Points); i++ {
+		seg := geo.Haversine(r.Points[i], r.Points[i+1])
+		if remaining <= seg {
+			if seg == 0 {
+				return r.Points[i]
+			}
+			return geo.Interpolate(r.Points[i], r.Points[i+1], remaining/seg)
+		}
+		remaining -= seg
+	}
+	return r.Points[len(r.Points)-1]
+}
+
+// BearingAtDistance returns the course over ground at the given distance
+// from the route start.
+func (r Route) BearingAtDistance(distM float64) float64 {
+	if len(r.Points) < 2 {
+		return 0
+	}
+	remaining := distM
+	for i := 0; i+1 < len(r.Points); i++ {
+		seg := geo.Haversine(r.Points[i], r.Points[i+1])
+		if remaining <= seg || i+2 == len(r.Points) {
+			f := 0.0
+			if seg > 0 {
+				f = math.Min(math.Max(remaining/seg, 0), 0.999)
+			}
+			at := geo.Interpolate(r.Points[i], r.Points[i+1], f)
+			return geo.InitialBearing(at, r.Points[i+1])
+		}
+		remaining -= seg
+	}
+	n := len(r.Points)
+	return geo.InitialBearing(r.Points[n-2], r.Points[n-1])
+}

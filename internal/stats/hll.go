@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// HLLPrecision is the register-count exponent used throughout the inventory:
+// 2^11 = 2048 registers ≈ 2 KiB per dense sketch, standard error ≈ 2.3%.
+const HLLPrecision = 11
+
+// sparseLimit is the number of occupied registers beyond which a sketch
+// switches from the sparse to the dense representation.
+const sparseLimit = 128
+
+// HyperLogLog estimates the number of distinct 64-bit hashed values observed
+// (Flajolet et al., with linear-counting small-range correction). It is used
+// for the paper's distinct-ship and distinct-trip statistics (Table 3).
+//
+// Most grid cells see only a handful of distinct vessels, so the sketch
+// starts in a sparse representation — a small sorted array of
+// (register, rank) pairs — and promotes itself to the dense 2^p register
+// array only past sparseLimit occupied registers. This keeps a
+// hundred-thousand-cell inventory hundreds of megabytes smaller with
+// identical estimates.
+//
+// Construct with NewHyperLogLog; sketches of equal precision merge by
+// register-wise maximum.
+type HyperLogLog struct {
+	p         uint8
+	registers []uint8  // dense representation; nil while sparse
+	sparse    []uint32 // packed idx<<8|rank, sorted by idx; nil when dense
+}
+
+// NewHyperLogLog returns an empty sketch with 2^p registers. Precision is
+// clamped to [4, 16].
+func NewHyperLogLog(p uint8) *HyperLogLog {
+	if p < 4 {
+		p = 4
+	}
+	if p > 16 {
+		p = 16
+	}
+	return &HyperLogLog{p: p}
+}
+
+// numRegisters returns 2^p.
+func (h *HyperLogLog) numRegisters() int { return 1 << h.p }
+
+// AddHash records an already-hashed value. Use Mix64 or HashString to hash
+// raw identifiers.
+func (h *HyperLogLog) AddHash(hash uint64) {
+	idx := uint32(hash >> (64 - h.p))
+	rank := uint8(bits.LeadingZeros64(hash<<h.p|1)) + 1
+	h.setRegister(idx, rank)
+}
+
+func (h *HyperLogLog) setRegister(idx uint32, rank uint8) {
+	if h.registers != nil {
+		if rank > h.registers[idx] {
+			h.registers[idx] = rank
+		}
+		return
+	}
+	// Sparse: binary search the packed, idx-sorted array.
+	i := sort.Search(len(h.sparse), func(i int) bool { return h.sparse[i]>>8 >= idx })
+	if i < len(h.sparse) && h.sparse[i]>>8 == idx {
+		if rank > uint8(h.sparse[i]) {
+			h.sparse[i] = idx<<8 | uint32(rank)
+		}
+		return
+	}
+	h.sparse = append(h.sparse, 0)
+	copy(h.sparse[i+1:], h.sparse[i:])
+	h.sparse[i] = idx<<8 | uint32(rank)
+	if len(h.sparse) > sparseLimit {
+		h.densify()
+	}
+}
+
+// densify converts the sparse array into the dense register file.
+func (h *HyperLogLog) densify() {
+	if h.registers != nil {
+		return
+	}
+	h.registers = make([]uint8, h.numRegisters())
+	for _, packed := range h.sparse {
+		idx := packed >> 8
+		rank := uint8(packed)
+		if rank > h.registers[idx] {
+			h.registers[idx] = rank
+		}
+	}
+	h.sparse = nil
+}
+
+// AddUint64 hashes and records an integer identifier.
+func (h *HyperLogLog) AddUint64(v uint64) { h.AddHash(Mix64(v)) }
+
+// AddString hashes and records a string identifier.
+func (h *HyperLogLog) AddString(s string) { h.AddHash(HashString(s)) }
+
+// Merge folds another sketch into this one. Sketches must share precision;
+// mismatched precision merges are ignored (callers construct all sketches
+// with HLLPrecision).
+func (h *HyperLogLog) Merge(o *HyperLogLog) {
+	if o == nil || o.p != h.p {
+		return
+	}
+	if o.registers != nil {
+		h.densify()
+		for i, r := range o.registers {
+			if r > h.registers[i] {
+				h.registers[i] = r
+			}
+		}
+		return
+	}
+	for _, packed := range o.sparse {
+		h.setRegister(packed>>8, uint8(packed))
+	}
+}
+
+// Estimate returns the approximate distinct count.
+func (h *HyperLogLog) Estimate() uint64 {
+	m := float64(h.numRegisters())
+	var sum float64
+	var zeros int
+	if h.registers != nil {
+		for _, r := range h.registers {
+			sum += 1 / float64(uint64(1)<<r)
+			if r == 0 {
+				zeros++
+			}
+		}
+	} else {
+		zeros = h.numRegisters() - len(h.sparse)
+		sum = float64(zeros)
+		for _, packed := range h.sparse {
+			sum += 1 / float64(uint64(1)<<uint8(packed))
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		// Small-range correction: linear counting.
+		e = m * math.Log(m/float64(zeros))
+	}
+	return uint64(e + 0.5)
+}
+
+// IsEmpty reports whether the sketch has seen no values.
+func (h *HyperLogLog) IsEmpty() bool {
+	if h.registers == nil {
+		return len(h.sparse) == 0
+	}
+	for _, r := range h.registers {
+		if r != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Occupied returns the number of non-zero registers (diagnostics, tests).
+func (h *HyperLogLog) Occupied() int {
+	if h.registers == nil {
+		return len(h.sparse)
+	}
+	n := 0
+	for _, r := range h.registers {
+		if r != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// register returns one register value regardless of representation.
+func (h *HyperLogLog) register(idx uint32) uint8 {
+	if h.registers != nil {
+		return h.registers[idx]
+	}
+	i := sort.Search(len(h.sparse), func(i int) bool { return h.sparse[i]>>8 >= idx })
+	if i < len(h.sparse) && h.sparse[i]>>8 == idx {
+		return uint8(h.sparse[i])
+	}
+	return 0
+}
+
+// Encoding modes.
+const (
+	hllModeRLE uint8 = 0 // (zero-run u32, value u8) pairs — cheap when sparse
+	hllModeRaw uint8 = 1 // all 2^p registers verbatim — cheap when dense
+)
+
+// AppendBinary appends the sketch's binary encoding to buf, choosing
+// whichever of the run-length and raw layouts is smaller for the current
+// occupancy.
+func (h *HyperLogLog) AppendBinary(buf []byte) []byte {
+	buf = append(buf, h.p)
+	n := uint32(h.numRegisters())
+	// RLE costs 5 bytes per occupied register (plus a terminator); raw
+	// costs one byte per register.
+	if occupied := h.Occupied(); occupied*5+5 >= int(n) {
+		buf = append(buf, hllModeRaw)
+		h.densify()
+		return append(buf, h.registers...)
+	}
+	buf = append(buf, hllModeRLE)
+	i := uint32(0)
+	for i < n {
+		run := uint32(0)
+		for i < n && h.register(i) == 0 {
+			i++
+			run++
+		}
+		if i >= n {
+			buf = appendU32(buf, run)
+			buf = append(buf, 0)
+			break
+		}
+		buf = appendU32(buf, run)
+		buf = append(buf, h.register(i))
+		i++
+	}
+	return buf
+}
+
+// DecodeHyperLogLog decodes a sketch from the front of data and returns the
+// remaining bytes. Sketches with few occupied registers decode into the
+// sparse representation.
+func DecodeHyperLogLog(data []byte) (*HyperLogLog, []byte, error) {
+	if len(data) < 2 {
+		return nil, nil, ErrCorrupt
+	}
+	p := data[0]
+	if p < 4 || p > 16 {
+		return nil, nil, ErrCorrupt
+	}
+	mode := data[1]
+	data = data[2:]
+	h := NewHyperLogLog(p)
+	n := uint32(h.numRegisters())
+	switch mode {
+	case hllModeRaw:
+		if uint32(len(data)) < n {
+			return nil, nil, ErrCorrupt
+		}
+		h.registers = make([]uint8, n)
+		copy(h.registers, data[:n])
+		return h, data[n:], nil
+	case hllModeRLE:
+		i := uint32(0)
+		for i < n {
+			run, rest, err := readU32(data)
+			if err != nil {
+				return nil, nil, err
+			}
+			data = rest
+			if len(data) < 1 {
+				return nil, nil, ErrCorrupt
+			}
+			v := data[0]
+			data = data[1:]
+			if i+run > n || (v != 0 && i+run >= n) {
+				return nil, nil, ErrCorrupt
+			}
+			i += run
+			if v != 0 {
+				h.setRegister(i, v)
+				i++
+			} else if i != n {
+				return nil, nil, ErrCorrupt
+			}
+		}
+		return h, data, nil
+	default:
+		return nil, nil, ErrCorrupt
+	}
+}

@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestHLLEmpty(t *testing.T) {
+	h := NewHyperLogLog(HLLPrecision)
+	if !h.IsEmpty() {
+		t.Error("new sketch must be empty")
+	}
+	if got := h.Estimate(); got != 0 {
+		t.Errorf("empty estimate %d, want 0", got)
+	}
+}
+
+func TestHLLSmallExact(t *testing.T) {
+	// Linear counting keeps small cardinalities near-exact.
+	h := NewHyperLogLog(HLLPrecision)
+	for i := uint64(0); i < 100; i++ {
+		h.AddUint64(i)
+	}
+	got := h.Estimate()
+	if got < 90 || got > 110 {
+		t.Errorf("estimate %d, want ≈ 100", got)
+	}
+}
+
+func TestHLLDuplicatesDontCount(t *testing.T) {
+	h := NewHyperLogLog(HLLPrecision)
+	for rep := 0; rep < 50; rep++ {
+		for i := uint64(0); i < 200; i++ {
+			h.AddUint64(i)
+		}
+	}
+	got := h.Estimate()
+	if got < 190 || got > 210 {
+		t.Errorf("estimate %d, want ≈ 200 despite duplicates", got)
+	}
+}
+
+func TestHLLAccuracyAcrossScales(t *testing.T) {
+	for _, n := range []uint64{1000, 10000, 100000} {
+		h := NewHyperLogLog(HLLPrecision)
+		for i := uint64(0); i < n; i++ {
+			h.AddUint64(i * 2654435761)
+		}
+		got := float64(h.Estimate())
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		if relErr > 0.08 { // ~3.5 sigma at p=11
+			t.Errorf("n=%d: estimate %.0f, rel err %.3f", n, got, relErr)
+		}
+	}
+}
+
+func TestHLLStrings(t *testing.T) {
+	h := NewHyperLogLog(HLLPrecision)
+	for i := 0; i < 5000; i++ {
+		h.AddString(fmt.Sprintf("vessel-%d", i))
+	}
+	got := float64(h.Estimate())
+	if math.Abs(got-5000)/5000 > 0.08 {
+		t.Errorf("string estimate %.0f, want ≈ 5000", got)
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	a := NewHyperLogLog(HLLPrecision)
+	b := NewHyperLogLog(HLLPrecision)
+	union := NewHyperLogLog(HLLPrecision)
+	for i := uint64(0); i < 3000; i++ {
+		a.AddUint64(i)
+		union.AddUint64(i)
+	}
+	for i := uint64(2000); i < 6000; i++ { // overlaps 2000..2999
+		b.AddUint64(i)
+		union.AddUint64(i)
+	}
+	a.Merge(b)
+	if a.Estimate() != union.Estimate() {
+		t.Errorf("merged estimate %d != union estimate %d", a.Estimate(), union.Estimate())
+	}
+}
+
+func TestHLLMergeCommutative(t *testing.T) {
+	mk := func(lo, hi uint64) *HyperLogLog {
+		h := NewHyperLogLog(HLLPrecision)
+		for i := lo; i < hi; i++ {
+			h.AddUint64(i)
+		}
+		return h
+	}
+	ab := mk(0, 1000)
+	ab.Merge(mk(500, 1500))
+	ba := mk(500, 1500)
+	ba.Merge(mk(0, 1000))
+	if ab.Estimate() != ba.Estimate() {
+		t.Error("merge must be commutative")
+	}
+}
+
+func TestHLLMergeMismatchedPrecisionIgnored(t *testing.T) {
+	a := NewHyperLogLog(11)
+	b := NewHyperLogLog(12)
+	b.AddUint64(1)
+	a.Merge(b)
+	if !a.IsEmpty() {
+		t.Error("mismatched precision merge must be ignored")
+	}
+	a.Merge(nil)
+}
+
+func TestHLLPrecisionClamp(t *testing.T) {
+	if got := NewHyperLogLog(1).numRegisters(); got != 16 {
+		t.Errorf("precision clamps to 4: %d registers", got)
+	}
+	if got := NewHyperLogLog(20).numRegisters(); got != 65536 {
+		t.Errorf("precision clamps to 16: %d registers", got)
+	}
+}
+
+func TestHLLSparseToDensePromotion(t *testing.T) {
+	h := NewHyperLogLog(HLLPrecision)
+	// Below the limit the sketch stays sparse.
+	for i := uint64(0); i < 50; i++ {
+		h.AddUint64(i)
+	}
+	if h.registers != nil {
+		t.Fatal("sketch with 50 values should still be sparse")
+	}
+	sparseEstimate := h.Estimate()
+	// Push past the promotion threshold.
+	for i := uint64(50); i < 5000; i++ {
+		h.AddUint64(i)
+	}
+	if h.registers == nil {
+		t.Fatal("sketch with 5000 values must be dense")
+	}
+	if h.sparse != nil {
+		t.Fatal("dense sketch must drop the sparse array")
+	}
+	_ = sparseEstimate
+}
+
+func TestHLLSparseAndDenseAgree(t *testing.T) {
+	// The same values inserted into a sparse sketch and a pre-densified
+	// sketch must produce identical registers and estimates.
+	sparse := NewHyperLogLog(HLLPrecision)
+	dense := NewHyperLogLog(HLLPrecision)
+	dense.densify()
+	for i := uint64(0); i < 100; i++ {
+		sparse.AddUint64(i * 7919)
+		dense.AddUint64(i * 7919)
+	}
+	if sparse.registers != nil {
+		t.Fatal("fixture assumes sparse stays sparse at 100 values")
+	}
+	if sparse.Estimate() != dense.Estimate() {
+		t.Errorf("estimates differ: sparse %d, dense %d", sparse.Estimate(), dense.Estimate())
+	}
+	if sparse.Occupied() != dense.Occupied() {
+		t.Errorf("occupied differ: %d vs %d", sparse.Occupied(), dense.Occupied())
+	}
+	for idx := uint32(0); idx < uint32(sparse.numRegisters()); idx++ {
+		if sparse.register(idx) != dense.register(idx) {
+			t.Fatalf("register %d differs", idx)
+		}
+	}
+	// Binary encodings are identical too (the format is representation
+	// independent).
+	sb := sparse.AppendBinary(nil)
+	db := dense.AppendBinary(nil)
+	if string(sb) != string(db) {
+		t.Error("binary encodings differ between representations")
+	}
+}
+
+func TestHLLMergeAcrossRepresentations(t *testing.T) {
+	mk := func(lo, hi uint64, denseFirst bool) *HyperLogLog {
+		h := NewHyperLogLog(HLLPrecision)
+		if denseFirst {
+			h.densify()
+		}
+		for i := lo; i < hi; i++ {
+			h.AddUint64(i)
+		}
+		return h
+	}
+	want := mk(0, 2000, true).Estimate()
+	// sparse ← dense
+	a := mk(0, 100, false)
+	a.Merge(mk(100, 2000, true))
+	if a.Estimate() != want {
+		t.Errorf("sparse←dense merge: %d, want %d", a.Estimate(), want)
+	}
+	// dense ← sparse
+	b := mk(0, 1900, true)
+	b.Merge(mk(1900, 2000, false))
+	if b.Estimate() != want {
+		t.Errorf("dense←sparse merge: %d, want %d", b.Estimate(), want)
+	}
+	// sparse ← sparse staying sparse
+	c := mk(0, 30, false)
+	c.Merge(mk(30, 60, false))
+	if c.registers != nil {
+		t.Error("small sparse merge must stay sparse")
+	}
+	if c.Occupied() == 0 {
+		t.Error("merge lost values")
+	}
+}
+
+func TestHLLBinaryRoundTrip(t *testing.T) {
+	for _, n := range []uint64{0, 1, 50, 20000} {
+		h := NewHyperLogLog(HLLPrecision)
+		for i := uint64(0); i < n; i++ {
+			h.AddUint64(i)
+		}
+		buf := h.AppendBinary(nil)
+		got, rest, err := DecodeHyperLogLog(buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("n=%d: %d trailing bytes", n, len(rest))
+		}
+		if got.Estimate() != h.Estimate() {
+			t.Errorf("n=%d: estimate %d after round trip, want %d", n, got.Estimate(), h.Estimate())
+		}
+	}
+}
+
+func TestHLLBinarySparseIsSmall(t *testing.T) {
+	h := NewHyperLogLog(HLLPrecision)
+	h.AddUint64(7)
+	if size := len(h.AppendBinary(nil)); size > 64 {
+		t.Errorf("sparse sketch encodes to %d bytes, want small", size)
+	}
+}
+
+func TestHLLDecodeCorrupt(t *testing.T) {
+	if _, _, err := DecodeHyperLogLog(nil); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, _, err := DecodeHyperLogLog([]byte{3}); err == nil {
+		t.Error("bad precision must fail")
+	}
+	h := NewHyperLogLog(HLLPrecision)
+	h.AddUint64(1)
+	buf := h.AppendBinary(nil)
+	if _, _, err := DecodeHyperLogLog(buf[:len(buf)-2]); err == nil {
+		t.Error("truncated input must fail")
+	}
+}
+
+func TestMix64Distribution(t *testing.T) {
+	// Consecutive integers must hash to well-spread values: check bucket
+	// uniformity over 256 buckets.
+	const n = 100000
+	var buckets [256]int
+	for i := uint64(0); i < n; i++ {
+		buckets[Mix64(i)>>56]++
+	}
+	want := n / 256
+	for i, c := range buckets {
+		if c < want/2 || c > want*2 {
+			t.Errorf("bucket %d has %d values, want ≈ %d", i, c, want)
+		}
+	}
+}
+
+func TestHashStringDistinct(t *testing.T) {
+	seen := make(map[uint64]string)
+	for i := 0; i < 10000; i++ {
+		s := fmt.Sprintf("key-%d", i)
+		h := HashString(s)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: %q and %q", prev, s)
+		}
+		seen[h] = s
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h := NewHyperLogLog(HLLPrecision)
+	for i := 0; i < b.N; i++ {
+		h.AddUint64(uint64(i))
+	}
+}
+
+func BenchmarkHLLEstimate(b *testing.B) {
+	h := NewHyperLogLog(HLLPrecision)
+	for i := uint64(0); i < 100000; i++ {
+		h.AddUint64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Estimate()
+	}
+}
+
+func BenchmarkHLLMerge(b *testing.B) {
+	x := NewHyperLogLog(HLLPrecision)
+	y := NewHyperLogLog(HLLPrecision)
+	for i := uint64(0); i < 10000; i++ {
+		x.AddUint64(i)
+		y.AddUint64(i + 5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := NewHyperLogLog(HLLPrecision)
+		z.Merge(x)
+		z.Merge(y)
+	}
+}

@@ -1,0 +1,239 @@
+// Package stream implements the online monitoring application the paper
+// sketches (§4.1.3): a service that consumes a live AIS feed, queries the
+// global inventory per message, and emits operational events — port
+// arrivals and departures, changes of the most probable destination for
+// vessels with undisclosed destinations, and anomaly alerts when a vessel
+// deviates from the model of normalcy.
+//
+// The Monitor is deterministic and single-goroutine: feed it decoded
+// position records in timestamp order (per vessel) and collect the events
+// it returns. One Monitor instance tracks any number of vessels.
+package stream
+
+import (
+	"fmt"
+
+	"github.com/patternsoflife/pol/internal/anomaly"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/predict"
+)
+
+// EventKind classifies monitor events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventPortArrival: the vessel entered a port geofence.
+	EventPortArrival EventKind = iota + 1
+	// EventPortDeparture: the vessel left a port geofence for open water.
+	EventPortDeparture
+	// EventDestinationChanged: the most probable destination of a vessel
+	// with an undisclosed destination changed.
+	EventDestinationChanged
+	// EventAnomalyStarted: the vessel's normalcy deviation crossed above
+	// the alert threshold.
+	EventAnomalyStarted
+	// EventAnomalyCleared: the deviation returned below the clear
+	// threshold.
+	EventAnomalyCleared
+)
+
+// String returns the event kind label.
+func (k EventKind) String() string {
+	switch k {
+	case EventPortArrival:
+		return "port-arrival"
+	case EventPortDeparture:
+		return "port-departure"
+	case EventDestinationChanged:
+		return "destination-changed"
+	case EventAnomalyStarted:
+		return "anomaly-started"
+	case EventAnomalyCleared:
+		return "anomaly-cleared"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one monitor output.
+type Event struct {
+	Kind  EventKind
+	MMSI  uint32
+	Time  int64        // Unix seconds of the triggering report
+	Port  model.PortID // arrival/departure port
+	Dest  model.PortID // new most probable destination
+	Score float64      // anomaly composite at the triggering report
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventPortArrival, EventPortDeparture:
+		return fmt.Sprintf("%s vessel=%d port=%d t=%d", e.Kind, e.MMSI, e.Port, e.Time)
+	case EventDestinationChanged:
+		return fmt.Sprintf("%s vessel=%d dest=%d t=%d", e.Kind, e.MMSI, e.Dest, e.Time)
+	default:
+		return fmt.Sprintf("%s vessel=%d score=%.2f t=%d", e.Kind, e.MMSI, e.Score, e.Time)
+	}
+}
+
+// Options tunes the monitor.
+type Options struct {
+	// AlertThreshold raises an anomaly alert when the smoothed deviation
+	// exceeds it (default 0.5).
+	AlertThreshold float64
+	// ClearThreshold clears an active alert when the smoothed deviation
+	// falls below it (default 0.25 — hysteresis avoids flapping).
+	ClearThreshold float64
+	// Smoothing is the exponential-moving-average factor applied to
+	// per-report deviation scores in (0, 1]; 1 disables smoothing
+	// (default 0.3).
+	Smoothing float64
+	// MinReports is the number of reports before destination predictions
+	// are emitted (default 5).
+	MinReports int
+}
+
+func (o Options) withDefaults() Options {
+	if o.AlertThreshold <= 0 {
+		o.AlertThreshold = 0.5
+	}
+	if o.ClearThreshold <= 0 {
+		o.ClearThreshold = 0.25
+	}
+	if o.Smoothing <= 0 || o.Smoothing > 1 {
+		o.Smoothing = 0.3
+	}
+	if o.MinReports <= 0 {
+		o.MinReports = 5
+	}
+	return o
+}
+
+// Monitor tracks a fleet against an inventory.
+type Monitor struct {
+	inv     *inventory.Inventory
+	portIdx *ports.Index
+	scorer  *anomaly.Scorer
+	static  map[uint32]model.VesselInfo
+	opts    Options
+	vessels map[uint32]*vesselState
+}
+
+type vesselState struct {
+	predictor   *predict.Predictor
+	inPort      bool
+	currentPort model.PortID
+	bestDest    model.PortID
+	ema         float64 // smoothed anomaly score
+	alerting    bool
+	seen        int
+}
+
+// NewMonitor builds a monitor over the inventory, geofence index and
+// vessel static inventory (used for market segments; unknown vessels are
+// treated as VesselUnknown).
+func NewMonitor(inv *inventory.Inventory, portIdx *ports.Index, static map[uint32]model.VesselInfo, opts Options) *Monitor {
+	return &Monitor{
+		inv:     inv,
+		portIdx: portIdx,
+		scorer:  anomaly.New(inv),
+		static:  static,
+		opts:    opts.withDefaults(),
+		vessels: make(map[uint32]*vesselState),
+	}
+}
+
+// Tracked returns the number of vessels with state.
+func (m *Monitor) Tracked() int { return len(m.vessels) }
+
+// vtype returns the vessel's market segment.
+func (m *Monitor) vtype(mmsi uint32) model.VesselType {
+	if v, ok := m.static[mmsi]; ok {
+		return v.Type
+	}
+	return model.VesselUnknown
+}
+
+// Ingest consumes one position record and returns any events it triggers.
+// Records of one vessel must arrive in timestamp order.
+func (m *Monitor) Ingest(rec model.PositionRecord) []Event {
+	st, ok := m.vessels[rec.MMSI]
+	if !ok {
+		st = &vesselState{predictor: predict.New(m.inv, m.vtype(rec.MMSI))}
+		// Vessels first seen inside a port count as in port without an
+		// arrival event (we did not observe the arrival).
+		if port, inPort := m.portIdx.PortAt(rec.Pos); inPort {
+			st.inPort = true
+			st.currentPort = port
+		}
+		m.vessels[rec.MMSI] = st
+		if st.inPort {
+			return nil
+		}
+	}
+	var events []Event
+	st.seen++
+
+	// Geofence transitions.
+	port, inPort := m.portIdx.PortAt(rec.Pos)
+	switch {
+	case inPort && !st.inPort:
+		st.inPort = true
+		st.currentPort = port
+		st.predictor.Reset()
+		st.bestDest = model.NoPort
+		events = append(events, Event{Kind: EventPortArrival, MMSI: rec.MMSI, Time: rec.Time, Port: port})
+	case !inPort && st.inPort:
+		from := st.currentPort
+		st.inPort = false
+		st.currentPort = model.NoPort
+		events = append(events, Event{Kind: EventPortDeparture, MMSI: rec.MMSI, Time: rec.Time, Port: from})
+	}
+	if st.inPort {
+		// Berthed vessels neither predict nor alert.
+		return events
+	}
+
+	// Destination prediction.
+	st.predictor.Observe(rec.Pos)
+	if st.predictor.Observations() >= m.opts.MinReports {
+		if best, ok := st.predictor.Best(); ok && best != st.bestDest {
+			st.bestDest = best
+			events = append(events, Event{Kind: EventDestinationChanged, MMSI: rec.MMSI, Time: rec.Time, Dest: best})
+		}
+	}
+
+	// Anomaly detection with EMA smoothing and hysteresis.
+	score := m.scorer.Score(rec, m.vtype(rec.MMSI)).Composite
+	st.ema = m.opts.Smoothing*score + (1-m.opts.Smoothing)*st.ema
+	switch {
+	case !st.alerting && st.ema > m.opts.AlertThreshold:
+		st.alerting = true
+		events = append(events, Event{Kind: EventAnomalyStarted, MMSI: rec.MMSI, Time: rec.Time, Score: st.ema})
+	case st.alerting && st.ema < m.opts.ClearThreshold:
+		st.alerting = false
+		events = append(events, Event{Kind: EventAnomalyCleared, MMSI: rec.MMSI, Time: rec.Time, Score: st.ema})
+	}
+	return events
+}
+
+// BestDestination returns the monitor's current destination belief for a
+// vessel.
+func (m *Monitor) BestDestination(mmsi uint32) (model.PortID, bool) {
+	st, ok := m.vessels[mmsi]
+	if !ok || st.bestDest == model.NoPort {
+		return model.NoPort, false
+	}
+	return st.bestDest, true
+}
+
+// Alerting reports whether the vessel currently has an active anomaly
+// alert.
+func (m *Monitor) Alerting(mmsi uint32) bool {
+	st, ok := m.vessels[mmsi]
+	return ok && st.alerting
+}

@@ -1,0 +1,248 @@
+package stream
+
+import (
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/ais"
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/sim"
+	"github.com/patternsoflife/pol/internal/testutil"
+)
+
+var (
+	fixture *testutil.Fixture
+	portIdx *ports.Index
+)
+
+func setup(t *testing.T) (*testutil.Fixture, *ports.Index) {
+	t.Helper()
+	if fixture == nil {
+		fixture = testutil.Build(t, sim.Config{Vessels: 20, Days: 20, Seed: 55}, 6)
+		portIdx = ports.NewIndex(fixture.Sim.Gazetteer(), ports.IndexResolution)
+	}
+	return fixture, portIdx
+}
+
+func newMonitor(f *testutil.Fixture, idx *ports.Index, opts Options) *Monitor {
+	return NewMonitor(f.Inventory, idx, f.Sim.Fleet().StaticIndex(), opts)
+}
+
+func TestPortArrivalAndDepartureEvents(t *testing.T) {
+	f, idx := setup(t)
+	m := newMonitor(f, idx, Options{})
+	// Replay a full vessel track and align port events with voyage ground
+	// truth.
+	var mmsi uint32
+	for _, v := range f.CompletedVoyages() {
+		mmsi = v.MMSI
+		break
+	}
+	var arrivals, departures []Event
+	for _, rec := range f.Tracks[mmsi] {
+		for _, e := range m.Ingest(rec) {
+			switch e.Kind {
+			case EventPortArrival:
+				arrivals = append(arrivals, e)
+			case EventPortDeparture:
+				departures = append(departures, e)
+			}
+		}
+	}
+	if len(departures) == 0 {
+		t.Fatal("no departures detected")
+	}
+	if len(arrivals) == 0 {
+		t.Fatal("no arrivals detected")
+	}
+	// Each completed voyage of this vessel must produce an arrival at its
+	// destination around the ground-truth arrival time.
+	for _, v := range f.CompletedVoyages() {
+		if v.MMSI != mmsi {
+			continue
+		}
+		found := false
+		for _, a := range arrivals {
+			if a.Port == v.Route.Dest && a.Time > v.ArriveTime-24*3600 && a.Time < v.ArriveTime+24*3600 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no arrival event at port %d near t=%d", v.Route.Dest, v.ArriveTime)
+		}
+	}
+	if m.Tracked() != 1 {
+		t.Errorf("tracked %d vessels, want 1", m.Tracked())
+	}
+}
+
+func TestDestinationEventsConverge(t *testing.T) {
+	f, idx := setup(t)
+	m := newMonitor(f, idx, Options{})
+	var voyage sim.Voyage
+	for _, v := range f.CompletedVoyages() {
+		if len(f.TrackDuring(v)) > 50 {
+			voyage = v
+			break
+		}
+	}
+	if voyage.MMSI == 0 {
+		t.Fatal("no suitable voyage")
+	}
+	var destEvents []Event
+	// Replay up to 90% of the trip: on arrival the monitor deliberately
+	// resets its belief, so query before the vessel reaches the fence.
+	track := f.TrackDuring(voyage)
+	for _, rec := range track[:len(track)*9/10] {
+		for _, e := range m.Ingest(rec) {
+			if e.Kind == EventDestinationChanged {
+				destEvents = append(destEvents, e)
+			}
+		}
+	}
+	if len(destEvents) == 0 {
+		t.Fatal("no destination predictions emitted")
+	}
+	best, ok := m.BestDestination(voyage.MMSI)
+	if !ok {
+		t.Fatal("no belief at 90% of the trip")
+	}
+	if best != destEvents[len(destEvents)-1].Dest {
+		t.Error("belief differs from last emitted event")
+	}
+}
+
+func TestAnomalyAlertLifecycle(t *testing.T) {
+	f, idx := setup(t)
+	m := newMonitor(f, idx, Options{AlertThreshold: 0.5, ClearThreshold: 0.25, Smoothing: 0.5})
+	const mmsi = 999000001
+	mkRec := func(tm int64, p geo.LatLng) model.PositionRecord {
+		return model.PositionRecord{
+			MMSI: mmsi, Time: tm, Pos: p, SOG: 14, COG: 90,
+			Status: ais.StatusUnderWayEngine,
+		}
+	}
+	// Start on a lane (any completed voyage's mid-track position).
+	v := f.CompletedVoyages()[0]
+	track := f.TrackDuring(v)
+	onLane := track[len(track)/2].Pos
+
+	var started, cleared int
+	tm := int64(1000)
+	// Off-lane excursion into the Southern Ocean → alert must fire.
+	for i := 0; i < 10; i++ {
+		tm += 600
+		for _, e := range m.Ingest(mkRec(tm, geo.LatLng{Lat: -58, Lng: float64(-120 + i)})) {
+			if e.Kind == EventAnomalyStarted {
+				started++
+			}
+		}
+	}
+	if started != 1 {
+		t.Fatalf("anomaly started %d times, want exactly 1 (hysteresis)", started)
+	}
+	if !m.Alerting(mmsi) {
+		t.Fatal("monitor must be alerting")
+	}
+	// Back to the lane → alert clears once.
+	for i := 0; i < 20; i++ {
+		tm += 600
+		for _, e := range m.Ingest(mkRec(tm, onLane)) {
+			if e.Kind == EventAnomalyCleared {
+				cleared++
+			}
+		}
+	}
+	if cleared != 1 {
+		t.Fatalf("anomaly cleared %d times, want exactly 1", cleared)
+	}
+	if m.Alerting(mmsi) {
+		t.Error("alert must be cleared")
+	}
+}
+
+func TestBerthedVesselsStayQuiet(t *testing.T) {
+	f, idx := setup(t)
+	m := newMonitor(f, idx, Options{})
+	rtm, _ := f.Sim.Gazetteer().ByName("Rotterdam")
+	const mmsi = 999000002
+	// A vessel first seen moored inside a fence emits nothing at all.
+	for i := 0; i < 20; i++ {
+		events := m.Ingest(model.PositionRecord{
+			MMSI: mmsi, Time: int64(1000 + i*600), Pos: rtm.Pos,
+			SOG: 0.1, COG: 0, Status: ais.StatusMoored,
+		})
+		if len(events) != 0 {
+			t.Fatalf("berthed vessel emitted %v", events)
+		}
+	}
+	if _, ok := m.BestDestination(mmsi); ok {
+		t.Error("berthed vessel must have no destination belief")
+	}
+}
+
+func TestDepartureThenArrivalSequence(t *testing.T) {
+	f, idx := setup(t)
+	m := newMonitor(f, idx, Options{})
+	// Walk a vessel out of Rotterdam, along open water, into Felixstowe.
+	gaz := f.Sim.Gazetteer()
+	rtm, _ := gaz.ByName("Rotterdam")
+	flx, _ := gaz.ByName("Felixstowe")
+	const mmsi = 999000003
+	var kinds []EventKind
+	tm := int64(5000)
+	push := func(p geo.LatLng, sog float64) {
+		tm += 600
+		for _, e := range m.Ingest(model.PositionRecord{
+			MMSI: mmsi, Time: tm, Pos: p, SOG: sog, COG: 270,
+			Status: ais.StatusUnderWayEngine,
+		}) {
+			if e.Kind == EventPortArrival || e.Kind == EventPortDeparture {
+				kinds = append(kinds, e.Kind)
+			}
+		}
+	}
+	push(rtm.Pos, 0.2) // berthed (first sight: no event)
+	for i := 1; i <= 40; i++ {
+		p := geo.Interpolate(rtm.Pos, flx.Pos, float64(i)/40)
+		push(p, 15)
+	}
+	push(flx.Pos, 2)
+	if len(kinds) != 2 || kinds[0] != EventPortDeparture || kinds[1] != EventPortArrival {
+		t.Fatalf("event sequence %v, want [departure arrival]", kinds)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	events := []Event{
+		{Kind: EventPortArrival, MMSI: 1, Port: 2},
+		{Kind: EventPortDeparture, MMSI: 1, Port: 2},
+		{Kind: EventDestinationChanged, MMSI: 1, Dest: 3},
+		{Kind: EventAnomalyStarted, MMSI: 1, Score: 0.7},
+		{Kind: EventAnomalyCleared, MMSI: 1, Score: 0.1},
+	}
+	for _, e := range events {
+		if e.String() == "" || e.Kind.String() == "" {
+			t.Errorf("event %v must render", e.Kind)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.AlertThreshold <= o.ClearThreshold {
+		t.Error("alert threshold must exceed clear threshold")
+	}
+	if o.Smoothing <= 0 || o.Smoothing > 1 || o.MinReports <= 0 {
+		t.Errorf("bad defaults: %+v", o)
+	}
+	custom := Options{AlertThreshold: 0.9, ClearThreshold: 0.8, Smoothing: 1, MinReports: 2}.withDefaults()
+	if custom.AlertThreshold != 0.9 || custom.Smoothing != 1 {
+		t.Error("explicit options must survive")
+	}
+}

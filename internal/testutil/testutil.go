@@ -1,0 +1,94 @@
+// Package testutil builds simulator-backed fixtures shared by the tests of
+// the use-case packages (eta, predict, routing, anomaly) and the benchmark
+// harness.
+package testutil
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/pipeline"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/sim"
+)
+
+// Fixture is a built inventory together with the simulator that produced
+// it, giving tests access to voyage ground truth.
+type Fixture struct {
+	Sim       *sim.Simulator
+	Inventory *inventory.Inventory
+	Stats     pipeline.Stats
+	Voyages   []sim.Voyage
+	Tracks    map[uint32][]model.PositionRecord
+}
+
+// Build runs the simulator and the full pipeline at the given resolution.
+func Build(tb testing.TB, cfg sim.Config, res int) *Fixture {
+	tb.Helper()
+	gaz := ports.Default()
+	s, err := sim.New(cfg, gaz)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n := len(s.Fleet().Vessels)
+	tracks := make([][]model.PositionRecord, n)
+	voyagesPer := make([][]sim.Voyage, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tracks[i], voyagesPer[i] = s.VesselTrack(i)
+		}(i)
+	}
+	wg.Wait()
+
+	ctx := dataflow.NewContext(0)
+	records := dataflow.Generate(ctx, n, func(part int) []model.PositionRecord { return tracks[part] })
+	idx := ports.NewIndex(gaz, ports.IndexResolution)
+	res2, err := pipeline.Run(records, s.Fleet().StaticIndex(), idx, pipeline.Options{
+		Resolution:  res,
+		Description: "testutil fixture: " + cfg.Describe(),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f := &Fixture{
+		Sim:       s,
+		Inventory: res2.Inventory,
+		Stats:     res2.Stats,
+		Tracks:    make(map[uint32][]model.PositionRecord, n),
+	}
+	for i := 0; i < n; i++ {
+		f.Voyages = append(f.Voyages, voyagesPer[i]...)
+		f.Tracks[s.Fleet().Vessels[i].MMSI] = tracks[i]
+	}
+	return f
+}
+
+// CompletedVoyages returns voyages that finished before the simulation end
+// (truncated voyages have unreliable arrival ground truth).
+func (f *Fixture) CompletedVoyages() []sim.Voyage {
+	end := f.Sim.Config().Start.Unix() + int64(f.Sim.Config().Days)*86400
+	var out []sim.Voyage
+	for _, v := range f.Voyages {
+		if v.ArriveTime < end {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TrackDuring returns a voyage's reports between departure and arrival.
+func (f *Fixture) TrackDuring(v sim.Voyage) []model.PositionRecord {
+	var out []model.PositionRecord
+	for _, r := range f.Tracks[v.MMSI] {
+		if r.Time >= v.DepartTime && r.Time <= v.ArriveTime {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+// Package weather provides a deterministic synthetic global met-ocean field
+// and the weather-conditioned speed summaries the paper lists as future
+// work (§5: "combine AIS with weather ... to provide trade specific related
+// summaries").
+//
+// The field is smooth value noise over space and time: wind speed and
+// significant wave height vary over synoptic scales (~1500 km, ~3 days)
+// with stronger seas at higher latitudes, which is enough structure for the
+// enrichment experiment — vessels slow measurably as sea state rises.
+package weather
+
+import (
+	"math"
+
+	"github.com/patternsoflife/pol/internal/geo"
+)
+
+// Conditions is the met-ocean state at one place and time.
+type Conditions struct {
+	WindKn float64 // 10-metre wind speed, knots
+	WaveM  float64 // significant wave height, metres
+}
+
+// SeaState returns the Douglas sea-state scale degree (0-9) for the wave
+// height.
+func (c Conditions) SeaState() int {
+	bounds := []float64{0.1, 0.5, 1.25, 2.5, 4, 6, 9, 14, 20}
+	for s, b := range bounds {
+		if c.WaveM < b {
+			return s
+		}
+	}
+	return 9
+}
+
+// SpeedFactor returns the fraction of calm-water service speed a merchant
+// vessel sustains in these conditions (involuntary speed loss; a simple
+// piecewise model: negligible below sea state 4, ~25% loss at state 7+).
+func (c Conditions) SpeedFactor() float64 {
+	switch s := c.SeaState(); {
+	case s <= 3:
+		return 1.0
+	case s == 4:
+		return 0.95
+	case s == 5:
+		return 0.88
+	case s == 6:
+		return 0.80
+	default:
+		return 0.72
+	}
+}
+
+// Field is a deterministic synthetic global weather field.
+type Field struct {
+	seed int64
+}
+
+// NewField returns a field with the given seed; equal seeds give identical
+// weather everywhere for all time.
+func NewField(seed int64) *Field { return &Field{seed: seed} }
+
+// At returns the conditions at a position and Unix time.
+func (f *Field) At(p geo.LatLng, unix int64) Conditions {
+	// Spatial coordinates in "synoptic cells" (~1500 km) and time in
+	// ~3-day periods.
+	x := p.Lng / 13.5
+	y := p.Lat / 13.5
+	t := float64(unix) / (3 * 86400)
+	n := f.noise3(x, y, t)        // [0,1] smooth
+	gust := f.noise3(y*1.7, t, x) // decorrelated second octave
+	base := 0.65*n + 0.35*gust    // [0,1], bell-shaped around 0.5
+	// Storminess grows away from the doldrums towards high latitudes.
+	latFactor := 0.45 + 0.55*math.Pow(math.Abs(p.Lat)/65, 1.3)
+	if latFactor > 1.1 {
+		latFactor = 1.1
+	}
+	// The contrast exponent keeps typical seas moderate while letting the
+	// upper noise tail produce genuine gales.
+	windKn := 48 * math.Pow(base, 1.6) * latFactor
+	// Fully developed sea: wave height grows quadratically with wind.
+	waveM := 0.009 * windKn * windKn
+	return Conditions{WindKn: windKn, WaveM: waveM}
+}
+
+// noise3 is smooth 3-D value noise in [0, 1] with trilinear interpolation
+// of hashed lattice values.
+func (f *Field) noise3(x, y, z float64) float64 {
+	xi, yi, zi := math.Floor(x), math.Floor(y), math.Floor(z)
+	fx, fy, fz := smooth(x-xi), smooth(y-yi), smooth(z-zi)
+	v := func(dx, dy, dz float64) float64 {
+		return f.lattice(int64(xi)+int64(dx), int64(yi)+int64(dy), int64(zi)+int64(dz))
+	}
+	lerp := func(a, b, t float64) float64 { return a + (b-a)*t }
+	return lerp(
+		lerp(lerp(v(0, 0, 0), v(1, 0, 0), fx), lerp(v(0, 1, 0), v(1, 1, 0), fx), fy),
+		lerp(lerp(v(0, 0, 1), v(1, 0, 1), fx), lerp(v(0, 1, 1), v(1, 1, 1), fx), fy),
+		fz)
+}
+
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+// lattice hashes integer lattice coordinates to [0, 1].
+func (f *Field) lattice(x, y, z int64) float64 {
+	h := uint64(f.seed)
+	for _, v := range [3]int64{x, y, z} {
+		h ^= uint64(v) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	return float64(h>>11) / float64(1<<53)
+}
