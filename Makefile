@@ -1,0 +1,26 @@
+# Standard checks for this repository. `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: check build test vet fmt race
+
+check: fmt vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Short race pass over the packages with real concurrency: the live
+# ingestion engine, the snapshot-serving inventory and the stream monitor.
+race:
+	$(GO) test -race -count=1 ./internal/ingest/ ./internal/inventory/ ./internal/stream/

@@ -2,17 +2,31 @@
 // the "online querying" deployment the paper describes for stakeholders.
 // See internal/api for the endpoint documentation.
 //
+// Batch mode serves a prebuilt inventory file. Live mode (-live) embeds
+// the ingestion engine: it accepts timestamped NMEA feeds on -listen and
+// serves the continuously updated inventory, so queries reflect traffic
+// seen moments ago. Either way the process shuts down cleanly on
+// SIGINT/SIGTERM, draining in-flight requests.
+//
 // Usage:
 //
 //	polserve -inv fleet.polinv -addr :8080
+//	polserve -live -listen :10110 -addr :8080 -journal live.wal
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/patternsoflife/pol/internal/api"
+	"github.com/patternsoflife/pol/internal/ingest"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/ports"
 )
@@ -22,16 +36,88 @@ func main() {
 	log.SetPrefix("polserve: ")
 
 	var (
-		invPath = flag.String("inv", "inventory.polinv", "inventory file")
-		addr    = flag.String("addr", ":8080", "listen address")
+		invPath = flag.String("inv", "inventory.polinv", "inventory file (batch mode)")
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+
+		live      = flag.Bool("live", false, "serve from a live ingestion engine instead of a file")
+		listen    = flag.String("listen", ":10110", "NMEA feed listen address (live mode)")
+		res       = flag.Int("res", 6, "hexgrid resolution (live mode)")
+		tick      = flag.Duration("tick", 2*time.Second, "inventory merge interval (live mode)")
+		journal   = flag.String("journal", "", "write-ahead journal path (live mode, empty disables)")
+		ckpt      = flag.String("checkpoint", "", "periodic inventory checkpoint path (live mode)")
+		ckptEvery = flag.Int("checkpoint-every", 16, "merges between checkpoints (live mode)")
+		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop feeds silent for this long (live mode)")
 	)
 	flag.Parse()
 
-	inv, err := inventory.LoadFile(*invPath)
-	if err != nil {
-		log.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	mux := http.NewServeMux()
+	gaz := ports.Default()
+	var cleanup func()
+
+	if *live {
+		eng, err := ingest.NewEngine(ingest.Options{
+			Resolution:      *res,
+			MergeEvery:      *tick,
+			JournalPath:     *journal,
+			CheckpointPath:  *ckpt,
+			CheckpointEvery: *ckptEvery,
+			Description:     "polserve live ingestion",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feeds := ingest.NewServer(eng, ln, ingest.ServerOptions{IdleTimeout: *idle})
+		log.Printf("live mode: feeds on %s, %d replayed groups", ln.Addr(), eng.Snapshot().Len())
+		mux.Handle("/", api.NewLiveServer(eng, gaz).Handler())
+		mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
+		cleanup = func() {
+			if err := feeds.Close(); err != nil {
+				log.Printf("feed listener close: %v", err)
+			}
+			if err := eng.Close(); err != nil {
+				log.Printf("engine close: %v", err)
+			}
+		}
+	} else {
+		inv, err := inventory.LoadFile(*invPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s (%d groups)", *invPath, inv.Len())
+		mux.Handle("/", api.NewServer(inv, gaz).Handler())
+		cleanup = func() {}
 	}
-	srv := api.NewServer(inv, ports.Default())
-	log.Printf("serving %s (%d groups) on %s", *invPath, inv.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("HTTP on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	cleanup()
+	log.Print("bye")
 }

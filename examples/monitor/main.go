@@ -1,19 +1,26 @@
-// Monitor example: the streaming application the paper sketches in §4.1.3.
-// A live AIS feed (replayed from the simulator) flows through the stream
-// monitor, which queries the inventory per report and emits operational
-// events: port departures and arrivals, changes of the most probable
-// destination, and anomaly alerts.
+// Monitor example: the online deployment the paper sketches in §4.1.3,
+// end to end. A live ingestion engine accepts a simulated fleet's AIS
+// feed over a real TCP connection (timestamped NMEA, the provider wire
+// format), builds the inventory continuously, and serves it over HTTP
+// while ingesting. The example polls the daemon's stats endpoint like an
+// operations dashboard would, then runs the stream monitor against the
+// live inventory to emit operational events: port departures and
+// arrivals, changes of the most probable destination, anomaly alerts.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"sort"
 	"time"
 
-	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/api"
+	"github.com/patternsoflife/pol/internal/feed"
+	"github.com/patternsoflife/pol/internal/ingest"
 	"github.com/patternsoflife/pol/internal/model"
-	"github.com/patternsoflife/pol/internal/pipeline"
 	"github.com/patternsoflife/pol/internal/ports"
 	"github.com/patternsoflife/pol/internal/sim"
 	"github.com/patternsoflife/pol/internal/stream"
@@ -28,28 +35,98 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Build the normalcy inventory from the fleet's history.
 	tracks := make([][]model.PositionRecord, 30)
+	var live []model.PositionRecord
 	for i := range tracks {
 		tracks[i], _ = fleet.VesselTrack(i)
+		live = append(live, tracks[i]...)
 	}
-	ctx := dataflow.NewContext(0)
-	records := dataflow.Generate(ctx, len(tracks), func(i int) []model.PositionRecord { return tracks[i] })
-	result, err := pipeline.Run(records, fleet.Fleet().StaticIndex(), portIdx,
-		pipeline.Options{Resolution: 6, Description: "monitor example"})
+	sort.SliceStable(live, func(i, j int) bool { return live[i].Time < live[j].Time })
+
+	// The live daemon, in-process: engine + TCP feed listener + HTTP API
+	// with the ingestion stats endpoint — exactly what polingest runs.
+	eng, err := ingest.NewEngine(ingest.Options{Resolution: 6, MergeEvery: 100 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Replay three vessels' feeds through the monitor in timestamp order,
-	// as a live multiplexed stream would arrive.
-	monitor := stream.NewMonitor(result.Inventory, portIdx, fleet.Fleet().StaticIndex(), stream.Options{})
-	var live []model.PositionRecord
-	for i := 0; i < 3; i++ {
-		live = append(live, tracks[i]...)
+	defer eng.Close()
+	feedLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
 	}
-	sort.Slice(live, func(i, j int) bool { return live[i].Time < live[j].Time })
+	feedSrv := ingest.NewServer(eng, feedLn, ingest.ServerOptions{})
+	defer feedSrv.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", api.NewLiveServer(eng, gaz).Handler())
+	mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(httpLn, mux) }()
+	baseURL := "http://" + httpLn.Addr().String()
+	fmt.Printf("live daemon: feeds on %s, API on %s\n\n", feedLn.Addr(), baseURL)
+
+	// Stream the fleet's history over TCP as a provider feed would deliver
+	// it: statics first, then positions in receive-time order.
+	conn, err := net.Dial("tcp", feedLn.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := feed.NewWriter(conn)
+	for _, v := range fleet.Fleet().Vessels {
+		if err := w.WriteStatic(v, live[0].Time); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, rec := range live {
+		if err := w.WritePosition(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	conn.Close()
+
+	// Watch the daemon ingest through its stats endpoint, the way an
+	// operations dashboard does.
+	var st ingest.Stats
+	for {
+		resp, err := http.Get(baseURL + "/v1/ingest/stats")
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingest: %7d positions  %7d accepted  %5d groups  %2d merges\n",
+			st.PositionsSeen, st.Accepted, st.Groups, st.Merges)
+		if st.PositionsSeen >= int64(len(live)) {
+			break
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	if err := eng.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+	st = eng.StatsSnapshot()
+	fmt.Printf("\nfeed drained: %d accepted, %d rejected, %d trips, %d vessels, %d groups\n\n",
+		st.Accepted, st.Rejected, st.Trips, st.Vessels, st.Groups)
+
+	// The monitor queries the hot inventory per report: replay three
+	// vessels as "today's" traffic against the normalcy the daemon just
+	// accumulated.
+	inv := eng.Snapshot()
+	monitor := stream.NewMonitor(inv, portIdx, fleet.Fleet().StaticIndex(), stream.Options{})
+	var replay []model.PositionRecord
+	for i := 0; i < 3; i++ {
+		replay = append(replay, tracks[i]...)
+	}
+	sort.Slice(replay, func(i, j int) bool { return replay[i].Time < replay[j].Time })
 
 	portName := func(id model.PortID) string {
 		if p, ok := gaz.ByID(id); ok {
@@ -58,7 +135,7 @@ func main() {
 		return fmt.Sprintf("port-%d", id)
 	}
 	shown := 0
-	for _, rec := range live {
+	for _, rec := range replay {
 		for _, e := range monitor.Ingest(rec) {
 			ts := time.Unix(e.Time, 0).UTC().Format("Jan 02 15:04")
 			switch e.Kind {
@@ -80,5 +157,5 @@ func main() {
 			break
 		}
 	}
-	fmt.Printf("\nmonitor tracked %d vessels\n", monitor.Tracked())
+	fmt.Printf("\nmonitor tracked %d vessels over the live inventory\n", monitor.Tracked())
 }

@@ -30,16 +30,35 @@ import (
 	"github.com/patternsoflife/pol/internal/routing"
 )
 
+// Source resolves the inventory a request is answered from. Batch serving
+// wraps one loaded file; live serving hands out the ingestion engine's
+// current atomic snapshot, so every request sees a complete, immutable
+// inventory even while merges continue behind it.
+type Source interface {
+	Inventory() *inventory.Inventory
+}
+
+// StaticSource serves one fixed inventory.
+type StaticSource struct{ Inv *inventory.Inventory }
+
+// Inventory implements Source.
+func (s StaticSource) Inventory() *inventory.Inventory { return s.Inv }
+
 // Server answers inventory queries over HTTP.
 type Server struct {
-	inv *inventory.Inventory
-	est *eta.Estimator
+	src Source
 	gaz *ports.Gazetteer
 }
 
 // NewServer builds a Server over a loaded inventory and port gazetteer.
 func NewServer(inv *inventory.Inventory, gaz *ports.Gazetteer) *Server {
-	return &Server{inv: inv, est: eta.New(inv), gaz: gaz}
+	return NewLiveServer(StaticSource{Inv: inv}, gaz)
+}
+
+// NewLiveServer builds a Server that re-resolves the inventory through src
+// on every request — the serving mode of the live ingestion daemon.
+func NewLiveServer(src Source, gaz *ports.Gazetteer) *Server {
+	return &Server{src: src, gaz: gaz}
 }
 
 // Handler returns the routed HTTP handler.
@@ -123,10 +142,11 @@ func (s *Server) portName(id model.PortID) string {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
-	bi := s.inv.Info()
+	inv := s.src.Inventory()
+	bi := inv.Info()
 	groups := map[string]int{}
 	for _, gs := range inventory.AllGroupSets {
-		groups[gs.String()] = s.inv.CountGroups(gs)
+		groups[gs.String()] = inv.CountGroups(gs)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"resolution":  bi.Resolution,
@@ -135,8 +155,8 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		"builtAt":     time.Unix(bi.BuiltUnix, 0).UTC().Format(time.RFC3339),
 		"description": bi.Description,
 		"groups":      groups,
-		"cells":       len(s.inv.Cells(inventory.GSCell)),
-		"utilization": s.inv.Utilization(),
+		"cells":       len(inv.Cells(inventory.GSCell)),
+		"utilization": inv.Utilization(),
 	})
 }
 
@@ -210,13 +230,14 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cell := hexgrid.LatLngToCell(p, s.inv.Info().Resolution)
+	inv := s.src.Inventory()
+	cell := hexgrid.LatLngToCell(p, inv.Info().Resolution)
 	var cs *inventory.CellSummary
 	var ok bool
 	if vt != model.VesselUnknown {
-		cs, ok = s.inv.TypeSummary(cell, vt)
+		cs, ok = inv.TypeSummary(cell, vt)
 	} else {
-		cs, ok = s.inv.Cell(cell)
+		cs, ok = inv.Cell(cell)
 	}
 	if !ok {
 		httpError(w, http.StatusNotFound, "no historical traffic in cell %v", cell)
@@ -235,7 +256,7 @@ func (s *Server) handleDestinations(w http.ResponseWriter, r *http.Request) {
 	if n <= 0 {
 		n = 5
 	}
-	cs, ok := s.inv.At(p)
+	cs, ok := s.src.Inventory().At(p)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no historical traffic at %.3f,%.3f", p.Lat, p.Lng)
 		return
@@ -268,7 +289,9 @@ func (s *Server) handleETA(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	est, ok := s.est.Estimate(eta.Query{Pos: p, VType: vt, Origin: origin, Dest: dest})
+	// eta.New is a stateless view over the inventory, so constructing one
+	// per request keeps it pinned to a single snapshot in live mode.
+	est, ok := eta.New(s.src.Inventory()).Estimate(eta.Query{Pos: p, VType: vt, Origin: origin, Dest: dest})
 	if !ok {
 		httpError(w, http.StatusNotFound, "no ATA history at %.3f,%.3f", p.Lat, p.Lng)
 		return
@@ -297,7 +320,7 @@ func (s *Server) handleODCells(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cells := s.inv.ODCells(origin, dest, vt)
+	cells := s.src.Inventory().ODCells(origin, dest, vt)
 	out := make([]CellPos, 0, len(cells))
 	for _, c := range cells {
 		p := c.LatLng()
@@ -337,7 +360,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	destPort, _ := s.gaz.ByID(dest)
-	path, err := routing.Forecast(s.inv, origin, dest, vt, p, destPort.Pos)
+	path, err := routing.Forecast(s.src.Inventory(), origin, dest, vt, p, destPort.Pos)
 	switch err {
 	case nil:
 	case routing.ErrNoHistory:

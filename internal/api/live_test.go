@@ -1,0 +1,62 @@
+package api
+
+import (
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/sim"
+	"github.com/patternsoflife/pol/internal/testutil"
+)
+
+// swapSource mimics the live engine: Inventory() hands out whatever
+// snapshot is current.
+type swapSource struct {
+	p atomic.Pointer[inventory.Inventory]
+}
+
+func (s *swapSource) Inventory() *inventory.Inventory { return s.p.Load() }
+
+// TestLiveServerTracksSnapshotSwaps: a server built with NewLiveServer
+// must answer from the snapshot current at request time, so an inventory
+// swap is visible on the very next request without restarting anything.
+func TestLiveServerTracksSnapshotSwaps(t *testing.T) {
+	f, _ := setup(t)
+	src := &swapSource{}
+	src.p.Store(inventory.New(inventory.BuildInfo{Resolution: 6}))
+	lts := httptest.NewServer(NewLiveServer(src, ports.Default()).Handler())
+	defer lts.Close()
+
+	var info struct {
+		Cells      int   `json:"cells"`
+		RawRecords int64 `json:"rawRecords"`
+	}
+	get(t, lts, "/v1/info", 200, &info)
+	if info.Cells != 0 {
+		t.Fatalf("empty snapshot served %d cells", info.Cells)
+	}
+
+	src.p.Store(f.Inventory)
+	get(t, lts, "/v1/info", 200, &info)
+	if info.Cells == 0 || info.RawRecords != f.Inventory.Info().RawRecords {
+		t.Fatalf("swap not visible: %+v", info)
+	}
+}
+
+// TestLiveServerAgainstEngineShape ensures the handler chain works over a
+// freshly built (non-fixture) inventory too, guarding against hidden
+// fixture coupling in the live path.
+func TestLiveServerAgainstEngineShape(t *testing.T) {
+	fx := testutil.Build(t, sim.Config{Vessels: 6, Days: 10, Seed: 9}, 6)
+	src := &swapSource{}
+	src.p.Store(fx.Inventory)
+	lts := httptest.NewServer(NewLiveServer(src, ports.Default()).Handler())
+	defer lts.Close()
+	var out map[string]any
+	get(t, lts, "/v1/info", 200, &out)
+	if out["cells"].(float64) <= 0 {
+		t.Fatal("live handler served no cells")
+	}
+}

@@ -118,10 +118,33 @@ func NewReader(r io.Reader) *Reader {
 	}
 }
 
-// Next returns the next decoded position record. It returns io.EOF at end
-// of input. Static reports encountered are collected (see Statics) and do
-// not surface as records.
-func (r *Reader) Next() (model.PositionRecord, error) {
+// ItemKind discriminates the decoded feed elements surfaced by NextItem.
+type ItemKind uint8
+
+// Feed item kinds.
+const (
+	// ItemPosition: a decoded position report.
+	ItemPosition ItemKind = iota + 1
+	// ItemStatic: a decoded type-5 static & voyage report.
+	ItemStatic
+)
+
+// Item is one decoded feed element: a position record or a static report,
+// each carrying the line's receive timestamp. The live ingestion path
+// consumes items so static reports are visible the moment they arrive
+// instead of only after a full archive pass.
+type Item struct {
+	Kind   ItemKind
+	Time   int64                // Unix receive timestamp of the line
+	Pos    model.PositionRecord // when Kind == ItemPosition
+	Static ais.StaticReport     // when Kind == ItemStatic
+}
+
+// NextItem returns the next decoded feed element — position or static —
+// in stream order. It returns io.EOF at end of input. Static reports are
+// additionally collected into the Statics map, preserving the archive
+// reader behaviour.
+func (r *Reader) NextItem() (Item, error) {
 	for r.sc.Scan() {
 		r.stats.Lines++
 		line := r.sc.Text()
@@ -147,28 +170,43 @@ func (r *Reader) Next() (model.PositionRecord, error) {
 		case ais.TypeStatic:
 			r.stats.Statics++
 			r.statics[m.Static.MMSI] = *m.Static
+			return Item{Kind: ItemStatic, Time: ts, Static: *m.Static}, nil
 		case ais.TypeBaseStation, ais.TypeStaticB:
 			// Decodable but not consumed by the pipeline.
 			r.stats.Unsupported++
 		default:
 			p := m.Position
 			r.stats.Positions++
-			heading := p.Heading
-			return model.PositionRecord{
+			return Item{Kind: ItemPosition, Time: ts, Pos: model.PositionRecord{
 				MMSI:    p.MMSI,
 				Time:    ts,
 				Pos:     geo.LatLng{Lat: p.Lat, Lng: p.Lon},
 				SOG:     p.SOG,
 				COG:     p.COG,
-				Heading: heading,
+				Heading: p.Heading,
 				Status:  p.Status,
-			}, nil
+			}}, nil
 		}
 	}
 	if err := r.sc.Err(); err != nil {
-		return model.PositionRecord{}, fmt.Errorf("feed: scan: %w", err)
+		return Item{}, fmt.Errorf("feed: scan: %w", err)
 	}
-	return model.PositionRecord{}, io.EOF
+	return Item{}, io.EOF
+}
+
+// Next returns the next decoded position record. It returns io.EOF at end
+// of input. Static reports encountered are collected (see Statics) and do
+// not surface as records.
+func (r *Reader) Next() (model.PositionRecord, error) {
+	for {
+		it, err := r.NextItem()
+		if err != nil {
+			return model.PositionRecord{}, err
+		}
+		if it.Kind == ItemPosition {
+			return it.Pos, nil
+		}
+	}
 }
 
 // ReadAll drains the reader into a slice.
@@ -199,30 +237,37 @@ func (r *Reader) Statics() map[uint32]ais.StaticReport { return r.statics }
 func (r *Reader) StaticsAsVesselInfo() map[uint32]model.VesselInfo {
 	out := make(map[uint32]model.VesselInfo, len(r.statics))
 	for mmsi, s := range r.statics {
-		vt := model.VesselUnknown
-		switch s.ShipType.Category() {
-		case ais.ShipCategoryCargo:
-			vt = model.VesselCargo
-		case ais.ShipCategoryTanker:
-			vt = model.VesselTanker
-		case ais.ShipCategoryPassenger:
-			vt = model.VesselPassenger
-		}
-		out[mmsi] = model.VesselInfo{
-			MMSI:     mmsi,
-			IMO:      s.IMO,
-			Name:     s.Name,
-			CallSign: s.CallSign,
-			Type:     vt,
-			// The wire carries no tonnage; estimate from dimensions so the
-			// commercial filter (> 5000 GRT) behaves sensibly: gross
-			// tonnage scales with enclosed volume ≈ L·B·depth, and depth
-			// tracks beam, giving GT ≈ 3.5·L·B for merchant hull forms.
-			GRT:     s.Length() * s.Beam() * 7 / 2,
-			LengthM: s.Length(),
-			BeamM:   s.Beam(),
-			ClassA:  true,
-		}
+		out[mmsi] = StaticAsVesselInfo(s)
 	}
 	return out
+}
+
+// StaticAsVesselInfo converts one wire static report into the vessel
+// static-inventory entry the pipeline joins against — the per-item form
+// used by the live ingestion path.
+func StaticAsVesselInfo(s ais.StaticReport) model.VesselInfo {
+	vt := model.VesselUnknown
+	switch s.ShipType.Category() {
+	case ais.ShipCategoryCargo:
+		vt = model.VesselCargo
+	case ais.ShipCategoryTanker:
+		vt = model.VesselTanker
+	case ais.ShipCategoryPassenger:
+		vt = model.VesselPassenger
+	}
+	return model.VesselInfo{
+		MMSI:     s.MMSI,
+		IMO:      s.IMO,
+		Name:     s.Name,
+		CallSign: s.CallSign,
+		Type:     vt,
+		// The wire carries no tonnage; estimate from dimensions so the
+		// commercial filter (> 5000 GRT) behaves sensibly: gross
+		// tonnage scales with enclosed volume ≈ L·B·depth, and depth
+		// tracks beam, giving GT ≈ 3.5·L·B for merchant hull forms.
+		GRT:     s.Length() * s.Beam() * 7 / 2,
+		LengthM: s.Length(),
+		BeamM:   s.Beam(),
+		ClassA:  true,
+	}
 }

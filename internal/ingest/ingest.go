@@ -1,0 +1,507 @@
+// Package ingest is the live ingestion subsystem: a long-running engine
+// that accepts timestamped NMEA over TCP from any number of concurrent
+// feed connections, decodes it through internal/ais and internal/feed,
+// applies the paper's §3.3.1–§3.3.2 cleaning and trip extraction in
+// online form (the same state machines the batch pipeline runs — see
+// internal/pipeline's OnlineCleaner and TripTracker), and accumulates
+// completed trips into micro-batch *period inventories* that are merged
+// into a running master on a configurable tick.
+//
+// Serving never blocks on ingestion: the engine owns a private master
+// inventory and publishes immutable deep-copy snapshots through an
+// atomic.Pointer on every merge, so readers (internal/api in -live mode,
+// the stats endpoint, stream monitors) always see a complete, consistent
+// inventory.
+//
+// Durability is a length-prefixed write-ahead journal of accepted records
+// (positions that survived range validation and deduplication, plus
+// vessel static entries) with periodic checkpoints of the published
+// snapshot via inventory.WriteFile. Replaying the journal through the
+// deterministic cleaning/trip state machines reconstructs the exact
+// engine state — including trips that were open when the process died —
+// so kill-and-restart converges to the same inventory the uninterrupted
+// run produces. The checkpoint file is a serving artifact (fast cold
+// starts for read-only consumers); recovery derives from the journal
+// alone.
+//
+// Feeds must deliver each vessel's reports in timestamp order (the wire
+// guarantees per-sender ordering); out-of-order records are counted and
+// dropped. Vessel static reports should precede a vessel's positions, as
+// provider feeds do — positions of vessels with no static entry yet are
+// rejected, mirroring the batch commercial-fleet filter.
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/feed"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/pipeline"
+	"github.com/patternsoflife/pol/internal/ports"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Resolution is the hexgrid resolution of the live inventory
+	// (default 6).
+	Resolution int
+	// GroupSets selects the grouping sets to accumulate (default: all
+	// three).
+	GroupSets []inventory.GroupSet
+	// MaxSpeedKnots is the infeasible-transition threshold (default 50).
+	MaxSpeedKnots float64
+	// MinTripRecords drops trips shorter than this (default 2).
+	MinTripRecords int
+	// MergeEvery is the micro-batch tick: how often the period inventory
+	// is folded into the master and a fresh snapshot is published
+	// (default 2s).
+	MergeEvery time.Duration
+	// JournalPath enables the write-ahead journal when non-empty. An
+	// existing journal is replayed on startup.
+	JournalPath string
+	// CheckpointPath enables periodic snapshot checkpoints when non-empty.
+	CheckpointPath string
+	// CheckpointEvery is the number of merges between checkpoints
+	// (default 16).
+	CheckpointEvery int
+	// QueueSize bounds the submission queue; full queues block submitters,
+	// propagating backpressure to the TCP feeds (default 4096).
+	QueueSize int
+	// PortIndex is the geofence index (default: the embedded gazetteer at
+	// ports.IndexResolution).
+	PortIndex *ports.Index
+	// Description is stored in the published snapshots' build info.
+	Description string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Resolution <= 0 {
+		o.Resolution = 6
+	}
+	if len(o.GroupSets) == 0 {
+		o.GroupSets = inventory.AllGroupSets
+	}
+	if o.MaxSpeedKnots <= 0 {
+		o.MaxSpeedKnots = 50
+	}
+	if o.MinTripRecords <= 0 {
+		o.MinTripRecords = 2
+	}
+	if o.MergeEvery <= 0 {
+		o.MergeEvery = 2 * time.Second
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 16
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 4096
+	}
+	if o.PortIndex == nil {
+		o.PortIndex = ports.NewIndex(ports.Default(), ports.IndexResolution)
+	}
+	return o
+}
+
+// envelope kinds.
+const (
+	envPosition = iota
+	envStatic
+	envSync
+	envFinalize
+)
+
+// envelope is one unit of work on the engine queue.
+type envelope struct {
+	kind  int
+	rec   model.PositionRecord
+	info  model.VesselInfo
+	feed  *FeedStats
+	reply chan error
+}
+
+// vesselState is the per-vessel online pipeline state.
+type vesselState struct {
+	cleaner *pipeline.OnlineCleaner
+	tracker *pipeline.TripTracker
+}
+
+// ErrClosed is returned by Submit methods after Close.
+var ErrClosed = fmt.Errorf("ingest: engine closed")
+
+// Engine is the live ingestion core. Construct with NewEngine; submit
+// decoded feed items (directly or through the TCP Server); read the
+// current inventory with Snapshot. All exported methods are safe for
+// concurrent use.
+type Engine struct {
+	opt Options
+
+	in       chan envelope
+	quit     chan struct{}
+	loopDone chan struct{}
+	closed   sync.Once
+
+	snap atomic.Pointer[inventory.Inventory]
+
+	m metrics
+
+	feedsMu sync.Mutex
+	feeds   []*FeedStats
+
+	journal   *Journal
+	ckptBusy  atomic.Bool
+	replaying bool
+
+	// Loop-owned state: touched only by the run goroutine (and by
+	// NewEngine during single-threaded journal replay).
+	master    *inventory.Inventory
+	period    *inventory.Inventory
+	vessels   map[uint32]*vesselState
+	statics   map[uint32]model.VesselInfo
+	sinceCkpt int
+}
+
+// NewEngine builds the engine, replays the journal when one exists, and
+// starts the merge loop.
+func NewEngine(opt Options) (*Engine, error) {
+	opt = opt.withDefaults()
+	e := &Engine{
+		opt:      opt,
+		in:       make(chan envelope, opt.QueueSize),
+		quit:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		vessels:  make(map[uint32]*vesselState),
+		statics:  make(map[uint32]model.VesselInfo),
+	}
+	e.master = inventory.New(inventory.BuildInfo{
+		Resolution:  opt.Resolution,
+		Description: opt.Description,
+	})
+	e.period = inventory.New(inventory.BuildInfo{Resolution: opt.Resolution})
+
+	if opt.JournalPath != "" {
+		e.replaying = true
+		j, err := OpenJournal(opt.JournalPath, func(entry JournalEntry) error {
+			switch entry.Kind {
+			case entryStatic:
+				e.processStatic(entry.Info, nil)
+			case entryPosition:
+				e.processPosition(entry.Pos, nil)
+			}
+			return nil
+		})
+		e.replaying = false
+		if err != nil {
+			return nil, err
+		}
+		e.journal = j
+		e.m.journalBytes.Store(j.Size())
+		// Fold replayed state into the master immediately so the first
+		// snapshot already reflects the journal.
+		e.mergePeriod(time.Now())
+	}
+	e.publish(time.Now())
+	go e.run()
+	return e, nil
+}
+
+// Snapshot returns the latest published inventory. The result is
+// immutable and safe for concurrent reads; it never observes a partially
+// merged state.
+func (e *Engine) Snapshot() *inventory.Inventory { return e.snap.Load() }
+
+// Inventory implements api.Source: serving resolves the snapshot per
+// request.
+func (e *Engine) Inventory() *inventory.Inventory { return e.Snapshot() }
+
+// SubmitPosition enqueues one decoded position report. It blocks while
+// the queue is full (backpressure) and returns ErrClosed after Close.
+func (e *Engine) SubmitPosition(rec model.PositionRecord, fs *FeedStats) error {
+	return e.submit(envelope{kind: envPosition, rec: rec, feed: fs})
+}
+
+// SubmitStatic enqueues one vessel static-inventory entry.
+func (e *Engine) SubmitStatic(v model.VesselInfo, fs *FeedStats) error {
+	return e.submit(envelope{kind: envStatic, info: v, feed: fs})
+}
+
+// SubmitItem enqueues one decoded feed item.
+func (e *Engine) SubmitItem(it feed.Item, fs *FeedStats) error {
+	switch it.Kind {
+	case feed.ItemPosition:
+		return e.SubmitPosition(it.Pos, fs)
+	case feed.ItemStatic:
+		return e.SubmitStatic(feed.StaticAsVesselInfo(it.Static), fs)
+	default:
+		return fmt.Errorf("ingest: unknown feed item kind %d", it.Kind)
+	}
+}
+
+func (e *Engine) submit(env envelope) error {
+	select {
+	case <-e.quit:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.in <- env:
+		return nil
+	case <-e.quit:
+		return ErrClosed
+	}
+}
+
+// Sync blocks until every record submitted before the call has been
+// processed and the journal is durable on disk.
+func (e *Engine) Sync() error {
+	reply := make(chan error, 1)
+	if err := e.submit(envelope{kind: envSync, reply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
+// Finalize applies end-of-stream semantics — final in-fence visits
+// complete their trips exactly as the batch extractor does at dataset end
+// — then merges and publishes. Use it when a bounded replay (a test, a
+// backfill) should converge to the batch-built inventory; a daemon
+// serving endless feeds never needs it. The engine remains usable.
+func (e *Engine) Finalize() error {
+	reply := make(chan error, 1)
+	if err := e.submit(envelope{kind: envFinalize, reply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
+// Close stops the engine: the queue is drained, a final merge publishes
+// the last snapshot, and the journal is synced and closed. Safe to call
+// more than once.
+func (e *Engine) Close() error {
+	e.closed.Do(func() { close(e.quit) })
+	<-e.loopDone
+	if e.journal != nil {
+		return e.journal.Close()
+	}
+	return nil
+}
+
+// run is the single-writer loop: it owns all mutable pipeline state.
+func (e *Engine) run() {
+	defer close(e.loopDone)
+	ticker := time.NewTicker(e.opt.MergeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case env := <-e.in:
+			e.process(env)
+		case now := <-ticker.C:
+			e.mergeAndPublish(now)
+		case <-e.quit:
+			// Drain whatever is already queued, then publish a final
+			// snapshot. In-flight submitters get ErrClosed.
+			for {
+				select {
+				case env := <-e.in:
+					e.process(env)
+				default:
+					e.mergeAndPublish(time.Now())
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Engine) process(env envelope) {
+	switch env.kind {
+	case envPosition:
+		e.processPosition(env.rec, env.feed)
+	case envStatic:
+		e.processStatic(env.info, env.feed)
+	case envSync:
+		var err error
+		if e.journal != nil {
+			err = e.journal.Sync()
+		}
+		env.reply <- err
+	case envFinalize:
+		for _, vs := range e.vessels {
+			for _, trip := range vs.tracker.Flush() {
+				e.emitTrip(trip)
+			}
+		}
+		e.mergeAndPublish(time.Now())
+		var err error
+		if e.journal != nil {
+			err = e.journal.Sync()
+		}
+		env.reply <- err
+	}
+}
+
+// processStatic updates the vessel static inventory, journaling new or
+// changed entries.
+func (e *Engine) processStatic(v model.VesselInfo, fs *FeedStats) {
+	e.m.staticsSeen.Add(1)
+	if cur, ok := e.statics[v.MMSI]; ok && cur == v {
+		return
+	}
+	e.statics[v.MMSI] = v
+	if e.journal != nil && !e.replaying {
+		if err := e.journal.AppendStatic(v); err != nil {
+			e.m.journalErrors.Add(1)
+		}
+		e.m.journalBytes.Store(e.journal.Size())
+	}
+}
+
+// processPosition runs one report through the online pipeline.
+func (e *Engine) processPosition(rec model.PositionRecord, fs *FeedStats) {
+	e.m.positionsSeen.Add(1)
+	info, ok := e.statics[rec.MMSI]
+	if !ok {
+		e.reject(fs, &e.m.rejectedUnknown)
+		return
+	}
+	if !info.IsCommercial() {
+		e.reject(fs, &e.m.rejectedNonCommercial)
+		return
+	}
+	vs, ok := e.vessels[rec.MMSI]
+	if !ok {
+		vs = &vesselState{
+			cleaner: pipeline.NewOnlineCleaner(e.opt.MaxSpeedKnots),
+			tracker: pipeline.NewTripTracker(e.opt.PortIndex, e.opt.MinTripRecords),
+		}
+		e.vessels[rec.MMSI] = vs
+		e.m.vessels.Store(int64(len(e.vessels)))
+	}
+	reason := vs.cleaner.Accept(rec)
+	// Journal every record that survived range validation and dedup — the
+	// speed filter is deterministic, so replay re-derives its verdicts and
+	// the cleaner state stays bit-identical across restarts.
+	if reason == pipeline.RejectNone || reason == pipeline.RejectInfeasible {
+		if e.journal != nil && !e.replaying {
+			if err := e.journal.AppendPosition(rec); err != nil {
+				e.m.journalErrors.Add(1)
+			}
+			e.m.journalBytes.Store(e.journal.Size())
+		}
+	}
+	switch reason {
+	case pipeline.RejectNone:
+	case pipeline.RejectRange:
+		e.reject(fs, &e.m.rejectedRange)
+		return
+	case pipeline.RejectDuplicate:
+		e.reject(fs, &e.m.rejectedDuplicate)
+		return
+	case pipeline.RejectOutOfOrder:
+		e.reject(fs, &e.m.rejectedOutOfOrder)
+		return
+	case pipeline.RejectInfeasible:
+		e.reject(fs, &e.m.rejectedInfeasible)
+		return
+	}
+	e.m.accepted.Add(1)
+	if fs != nil {
+		fs.Accepted.Add(1)
+	}
+	for _, trip := range vs.tracker.Push(rec) {
+		e.emitTrip(trip)
+	}
+}
+
+func (e *Engine) reject(fs *FeedStats, counter *atomic.Int64) {
+	counter.Add(1)
+	e.m.rejected.Add(1)
+	if fs != nil {
+		fs.Rejected.Add(1)
+	}
+}
+
+// emitTrip folds one completed trip into the current period inventory.
+func (e *Engine) emitTrip(trip pipeline.Trip) {
+	vt := e.statics[trip.Records[0].MMSI].Type
+	e.m.trips.Add(1)
+	e.m.tripRecords.Add(int64(len(trip.Records)))
+	pipeline.EmitTrip(trip, vt, e.opt.Resolution, e.opt.GroupSets,
+		func(key inventory.GroupKey, obs inventory.Observation) {
+			e.period.Observe(key, obs)
+			e.m.observations.Add(1)
+		})
+}
+
+// mergeAndPublish folds the period inventory into the master, publishes a
+// fresh snapshot, and handles journal flushing plus checkpoint cadence.
+func (e *Engine) mergeAndPublish(now time.Time) {
+	if e.period.Len() == 0 {
+		// Nothing new: keep the current snapshot (its info stays at the
+		// last merge, which is what it reflects).
+		return
+	}
+	e.mergePeriod(now)
+	snap := e.publish(now)
+	if e.journal != nil {
+		if err := e.journal.Flush(); err != nil {
+			e.m.journalErrors.Add(1)
+		}
+	}
+	e.sinceCkpt++
+	if e.opt.CheckpointPath != "" && e.sinceCkpt >= e.opt.CheckpointEvery {
+		e.sinceCkpt = 0
+		e.checkpoint(snap)
+	}
+}
+
+// mergePeriod folds the period into the master (no publication).
+func (e *Engine) mergePeriod(now time.Time) {
+	if e.period.Len() == 0 {
+		return
+	}
+	t0 := time.Now()
+	_ = e.master.MergeFrom(e.period) // same resolution by construction
+	info := e.master.Info()
+	info.RawRecords = e.m.positionsSeen.Load()
+	info.UsedRecords = e.m.tripRecords.Load()
+	info.BuiltUnix = now.Unix()
+	info.Description = e.opt.Description
+	e.master.SetInfo(info)
+	e.period = inventory.New(inventory.BuildInfo{Resolution: e.opt.Resolution})
+	d := time.Since(t0)
+	e.m.merges.Add(1)
+	e.m.lastMergeNanos.Store(int64(d))
+	e.m.totalMergeNanos.Add(int64(d))
+}
+
+// publish clones the master and swaps it in atomically.
+func (e *Engine) publish(now time.Time) *inventory.Inventory {
+	t0 := time.Now()
+	snap := e.master.Clone()
+	e.snap.Store(snap)
+	e.m.lastPublishNanos.Store(int64(time.Since(t0)))
+	e.m.lastPublishUnix.Store(now.Unix())
+	e.m.groups.Store(int64(snap.Len()))
+	return snap
+}
+
+// checkpoint writes the snapshot to the checkpoint path in the
+// background; at most one checkpoint runs at a time. Snapshots are
+// immutable, so serialization races with nothing.
+func (e *Engine) checkpoint(snap *inventory.Inventory) {
+	if !e.ckptBusy.CompareAndSwap(false, true) {
+		return // previous checkpoint still writing; skip this cadence
+	}
+	go func() {
+		defer e.ckptBusy.Store(false)
+		if err := inventory.WriteFile(snap, e.opt.CheckpointPath); err != nil {
+			e.m.checkpointErrors.Add(1)
+			return
+		}
+		e.m.checkpoints.Add(1)
+	}()
+}

@@ -1,0 +1,280 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/patternsoflife/pol/internal/ais"
+	"github.com/patternsoflife/pol/internal/geo"
+	"github.com/patternsoflife/pol/internal/model"
+)
+
+// Journal is the ingestion write-ahead log: a length-prefixed,
+// append-only file of accepted records. Replaying the journal through the
+// engine's (deterministic) cleaning and trip state machines reconstructs
+// the exact in-memory state at the moment of the last flush, so a killed
+// daemon resumes where it stopped.
+//
+// File format (little-endian):
+//
+//	header:  magic "POLWAL1\n"
+//	entries: kind u8 ('P' position | 'S' static) | len u32 | payload
+//
+// A torn final entry (crash mid-write) is detected on open and the file
+// is truncated back to the last complete entry before appending resumes.
+type Journal struct {
+	f     *os.File
+	w     *bufio.Writer
+	bytes int64
+}
+
+var walMagic = []byte("POLWAL1\n")
+
+// Journal entry kinds.
+const (
+	entryPosition byte = 'P'
+	entryStatic   byte = 'S'
+)
+
+// JournalEntry is one replayed element.
+type JournalEntry struct {
+	Kind byte
+	Pos  model.PositionRecord // Kind == 'P'
+	Info model.VesselInfo     // Kind == 'S'
+}
+
+// OpenJournal opens (or creates) the journal at path. For an existing
+// journal every complete entry is passed to replay in order before the
+// file is positioned for appending; a corrupt or torn tail is truncated.
+func OpenJournal(path string, replay func(JournalEntry) error) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open journal %s: %w", path, err)
+	}
+	j := &Journal{f: f}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingest: stat journal: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: journal header: %w", err)
+		}
+		j.bytes = int64(len(walMagic))
+	} else {
+		good, err := j.replayAll(replay)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Truncate a torn tail so appends resume from a clean boundary.
+		if good < st.Size() {
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("ingest: truncate torn journal tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: seek journal end: %w", err)
+		}
+		j.bytes = good
+	}
+	j.w = bufio.NewWriterSize(f, 1<<18)
+	return j, nil
+}
+
+// replayAll streams every complete entry to replay and returns the byte
+// offset of the last complete entry.
+func (j *Journal) replayAll(replay func(JournalEntry) error) (int64, error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("ingest: rewind journal: %w", err)
+	}
+	r := bufio.NewReaderSize(j.f, 1<<18)
+	head := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(r, head); err != nil || !bytes.Equal(head, walMagic) {
+		return 0, fmt.Errorf("ingest: bad journal magic")
+	}
+	good := int64(len(walMagic))
+	var hdr [5]byte
+	buf := make([]byte, 0, 256)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return good, nil // clean EOF or torn header
+		}
+		kind := hdr[0]
+		n := binary.LittleEndian.Uint32(hdr[1:])
+		if n > 1<<20 || (kind != entryPosition && kind != entryStatic) {
+			return good, nil // corrupt tail
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return good, nil // torn payload
+		}
+		var e JournalEntry
+		var ok bool
+		switch kind {
+		case entryPosition:
+			e.Kind = kind
+			e.Pos, ok = decodePositionEntry(buf)
+		case entryStatic:
+			e.Kind = kind
+			e.Info, ok = decodeStaticEntry(buf)
+		}
+		if !ok {
+			return good, nil // undecodable tail
+		}
+		if replay != nil {
+			if err := replay(e); err != nil {
+				return good, fmt.Errorf("ingest: journal replay: %w", err)
+			}
+		}
+		good += int64(len(hdr)) + int64(n)
+	}
+}
+
+// AppendPosition journals one accepted position record.
+func (j *Journal) AppendPosition(r model.PositionRecord) error {
+	return j.append(entryPosition, appendPositionEntry(nil, r))
+}
+
+// AppendStatic journals one vessel static-inventory entry.
+func (j *Journal) AppendStatic(v model.VesselInfo) error {
+	return j.append(entryStatic, appendStaticEntry(nil, v))
+}
+
+func (j *Journal) append(kind byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ingest: journal append: %w", err)
+	}
+	if _, err := j.w.Write(payload); err != nil {
+		return fmt.Errorf("ingest: journal append: %w", err)
+	}
+	j.bytes += int64(len(hdr)) + int64(len(payload))
+	return nil
+}
+
+// Flush pushes buffered entries to the operating system.
+func (j *Journal) Flush() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("ingest: journal flush: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs the journal — the durability barrier used at
+// merge boundaries and on shutdown.
+func (j *Journal) Sync() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the journal length in bytes including buffered entries.
+func (j *Journal) Size() int64 { return j.bytes }
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if err := j.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// appendPositionEntry encodes a position record (fixed 53 bytes).
+func appendPositionEntry(buf []byte, r model.PositionRecord) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, r.MMSI)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Time))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Pos.Lat))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Pos.Lng))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.SOG))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.COG))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Heading))
+	return append(buf, byte(r.Status))
+}
+
+func decodePositionEntry(b []byte) (model.PositionRecord, bool) {
+	if len(b) != 53 {
+		return model.PositionRecord{}, false
+	}
+	return model.PositionRecord{
+		MMSI: binary.LittleEndian.Uint32(b),
+		Time: int64(binary.LittleEndian.Uint64(b[4:])),
+		Pos: geo.LatLng{
+			Lat: math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
+			Lng: math.Float64frombits(binary.LittleEndian.Uint64(b[20:])),
+		},
+		SOG:     math.Float64frombits(binary.LittleEndian.Uint64(b[28:])),
+		COG:     math.Float64frombits(binary.LittleEndian.Uint64(b[36:])),
+		Heading: math.Float64frombits(binary.LittleEndian.Uint64(b[44:])),
+		Status:  ais.NavStatus(b[52]),
+	}, true
+}
+
+// appendStaticEntry encodes a vessel static-inventory entry.
+func appendStaticEntry(buf []byte, v model.VesselInfo) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, v.MMSI)
+	buf = binary.LittleEndian.AppendUint32(buf, v.IMO)
+	buf = append(buf, byte(v.Type))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.GRT))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.LengthM))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.BeamM))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.DesignSpeed))
+	if v.ClassA {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, byte(len(v.Name)))
+	buf = append(buf, v.Name...)
+	buf = append(buf, byte(len(v.CallSign)))
+	return append(buf, v.CallSign...)
+}
+
+func decodeStaticEntry(b []byte) (model.VesselInfo, bool) {
+	const fixed = 4 + 4 + 1 + 8 + 4 + 4 + 8 + 1
+	if len(b) < fixed+2 {
+		return model.VesselInfo{}, false
+	}
+	v := model.VesselInfo{
+		MMSI:        binary.LittleEndian.Uint32(b),
+		IMO:         binary.LittleEndian.Uint32(b[4:]),
+		Type:        model.VesselType(b[8]),
+		GRT:         int(int64(binary.LittleEndian.Uint64(b[9:]))),
+		LengthM:     int(binary.LittleEndian.Uint32(b[17:])),
+		BeamM:       int(binary.LittleEndian.Uint32(b[21:])),
+		DesignSpeed: math.Float64frombits(binary.LittleEndian.Uint64(b[25:])),
+		ClassA:      b[33] == 1,
+	}
+	p := b[fixed:]
+	nameLen := int(p[0])
+	if len(p) < 1+nameLen+1 {
+		return model.VesselInfo{}, false
+	}
+	v.Name = string(p[1 : 1+nameLen])
+	p = p[1+nameLen:]
+	callLen := int(p[0])
+	if len(p) != 1+callLen {
+		return model.VesselInfo{}, false
+	}
+	v.CallSign = string(p[1 : 1+callLen])
+	return v, true
+}

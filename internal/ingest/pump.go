@@ -1,0 +1,38 @@
+package ingest
+
+import (
+	"io"
+
+	"github.com/patternsoflife/pol/internal/feed"
+)
+
+// PumpFeed decodes one timestamped-NMEA stream and submits every item to
+// the engine until EOF or error, mirroring the feed reader's counters
+// into fs after each item so the stats endpoint tracks live progress. It
+// returns nil on clean EOF. Submission blocks when the engine queue is
+// full — that is the backpressure path.
+func PumpFeed(eng *Engine, r io.Reader, fs *FeedStats) error {
+	fr := feed.NewReader(r)
+	sync := func() {
+		st := fr.Stats()
+		fs.Lines.Store(st.Lines)
+		fs.BadLines.Store(st.BadLines)
+		fs.BadNMEA.Store(st.BadNMEA)
+		fs.Positions.Store(st.Positions)
+		fs.Statics.Store(st.Statics)
+	}
+	defer sync()
+	for {
+		it, err := fr.NextItem()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		sync()
+		if err := eng.SubmitItem(it, fs); err != nil {
+			return err
+		}
+	}
+}

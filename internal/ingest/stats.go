@@ -1,0 +1,175 @@
+package ingest
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the engine-wide counter block. All fields are atomics:
+// written by the engine loop and the feed goroutines, read lock-free by
+// the stats endpoint.
+type metrics struct {
+	positionsSeen         atomic.Int64
+	staticsSeen           atomic.Int64
+	accepted              atomic.Int64
+	rejected              atomic.Int64
+	rejectedUnknown       atomic.Int64
+	rejectedNonCommercial atomic.Int64
+	rejectedRange         atomic.Int64
+	rejectedDuplicate     atomic.Int64
+	rejectedOutOfOrder    atomic.Int64
+	rejectedInfeasible    atomic.Int64
+	trips                 atomic.Int64
+	tripRecords           atomic.Int64
+	observations          atomic.Int64
+	vessels               atomic.Int64
+	groups                atomic.Int64
+	merges                atomic.Int64
+	lastMergeNanos        atomic.Int64
+	totalMergeNanos       atomic.Int64
+	lastPublishNanos      atomic.Int64
+	lastPublishUnix       atomic.Int64
+	journalBytes          atomic.Int64
+	journalErrors         atomic.Int64
+	checkpoints           atomic.Int64
+	checkpointErrors      atomic.Int64
+}
+
+// FeedStats tracks one feed connection. The TCP server registers one per
+// accepted connection; in-process submitters may register their own via
+// Engine.RegisterFeed.
+type FeedStats struct {
+	Remote    string
+	OpenedAt  time.Time
+	Lines     atomic.Int64 // raw input lines relayed by the feed reader
+	BadLines  atomic.Int64 // unparseable framing
+	BadNMEA   atomic.Int64 // checksum / assembly failures
+	Positions atomic.Int64 // decoded position reports
+	Statics   atomic.Int64 // decoded static reports
+	Accepted  atomic.Int64 // positions accepted by the cleaner
+	Rejected  atomic.Int64 // positions rejected (any reason)
+	Closed    atomic.Bool
+	Err       atomic.Pointer[string]
+}
+
+// RegisterFeed adds a named feed to the stats registry and returns its
+// counter block.
+func (e *Engine) RegisterFeed(remote string) *FeedStats {
+	fs := &FeedStats{Remote: remote, OpenedAt: time.Now()}
+	e.feedsMu.Lock()
+	e.feeds = append(e.feeds, fs)
+	e.feedsMu.Unlock()
+	return fs
+}
+
+// FeedSnapshot is the JSON form of one feed's counters.
+type FeedSnapshot struct {
+	Remote    string `json:"remote"`
+	OpenedAt  string `json:"opened_at"`
+	Closed    bool   `json:"closed"`
+	Error     string `json:"error,omitempty"`
+	Lines     int64  `json:"lines"`
+	BadLines  int64  `json:"bad_lines"`
+	BadNMEA   int64  `json:"bad_nmea"`
+	Positions int64  `json:"positions"`
+	Statics   int64  `json:"statics"`
+	Accepted  int64  `json:"accepted"`
+	Rejected  int64  `json:"rejected"`
+}
+
+// Stats is the JSON document served by StatsHandler.
+type Stats struct {
+	PositionsSeen int64 `json:"positions_seen"`
+	StaticsSeen   int64 `json:"statics_seen"`
+	Accepted      int64 `json:"accepted"`
+	Rejected      int64 `json:"rejected"`
+	RejectedBy    struct {
+		UnknownVessel int64 `json:"unknown_vessel"`
+		NonCommercial int64 `json:"non_commercial"`
+		Range         int64 `json:"range"`
+		Duplicate     int64 `json:"duplicate"`
+		OutOfOrder    int64 `json:"out_of_order"`
+		Infeasible    int64 `json:"infeasible"`
+	} `json:"rejected_by"`
+	Trips            int64          `json:"trips"`
+	TripRecords      int64          `json:"trip_records"`
+	Observations     int64          `json:"observations"`
+	Vessels          int64          `json:"vessels"`
+	Groups           int64          `json:"groups"`
+	Merges           int64          `json:"merges"`
+	LastMergeMicros  int64          `json:"last_merge_us"`
+	AvgMergeMicros   int64          `json:"avg_merge_us"`
+	LastPublishUnix  int64          `json:"last_publish_unix"`
+	JournalBytes     int64          `json:"journal_bytes"`
+	JournalErrors    int64          `json:"journal_errors"`
+	Checkpoints      int64          `json:"checkpoints"`
+	CheckpointErrors int64          `json:"checkpoint_errors"`
+	Feeds            []FeedSnapshot `json:"feeds"`
+}
+
+// StatsSnapshot collects the current counters.
+func (e *Engine) StatsSnapshot() Stats {
+	var s Stats
+	s.PositionsSeen = e.m.positionsSeen.Load()
+	s.StaticsSeen = e.m.staticsSeen.Load()
+	s.Accepted = e.m.accepted.Load()
+	s.Rejected = e.m.rejected.Load()
+	s.RejectedBy.UnknownVessel = e.m.rejectedUnknown.Load()
+	s.RejectedBy.NonCommercial = e.m.rejectedNonCommercial.Load()
+	s.RejectedBy.Range = e.m.rejectedRange.Load()
+	s.RejectedBy.Duplicate = e.m.rejectedDuplicate.Load()
+	s.RejectedBy.OutOfOrder = e.m.rejectedOutOfOrder.Load()
+	s.RejectedBy.Infeasible = e.m.rejectedInfeasible.Load()
+	s.Trips = e.m.trips.Load()
+	s.TripRecords = e.m.tripRecords.Load()
+	s.Observations = e.m.observations.Load()
+	s.Vessels = e.m.vessels.Load()
+	s.Groups = e.m.groups.Load()
+	s.Merges = e.m.merges.Load()
+	s.LastMergeMicros = e.m.lastMergeNanos.Load() / 1000
+	if n := s.Merges; n > 0 {
+		s.AvgMergeMicros = e.m.totalMergeNanos.Load() / n / 1000
+	}
+	s.LastPublishUnix = e.m.lastPublishUnix.Load()
+	s.JournalBytes = e.m.journalBytes.Load()
+	s.JournalErrors = e.m.journalErrors.Load()
+	s.Checkpoints = e.m.checkpoints.Load()
+	s.CheckpointErrors = e.m.checkpointErrors.Load()
+
+	e.feedsMu.Lock()
+	feeds := make([]*FeedStats, len(e.feeds))
+	copy(feeds, e.feeds)
+	e.feedsMu.Unlock()
+	s.Feeds = make([]FeedSnapshot, 0, len(feeds))
+	for _, fs := range feeds {
+		fsnap := FeedSnapshot{
+			Remote:    fs.Remote,
+			OpenedAt:  fs.OpenedAt.UTC().Format(time.RFC3339),
+			Closed:    fs.Closed.Load(),
+			Lines:     fs.Lines.Load(),
+			BadLines:  fs.BadLines.Load(),
+			BadNMEA:   fs.BadNMEA.Load(),
+			Positions: fs.Positions.Load(),
+			Statics:   fs.Statics.Load(),
+			Accepted:  fs.Accepted.Load(),
+			Rejected:  fs.Rejected.Load(),
+		}
+		if p := fs.Err.Load(); p != nil {
+			fsnap.Error = *p
+		}
+		s.Feeds = append(s.Feeds, fsnap)
+	}
+	return s
+}
+
+// StatsHandler serves the live ingestion counters as JSON.
+func (e *Engine) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e.StatsSnapshot())
+	})
+}

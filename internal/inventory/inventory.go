@@ -3,6 +3,7 @@ package inventory
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/patternsoflife/pol/internal/geo"
 	"github.com/patternsoflife/pol/internal/hexgrid"
@@ -19,14 +20,24 @@ type BuildInfo struct {
 }
 
 // Inventory is the in-memory global inventory: group identifier →
-// statistical summary. It is immutable after Build/Load aside from the
-// explicit Put used by builders.
+// statistical summary.
+//
+// Concurrency contract: writes (Put, Observe, MergeFrom, SetInfo) are
+// single-writer and must not run concurrently with readers on the same
+// instance. The live-serving pattern is copy-on-publish: one owner
+// goroutine mutates a private master inventory and publishes immutable
+// deep copies (Clone) through an atomic.Pointer[Inventory]; any number of
+// goroutines may then read a published snapshot concurrently — the lazily
+// built OD index is the only internal mutation on the read path and is
+// guarded by a mutex.
 type Inventory struct {
 	info   BuildInfo
 	groups map[GroupKey]*CellSummary
 
 	// Secondary index for route forecasting: (origin, dest, vtype) → cells,
-	// built lazily.
+	// built lazily under odMu so concurrent readers of a published snapshot
+	// are safe.
+	odMu    sync.Mutex
 	odIndex map[odKey][]hexgrid.Cell
 }
 
@@ -49,21 +60,48 @@ func (inv *Inventory) SetInfo(info BuildInfo) { inv.info = info }
 // Len returns the number of groups across all grouping sets.
 func (inv *Inventory) Len() int { return len(inv.groups) }
 
-// Put inserts or merges a summary under the key.
+// Put inserts or merges a summary under the key. Writer-side only — see
+// the type's concurrency contract.
 func (inv *Inventory) Put(key GroupKey, s *CellSummary) {
 	if cur, ok := inv.groups[key]; ok {
 		cur.Merge(s)
 		return
 	}
 	inv.groups[key] = s
+	inv.odMu.Lock()
 	inv.odIndex = nil
+	inv.odMu.Unlock()
+}
+
+// Observe folds one observation into the summary of the key, creating the
+// group on first sight — the accumulation primitive of the live ingestion
+// path (one call per grouping set per accepted trip record). Writer-side
+// only.
+func (inv *Inventory) Observe(key GroupKey, o Observation) {
+	s, ok := inv.groups[key]
+	if !ok {
+		s = NewCellSummary()
+		inv.groups[key] = s
+		inv.odMu.Lock()
+		inv.odIndex = nil
+		inv.odMu.Unlock()
+	}
+	s.Add(o)
 }
 
 // MergeFrom folds another inventory of the same resolution into this one —
-// the incremental-update path: periodic (e.g. monthly) builds merge into a
-// running yearly inventory without re-scanning raw data, because every
-// Table-3 statistic is a mergeable sketch. It returns an error on
+// the incremental-update path: periodic (micro-batch or monthly) builds
+// merge into a running inventory without re-scanning raw data, because
+// every Table-3 statistic is a mergeable sketch. It returns an error on
 // resolution mismatch.
+//
+// MergeFrom is writer-side: it must not run concurrently with any other
+// method on the receiver, and other must not be mutated during the merge.
+// Summaries from other are deep-copied, so other may be discarded or
+// mutated afterwards. Readers must never hold the receiver while it
+// merges; the supported pattern is merging into a private master and
+// publishing Clone() snapshots atomically (see the type documentation and
+// TestConcurrentSnapshotServing).
 func (inv *Inventory) MergeFrom(other *Inventory) error {
 	if other.info.Resolution != inv.info.Resolution {
 		return fmt.Errorf("inventory: merge resolution %d into %d",
@@ -78,6 +116,17 @@ func (inv *Inventory) MergeFrom(other *Inventory) error {
 	inv.info.RawRecords += other.info.RawRecords
 	inv.info.UsedRecords += other.info.UsedRecords
 	return nil
+}
+
+// Clone returns a deep copy of the inventory: fresh summaries (every
+// sketch duplicated) and identical build info. The copy shares no mutable
+// state with the receiver, so a live builder can keep mutating its master
+// while readers query the published clone.
+func (inv *Inventory) Clone() *Inventory {
+	c := New(BuildInfo{Resolution: inv.info.Resolution})
+	_ = c.MergeFrom(inv) // same resolution by construction
+	c.info = inv.info
+	return c
 }
 
 // Get returns the summary for an exact group identifier.
@@ -150,6 +199,8 @@ func (inv *Inventory) MostFrequentDestination(cell hexgrid.Cell) (model.PortID, 
 // of possible transition locations for the selected key"). The result is
 // sorted for determinism.
 func (inv *Inventory) ODCells(origin, dest model.PortID, vt model.VesselType) []hexgrid.Cell {
+	inv.odMu.Lock()
+	defer inv.odMu.Unlock()
 	if inv.odIndex == nil {
 		inv.odIndex = make(map[odKey][]hexgrid.Cell)
 		for k := range inv.groups {

@@ -18,8 +18,6 @@ import (
 	"time"
 
 	"github.com/patternsoflife/pol/internal/dataflow"
-	"github.com/patternsoflife/pol/internal/geo"
-	"github.com/patternsoflife/pol/internal/hexgrid"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/ports"
@@ -226,31 +224,20 @@ func cleanVesselCounted(recs []model.PositionRecord, maxSpeedKnots float64) (cle
 	}
 	sort.SliceStable(valid, func(i, j int) bool { return valid[i].Time < valid[j].Time })
 
-	// Deduplicate identical timestamps first so the valid count matches the
-	// paper's "after cleaning" notion, then apply the speed filter.
-	dedup := valid[:0]
-	var prevTime int64 = math.MinInt64
+	// Deduplication and the speed filter run through the shared online
+	// state machine: the batch path is "sort, then stream". The valid count
+	// (after range validation and deduplication, before the speed filter)
+	// matches the paper's "after cleaning" notion.
+	c := NewOnlineCleaner(maxSpeedKnots)
+	out := valid[:0]
 	for _, r := range valid {
-		if r.Time == prevTime {
-			continue
+		switch c.Accept(r) {
+		case RejectNone:
+			out = append(out, r)
+			validCount++
+		case RejectInfeasible:
+			validCount++ // survived dedup; dropped by the speed filter only
 		}
-		dedup = append(dedup, r)
-		prevTime = r.Time
-	}
-	validCount = int64(len(dedup))
-
-	out := dedup[:0]
-	var last *model.PositionRecord
-	for i := range dedup {
-		r := dedup[i]
-		if last != nil {
-			dt := float64(r.Time - last.Time)
-			if geo.SpeedKnots(last.Pos, r.Pos, dt) > maxSpeedKnots {
-				continue // physically infeasible transition
-			}
-		}
-		out = append(out, r)
-		last = &out[len(out)-1]
 	}
 	return out, validCount
 }
@@ -305,80 +292,17 @@ const (
 // consecutive port calls form one trip; a call requires an actual stop
 // (fence transits do not split trips). Berth records and records that
 // cannot be attributed to a complete port-to-port trip are excluded, as in
-// the paper (Figure 2.b).
+// the paper (Figure 2.b). The batch path streams through the shared
+// TripTracker state machine so the live ingest behaves identically.
 func ExtractTrips(recs []model.PositionRecord, portIdx *ports.Index, minRecords int) []Trip {
+	tr := NewTripTracker(portIdx, minRecords)
 	var trips []Trip
-	var cur *Trip
-	lastPort := model.NoPort
-
-	// visit buffers the records of an in-progress geofence visit.
-	var visit []model.PositionRecord
-	visitPort := model.NoPort
-
-	isCall := func() bool {
-		if len(visit) == 0 {
-			return false
-		}
-		for _, r := range visit {
-			if !math.IsNaN(r.SOG) && r.SOG <= CallStopSpeedKnots {
-				return true
-			}
-		}
-		return visit[len(visit)-1].Time-visit[0].Time >= CallMinDwellSeconds
-	}
-	closeTrip := func(dest model.PortID) {
-		// A loop back into the origin port is not a trip.
-		if cur != nil && dest != cur.Origin && len(cur.Records) >= minRecords {
-			cur.Dest = dest
-			cur.ArriveTime = cur.Records[len(cur.Records)-1].Time
-			cur.ID = tripID(cur.Records[0].MMSI, cur.DepartTime)
-			trips = append(trips, *cur)
-		}
-		cur = nil
-	}
-	endVisit := func() {
-		if visitPort == model.NoPort {
-			return
-		}
-		if isCall() {
-			closeTrip(visitPort)
-			lastPort = visitPort
-		} else if cur != nil {
-			// Transit pass: the vessel sailed through the port area without
-			// stopping; its records remain part of the ongoing trip.
-			cur.Records = append(cur.Records, visit...)
-		}
-		visit = nil
-		visitPort = model.NoPort
-	}
-
 	for _, r := range recs {
-		port, inPort := portIdx.PortAt(r.Pos)
-		if inPort {
-			if visitPort != model.NoPort && port != visitPort {
-				// Drifted into an adjacent overlapping fence: treat as a
-				// new visit.
-				endVisit()
-			}
-			visitPort = port
-			visit = append(visit, r)
-			continue
-		}
-		endVisit()
-		if cur == nil {
-			if lastPort == model.NoPort {
-				continue // no known origin: excluded
-			}
-			cur = &Trip{Origin: lastPort, DepartTime: r.Time}
-		}
-		cur.Records = append(cur.Records, r)
+		trips = append(trips, tr.Push(r)...)
 	}
-	// Stream end: a final in-fence visit may still complete the trip.
-	if visitPort != model.NoPort && isCall() {
-		closeTrip(visitPort)
-	}
-	// An unfinished trip (vessel still at sea at dataset end) is excluded.
-	return trips
+	// Stream end: a final in-fence visit may still complete the trip; an
+	// unfinished trip (vessel still at sea at dataset end) is excluded.
+	return append(trips, tr.Flush()...)
 }
 
 // tripID builds a unique trip identifier from the vessel and departure
@@ -391,36 +315,7 @@ func tripID(mmsi uint32, departTime int64) uint64 {
 // observation per enabled grouping set per record, including the forward
 // cell transition (§3.3.4 "transitions" feature).
 func emitTrip(trip Trip, vt model.VesselType, opt Options, out *[]dataflow.Pair[inventory.GroupKey, inventory.Observation]) {
-	n := len(trip.Records)
-	cells := make([]hexgrid.Cell, n)
-	for i, r := range trip.Records {
-		cells[i] = hexgrid.LatLngToCell(r.Pos, opt.Resolution)
-	}
-	for i, r := range trip.Records {
-		// The transition target is the next distinct cell within the trip,
-		// preserving message order (§3.3.4).
-		next := hexgrid.InvalidCell
-		for j := i + 1; j < n; j++ {
-			if cells[j] != cells[i] {
-				next = cells[j]
-				break
-			}
-		}
-		obs := inventory.Observation{
-			Rec: model.TripRecord{
-				PositionRecord: r,
-				VType:          vt,
-				TripID:         trip.ID,
-				Origin:         trip.Origin,
-				Dest:           trip.Dest,
-				DepartTime:     trip.DepartTime,
-				ArriveTime:     trip.ArriveTime,
-			},
-			NextCell: next,
-		}
-		for _, set := range opt.GroupSets {
-			key := inventory.NewGroupKey(set, cells[i], vt, trip.Origin, trip.Dest)
-			*out = append(*out, dataflow.Pair[inventory.GroupKey, inventory.Observation]{Key: key, Value: obs})
-		}
-	}
+	EmitTrip(trip, vt, opt.Resolution, opt.GroupSets, func(key inventory.GroupKey, obs inventory.Observation) {
+		*out = append(*out, dataflow.Pair[inventory.GroupKey, inventory.Observation]{Key: key, Value: obs})
+	})
 }

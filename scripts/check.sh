@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repository check suite — the same steps as `make check`, for environments
+# without make. Run from the repository root.
+set -e
+
+echo "== gofmt =="
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race -count=1 ./internal/ingest/ ./internal/inventory/ ./internal/stream/
+
+echo "all checks passed"
