@@ -16,7 +16,13 @@
 //
 // Endpoints (see internal/api for the query surface):
 //
-//	GET /v1/ingest/stats    live per-feed and engine counters
+//	GET /v1/ingest/stats    live per-feed and engine counters (JSON),
+//	                        including uptime and snapshot age
+//	GET /v1/ops/anomalies   watchdog baselines and anomaly history
+//	GET /metrics            Prometheus-style telemetry
+//	GET /healthz            liveness probe
+//	GET /readyz             readiness: 503 until the first data snapshot
+//	GET /debug/pprof/       profiling handlers (behind -pprof)
 //	GET /v1/info, /v1/cell, /v1/eta, ...
 package main
 
@@ -24,22 +30,23 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/patternsoflife/pol/internal/api"
 	"github.com/patternsoflife/pol/internal/ingest"
+	"github.com/patternsoflife/pol/internal/obs"
 	"github.com/patternsoflife/pol/internal/ports"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("polingest: ")
-
 	var (
 		listen    = flag.String("listen", ":10110", "NMEA feed listen address")
 		httpAddr  = flag.String("http", ":8080", "HTTP listen address (query API + stats)")
@@ -50,12 +57,18 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 16, "merges between checkpoints")
 		queue     = flag.Int("queue", 4096, "submission queue depth (backpressure bound)")
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop feeds silent for this long")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
+		wdTick    = flag.Duration("watchdog-tick", 10*time.Second, "anomaly watchdog sampling interval")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "polingest")
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	reg := obs.NewRegistry()
 	t0 := time.Now()
 	eng, err := ingest.NewEngine(ingest.Options{
 		Resolution:      *res,
@@ -65,27 +78,59 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		QueueSize:       *queue,
 		Description:     "polingest live inventory",
+		Metrics:         reg,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("engine start", "err", err)
+		os.Exit(1)
 	}
 	if n := eng.Snapshot().Len(); n > 0 {
-		log.Printf("journal replay: %d groups in %v", n, time.Since(t0).Round(time.Millisecond))
+		logger.Info("journal replayed", "groups", n, "dur", time.Since(t0).Round(time.Millisecond))
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("feed listen", "err", err)
+		os.Exit(1)
 	}
-	feeds := ingest.NewServer(eng, ln, ingest.ServerOptions{IdleTimeout: *idle})
-	log.Printf("accepting NMEA feeds on %s", ln.Addr())
+	feeds := ingest.NewServer(eng, ln, ingest.ServerOptions{
+		IdleTimeout: *idle,
+		Logf: func(format string, args ...any) {
+			logger.With("sub", "feeds").Info(fmt.Sprintf(format, args...))
+		},
+	})
+	logger.Info("accepting NMEA feeds", "addr", ln.Addr().String())
+
+	wd := obs.NewWatchdog(reg, obs.WatchdogOptions{
+		Interval: *wdTick,
+		Logger:   logger.With("sub", "watchdog"),
+	})
+	eng.AttachWatchdog(wd)
+	wd.Start()
 
 	mux := http.NewServeMux()
-	mux.Handle("/", api.NewLiveServer(eng, ports.Default()).Handler())
+	mux.Handle("/", api.NewLiveServer(eng, ports.Default()).WithMetrics(reg).Handler())
 	mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
+	mux.Handle("GET /v1/ops/anomalies", wd.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /healthz", obs.HealthzHandler())
+	mux.Handle("GET /readyz", obs.ReadyzHandler(eng.Ready))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	var handler http.Handler = mux
+	if *accessLog {
+		handler = obs.AccessLog(logger.With("sub", "http"), handler)
+	}
 	httpSrv := &http.Server{
 		Addr:              *httpAddr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -93,24 +138,26 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("HTTP on %s", *httpAddr)
+	logger.Info("http listening", "addr", *httpAddr)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("http serve", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
+	wd.Stop()
 	if err := feeds.Close(); err != nil {
-		log.Printf("feed listener close: %v", err)
+		logger.Error("feed listener close", "err", err)
 	}
 	if err := eng.Close(); err != nil {
-		log.Printf("engine close: %v", err)
+		logger.Error("engine close", "err", err)
 	}
-	log.Print("bye")
+	logger.Info("bye")
 }

@@ -8,19 +8,34 @@
 // seen moments ago. Either way the process shuts down cleanly on
 // SIGINT/SIGTERM, draining in-flight requests.
 //
+// Operational endpoints:
+//
+//	GET /metrics            Prometheus-style telemetry (per-endpoint
+//	                        latency histograms, ingest counters,
+//	                        pipeline stage durations, watchdog gauges)
+//	GET /healthz            liveness (200 while the process serves)
+//	GET /readyz             readiness (live mode: 503 until the first
+//	                        data snapshot is published)
+//	GET /v1/ops/anomalies   watchdog baselines and anomaly history
+//	                        (live mode)
+//	GET /debug/pprof/       profiling handlers (behind -pprof)
+//
 // Usage:
 //
 //	polserve -inv fleet.polinv -addr :8080
-//	polserve -live -listen :10110 -addr :8080 -journal live.wal
+//	polserve -live -listen :10110 -addr :8080 -journal live.wal -pprof
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -28,13 +43,11 @@ import (
 	"github.com/patternsoflife/pol/internal/api"
 	"github.com/patternsoflife/pol/internal/ingest"
 	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/obs"
 	"github.com/patternsoflife/pol/internal/ports"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("polserve: ")
-
 	var (
 		invPath = flag.String("inv", "inventory.polinv", "inventory file (batch mode)")
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
@@ -47,14 +60,21 @@ func main() {
 		ckpt      = flag.String("checkpoint", "", "periodic inventory checkpoint path (live mode)")
 		ckptEvery = flag.Int("checkpoint-every", 16, "merges between checkpoints (live mode)")
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop feeds silent for this long (live mode)")
+
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "polserve")
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	reg := obs.NewRegistry()
 	mux := http.NewServeMux()
 	gaz := ports.Default()
+	ready := func() bool { return true }
 	var cleanup func()
 
 	if *live {
@@ -65,39 +85,63 @@ func main() {
 			CheckpointPath:  *ckpt,
 			CheckpointEvery: *ckptEvery,
 			Description:     "polserve live ingestion",
+			Metrics:         reg,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "engine start", err)
 		}
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "feed listen", err)
 		}
-		feeds := ingest.NewServer(eng, ln, ingest.ServerOptions{IdleTimeout: *idle})
-		log.Printf("live mode: feeds on %s, %d replayed groups", ln.Addr(), eng.Snapshot().Len())
-		mux.Handle("/", api.NewLiveServer(eng, gaz).Handler())
+		feeds := ingest.NewServer(eng, ln, ingest.ServerOptions{
+			IdleTimeout: *idle,
+			Logf:        logf(logger.With("sub", "feeds")),
+		})
+		logger.Info("live mode", "feeds", ln.Addr().String(), "replayedGroups", eng.Snapshot().Len())
+
+		wd := obs.NewWatchdog(reg, obs.WatchdogOptions{Logger: logger.With("sub", "watchdog")})
+		eng.AttachWatchdog(wd)
+		wd.Start()
+
+		mux.Handle("/", api.NewLiveServer(eng, gaz).WithMetrics(reg).Handler())
 		mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
+		mux.Handle("GET /v1/ops/anomalies", wd.Handler())
+		ready = eng.Ready
 		cleanup = func() {
+			wd.Stop()
 			if err := feeds.Close(); err != nil {
-				log.Printf("feed listener close: %v", err)
+				logger.Error("feed listener close", "err", err)
 			}
 			if err := eng.Close(); err != nil {
-				log.Printf("engine close: %v", err)
+				logger.Error("engine close", "err", err)
 			}
 		}
 	} else {
 		inv, err := inventory.LoadFile(*invPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "inventory load", err)
 		}
-		log.Printf("serving %s (%d groups)", *invPath, inv.Len())
-		mux.Handle("/", api.NewServer(inv, gaz).Handler())
+		logger.Info("serving inventory", "path", *invPath, "groups", inv.Len())
+		mux.Handle("/", api.NewServer(inv, gaz).WithMetrics(reg).Handler())
 		cleanup = func() {}
 	}
 
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /healthz", obs.HealthzHandler())
+	mux.Handle("GET /readyz", obs.ReadyzHandler(ready))
+	if *pprofOn {
+		mountPprof(mux)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	var handler http.Handler = mux
+	if *accessLog {
+		handler = obs.AccessLog(logger.With("sub", "http"), handler)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -105,19 +149,44 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("HTTP on %s", *addr)
+	logger.Info("http listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(logger, "http serve", err)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	cleanup()
-	log.Print("bye")
+	logger.Info("bye")
+}
+
+// fatal logs the error and exits non-zero — the slog replacement for
+// log.Fatal.
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+// logf adapts a slog logger to the printf-style hook the feed server
+// takes.
+func logf(logger *slog.Logger) func(string, ...any) {
+	return func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
+}
+
+// mountPprof registers the profiling handlers on an explicit mux (the
+// pprof package only self-registers on http.DefaultServeMux).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -5,12 +5,16 @@
 //
 // Endpoints:
 //
-//	GET /v1/info                         build info and group counts
+//	GET /v1/info                         build info, group counts, live status
 //	GET /v1/cell?lat=&lng=[&type=]       per-location statistical summary
-//	GET /v1/destinations?lat=&lng=&n=    top destinations at a location
+//	GET /v1/destinations?lat=&lng=[&n=&type=]  top destinations at a location
 //	GET /v1/eta?lat=&lng=[&origin=&dest=&type=]  baseline ETA estimate
 //	GET /v1/odcells?origin=&dest=&type=  cells of an OD key
 //	GET /v1/forecast?origin=&dest=&type=&lat=&lng=  route forecast (A*)
+//
+// When a telemetry registry is attached with WithMetrics, every endpoint
+// is wrapped in the obs middleware: request counts per status class and a
+// latency histogram per endpoint, exposed by the daemon's /metrics.
 package api
 
 import (
@@ -26,6 +30,7 @@ import (
 	"github.com/patternsoflife/pol/internal/hexgrid"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/obs"
 	"github.com/patternsoflife/pol/internal/ports"
 	"github.com/patternsoflife/pol/internal/routing"
 )
@@ -44,10 +49,20 @@ type StaticSource struct{ Inv *inventory.Inventory }
 // Inventory implements Source.
 func (s StaticSource) Inventory() *inventory.Inventory { return s.Inv }
 
+// LiveStatus is implemented by live sources (the ingestion engine) that
+// can report process uptime and the age of the served snapshot. When the
+// Server's source implements it, /v1/info includes a "live" block so
+// staleness is visible without client-side math.
+type LiveStatus interface {
+	Uptime() time.Duration
+	SnapshotAge() time.Duration
+}
+
 // Server answers inventory queries over HTTP.
 type Server struct {
 	src Source
 	gaz *ports.Gazetteer
+	reg *obs.Registry
 }
 
 // NewServer builds a Server over a loaded inventory and port gazetteer.
@@ -61,15 +76,35 @@ func NewLiveServer(src Source, gaz *ports.Gazetteer) *Server {
 	return &Server{src: src, gaz: gaz}
 }
 
+// WithMetrics attaches a telemetry registry: Handler wraps every endpoint
+// in the per-endpoint metrics middleware. Returns the Server for
+// chaining.
+func (s *Server) WithMetrics(reg *obs.Registry) *Server {
+	s.reg = reg
+	return s
+}
+
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
+	routes := []struct {
+		endpoint string
+		h        http.HandlerFunc
+	}{
+		{"/v1/info", s.handleInfo},
+		{"/v1/cell", s.handleCell},
+		{"/v1/destinations", s.handleDestinations},
+		{"/v1/eta", s.handleETA},
+		{"/v1/odcells", s.handleODCells},
+		{"/v1/forecast", s.handleForecast},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/info", s.handleInfo)
-	mux.HandleFunc("GET /v1/cell", s.handleCell)
-	mux.HandleFunc("GET /v1/destinations", s.handleDestinations)
-	mux.HandleFunc("GET /v1/eta", s.handleETA)
-	mux.HandleFunc("GET /v1/odcells", s.handleODCells)
-	mux.HandleFunc("GET /v1/forecast", s.handleForecast)
+	for _, rt := range routes {
+		var h http.Handler = rt.h
+		if s.reg != nil {
+			h = obs.Instrument(s.reg, rt.endpoint, h)
+		}
+		mux.Handle("GET "+rt.endpoint, h)
+	}
 	return mux
 }
 
@@ -148,7 +183,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	for _, gs := range inventory.AllGroupSets {
 		groups[gs.String()] = inv.CountGroups(gs)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"resolution":  bi.Resolution,
 		"rawRecords":  bi.RawRecords,
 		"usedRecords": bi.UsedRecords,
@@ -157,7 +192,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		"groups":      groups,
 		"cells":       len(inv.Cells(inventory.GSCell)),
 		"utilization": inv.Utilization(),
-	})
+	}
+	if ls, ok := s.src.(LiveStatus); ok {
+		out["live"] = map[string]any{
+			"uptimeSeconds":      int64(ls.Uptime().Seconds()),
+			"snapshotAgeSeconds": int64(ls.SnapshotAge().Seconds()),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // Summary is the JSON shape of a cell's statistical summary.
@@ -256,7 +298,22 @@ func (s *Server) handleDestinations(w http.ResponseWriter, r *http.Request) {
 	if n <= 0 {
 		n = 5
 	}
-	cs, ok := s.src.Inventory().At(p)
+	vt, err := ParseVesselType(r.URL.Query().Get("type"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	inv := s.src.Inventory()
+	cell := hexgrid.LatLngToCell(p, inv.Info().Resolution)
+	var cs *inventory.CellSummary
+	var ok bool
+	if vt != model.VesselUnknown {
+		// Same type-filter semantics as /v1/cell: the (cell, vessel-type)
+		// grouping set narrows destinations to the requested segment.
+		cs, ok = inv.TypeSummary(cell, vt)
+	} else {
+		cs, ok = inv.Cell(cell)
+	}
 	if !ok {
 		httpError(w, http.StatusNotFound, "no historical traffic at %.3f,%.3f", p.Lat, p.Lng)
 		return

@@ -1,0 +1,143 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/ports"
+)
+
+// TestDestinationsTypeFilter verifies /v1/destinations accepts the type
+// parameter with the same semantics as /v1/cell: the (cell, vessel-type)
+// grouping set narrows results to one market segment.
+func TestDestinationsTypeFilter(t *testing.T) {
+	f, ts := setup(t)
+
+	// Find a lane location and a vessel type with traffic there.
+	var query, typeName string
+	for _, v := range f.CompletedVoyages() {
+		track := f.TrackDuring(v)
+		if len(track) < 10 {
+			continue
+		}
+		mid := track[len(track)/2]
+		if _, ok := f.Inventory.At(mid.Pos); ok {
+			query = fmt.Sprintf("lat=%f&lng=%f", mid.Pos.Lat, mid.Pos.Lng)
+			typeName = v.VType.String()
+			break
+		}
+	}
+	if query == "" {
+		t.Fatal("no lane location found")
+	}
+
+	var all, typed []PortCount
+	get(t, ts, "/v1/destinations?"+query, http.StatusOK, &all)
+	get(t, ts, "/v1/destinations?"+query+"&type="+typeName, http.StatusOK, &typed)
+	if len(typed) == 0 {
+		t.Fatalf("type filter %q returned nothing", typeName)
+	}
+	// The typed view is a subset: no destination can have more
+	// observations for one type than for all types combined.
+	total := func(pcs []PortCount) (n uint64) {
+		for _, pc := range pcs {
+			n += pc.Count
+		}
+		return
+	}
+	if total(typed) > total(all) {
+		t.Errorf("typed counts %d exceed unfiltered %d", total(typed), total(all))
+	}
+	get(t, ts, "/v1/destinations?"+query+"&type=zeppelin", http.StatusBadRequest, nil)
+}
+
+// TestHandlerInstrumented verifies the metrics middleware records
+// per-endpoint counters and latency histograms for API traffic.
+func TestHandlerInstrumented(t *testing.T) {
+	f, _ := setup(t)
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(NewServer(f.Inventory, ports.Default()).WithMetrics(reg).Handler())
+	defer srv.Close()
+
+	paths := []string{
+		"/v1/info",
+		"/v1/cell?" + laneQuery(t, f),
+		"/v1/cell?lat=bogus", // 400
+		"/v1/cell?lat=-55&lng=-140",
+	}
+	for _, p := range paths {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	if n := reg.Counter(obs.MetricHTTPRequests, obs.Labels{"endpoint": "/v1/info", "class": "2xx"}).Value(); n != 1 {
+		t.Errorf("info 2xx count %d", n)
+	}
+	if n := reg.Counter(obs.MetricHTTPRequests, obs.Labels{"endpoint": "/v1/cell", "class": "4xx"}).Value(); n != 2 {
+		t.Errorf("cell 4xx count %d", n)
+	}
+	if n := reg.Histogram(obs.MetricHTTPRequestSeconds, obs.Labels{"endpoint": "/v1/cell"}).Count(); n != 3 {
+		t.Errorf("cell latency observations %d", n)
+	}
+
+	// And the exposition surface shows it.
+	resp, err := http.Get(srv.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	if !strings.Contains(string(body), `pol_http_request_seconds_count{endpoint="/v1/info"} 2`) {
+		t.Errorf("exposition missing instrumented endpoint:\n%s", body)
+	}
+}
+
+// fakeLive wraps a static source with canned live status.
+type fakeLive struct {
+	StaticSource
+	uptime, age time.Duration
+}
+
+func (f fakeLive) Uptime() time.Duration      { return f.uptime }
+func (f fakeLive) SnapshotAge() time.Duration { return f.age }
+
+// TestInfoLiveStatus verifies /v1/info surfaces uptime and snapshot age
+// when the source reports live status, and omits the block otherwise.
+func TestInfoLiveStatus(t *testing.T) {
+	f, ts := setup(t)
+
+	var static map[string]any
+	get(t, ts, "/v1/info", http.StatusOK, &static)
+	if _, ok := static["live"]; ok {
+		t.Error("static source must not report a live block")
+	}
+
+	src := fakeLive{
+		StaticSource: StaticSource{Inv: f.Inventory},
+		uptime:       90 * time.Second,
+		age:          7 * time.Second,
+	}
+	liveTS := httptest.NewServer(NewLiveServer(src, ports.Default()).Handler())
+	defer liveTS.Close()
+	var info struct {
+		Live struct {
+			UptimeSeconds      int64 `json:"uptimeSeconds"`
+			SnapshotAgeSeconds int64 `json:"snapshotAgeSeconds"`
+		} `json:"live"`
+	}
+	get(t, liveTS, "/v1/info", http.StatusOK, &info)
+	if info.Live.UptimeSeconds != 90 || info.Live.SnapshotAgeSeconds != 7 {
+		t.Errorf("live status %+v", info.Live)
+	}
+}

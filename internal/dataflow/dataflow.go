@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Context owns execution resources and metrics for a family of datasets.
@@ -142,11 +143,12 @@ func Map[T, U any](d *Dataset[T], name string, f func(T) U) *Dataset[U] {
 		if err != nil {
 			return nil, err
 		}
+		t0 := time.Now()
 		res = make([]U, len(in))
 		for i, x := range in {
 			res[i] = f(x)
 		}
-		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)))
+		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)), time.Since(t0))
 		return res, nil
 	}
 	return out
@@ -161,13 +163,14 @@ func Filter[T any](d *Dataset[T], name string, pred func(T) bool) *Dataset[T] {
 		if err != nil {
 			return nil, err
 		}
+		t0 := time.Now()
 		res = make([]T, 0, len(in)/2)
 		for _, x := range in {
 			if pred(x) {
 				res = append(res, x)
 			}
 		}
-		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)))
+		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)), time.Since(t0))
 		return res, nil
 	}
 	return out
@@ -182,10 +185,11 @@ func FlatMap[T, U any](d *Dataset[T], name string, f func(T) []U) *Dataset[U] {
 		if err != nil {
 			return nil, err
 		}
+		t0 := time.Now()
 		for _, x := range in {
 			res = append(res, f(x)...)
 		}
-		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)))
+		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)), time.Since(t0))
 		return res, nil
 	}
 	return out
@@ -201,8 +205,9 @@ func MapPartitions[T, U any](d *Dataset[T], name string, f func(part int, in []T
 		if err != nil {
 			return nil, err
 		}
+		t0 := time.Now()
 		res = f(part, in)
-		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)))
+		d.ctx.metrics.add(name, int64(len(in)), int64(len(res)), time.Since(t0))
 		return res, nil
 	}
 	return out

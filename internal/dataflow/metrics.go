@@ -5,10 +5,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/obs"
 )
 
-// Metrics aggregates per-stage record counts and shuffle volume for a
-// Context. All methods are safe for concurrent use.
+// Metrics aggregates per-stage record counts, busy time and shuffle
+// volume for a Context. All methods are safe for concurrent use.
 type Metrics struct {
 	mu          sync.Mutex
 	stages      map[string]*StageMetrics
@@ -21,13 +24,21 @@ type StageMetrics struct {
 	Name       string
 	RecordsIn  int64
 	RecordsOut int64
+	// Nanos is the stage's cumulative busy time across all partition
+	// tasks — wall time spent inside this stage's own computation,
+	// excluding its parents. Concurrent partitions each contribute, so
+	// Nanos can exceed the job's wall-clock span.
+	Nanos int64
 }
+
+// Duration returns the stage's cumulative busy time.
+func (s StageMetrics) Duration() time.Duration { return time.Duration(s.Nanos) }
 
 func newMetrics() *Metrics {
 	return &Metrics{stages: make(map[string]*StageMetrics)}
 }
 
-func (m *Metrics) add(stage string, in, out int64) {
+func (m *Metrics) add(stage string, in, out int64, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s, ok := m.stages[stage]
@@ -38,6 +49,7 @@ func (m *Metrics) add(stage string, in, out int64) {
 	}
 	s.RecordsIn += in
 	s.RecordsOut += out
+	s.Nanos += int64(d)
 }
 
 func (m *Metrics) addShuffle(records int64) {
@@ -75,15 +87,29 @@ func (m *Metrics) Stages() []StageMetrics {
 	return out
 }
 
+// PublishTo records every stage's cumulative busy time into the shared
+// pipeline stage-duration histogram family of reg — one observation per
+// stage per call, meant to run once per completed job. A nil registry is
+// a no-op.
+func (m *Metrics) PublishTo(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, s := range m.Stages() {
+		obs.ObserveStage(reg, s.Name, s.Duration())
+	}
+}
+
 // String renders a compact table of all stages, sorted by name for
 // determinism.
 func (m *Metrics) String() string {
 	stages := m.Stages()
 	sort.Slice(stages, func(i, j int) bool { return stages[i].Name < stages[j].Name })
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-40s %12s %12s\n", "stage", "in", "out")
+	fmt.Fprintf(&b, "%-40s %12s %12s %12s\n", "stage", "in", "out", "busy")
 	for _, s := range stages {
-		fmt.Fprintf(&b, "%-40s %12d %12d\n", s.Name, s.RecordsIn, s.RecordsOut)
+		fmt.Fprintf(&b, "%-40s %12d %12d %12s\n",
+			s.Name, s.RecordsIn, s.RecordsOut, s.Duration().Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, "shuffled records: %d\n", m.ShuffledRecords())
 	return b.String()

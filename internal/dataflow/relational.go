@@ -1,5 +1,7 @@
 package dataflow
 
+import "time"
+
 // Relational operations over keyed datasets: joins, union, distinct and
 // per-key counting. The pipeline's static-information annotation is a
 // broadcast join (the vessel inventory is small); the shuffle join exists
@@ -87,6 +89,7 @@ func Join[K comparable, L, R any](left *Dataset[Pair[K, L]], right *Dataset[Pair
 		if err != nil {
 			return nil, err
 		}
+		t0 := time.Now()
 		rightByKey := make(map[K][]R, len(rRows))
 		for _, p := range rRows {
 			rightByKey[p.Key] = append(rightByKey[p.Key], p.Value)
@@ -96,7 +99,7 @@ func Join[K comparable, L, R any](left *Dataset[Pair[K, L]], right *Dataset[Pair
 				res = append(res, JoinedPair[K, L, R]{Key: lp.Key, Left: lp.Value, Right: rv})
 			}
 		}
-		left.ctx.metrics.add(name, int64(len(lRows)+len(rRows)), int64(len(res)))
+		left.ctx.metrics.add(name, int64(len(lRows)+len(rRows)), int64(len(res)), time.Since(t0))
 		return res, nil
 	}
 	return out

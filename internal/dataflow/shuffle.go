@@ -3,6 +3,7 @@ package dataflow
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // HashKey maps a key of any common identifier type to a well-distributed
@@ -66,6 +67,7 @@ func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int) *D
 	out := &Dataset[Pair[K, V]]{ctx: d.ctx, nParts: n, name: name}
 	out.compute = func(part int) ([]Pair[K, V], error) {
 		once.Do(func() {
+			t0 := time.Now()
 			// Per input partition, bucket locally (no locks), then merge.
 			local := make([][][]Pair[K, V], d.nParts)
 			shuffleErr = runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
@@ -92,7 +94,7 @@ func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int) *D
 					rows += int64(len(b))
 				}
 			}
-			d.ctx.metrics.add(name, rows, rows)
+			d.ctx.metrics.add(name, rows, rows, time.Since(t0))
 			d.ctx.metrics.addShuffle(rows)
 		})
 		if shuffleErr != nil {

@@ -40,6 +40,7 @@ import (
 	"github.com/patternsoflife/pol/internal/feed"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/obs"
 	"github.com/patternsoflife/pol/internal/pipeline"
 	"github.com/patternsoflife/pol/internal/ports"
 )
@@ -76,6 +77,11 @@ type Options struct {
 	PortIndex *ports.Index
 	// Description is stored in the published snapshots' build info.
 	Description string
+	// Metrics, when non-nil, re-registers the engine counters in the
+	// telemetry registry (alongside the JSON stats endpoint) and records
+	// merge/publish/journal-fsync durations into the shared pipeline
+	// stage histogram family.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -137,7 +143,8 @@ var ErrClosed = fmt.Errorf("ingest: engine closed")
 // current inventory with Snapshot. All exported methods are safe for
 // concurrent use.
 type Engine struct {
-	opt Options
+	opt   Options
+	start time.Time
 
 	in       chan envelope
 	quit     chan struct{}
@@ -147,6 +154,10 @@ type Engine struct {
 	snap atomic.Pointer[inventory.Inventory]
 
 	m metrics
+
+	// Stage-duration histograms in the shared pipeline family; nil when
+	// Options.Metrics is unset (observing them goes through recordStage).
+	hMerge, hPublish, hJournal, hCheckpoint *obs.Histogram
 
 	feedsMu sync.Mutex
 	feeds   []*FeedStats
@@ -170,11 +181,19 @@ func NewEngine(opt Options) (*Engine, error) {
 	opt = opt.withDefaults()
 	e := &Engine{
 		opt:      opt,
+		start:    time.Now(),
 		in:       make(chan envelope, opt.QueueSize),
 		quit:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		vessels:  make(map[uint32]*vesselState),
 		statics:  make(map[uint32]model.VesselInfo),
+	}
+	if reg := opt.Metrics; reg != nil {
+		e.hMerge = reg.Histogram(obs.MetricStageSeconds, obs.Labels{"stage": "ingest_merge"})
+		e.hPublish = reg.Histogram(obs.MetricStageSeconds, obs.Labels{"stage": "ingest_publish"})
+		e.hJournal = reg.Histogram(obs.MetricStageSeconds, obs.Labels{"stage": "journal_fsync"})
+		e.hCheckpoint = reg.Histogram(obs.MetricStageSeconds, obs.Labels{"stage": "checkpoint"})
+		e.registerMetrics(reg)
 	}
 	e.master = inventory.New(inventory.BuildInfo{
 		Resolution:  opt.Resolution,
@@ -323,11 +342,7 @@ func (e *Engine) process(env envelope) {
 	case envStatic:
 		e.processStatic(env.info, env.feed)
 	case envSync:
-		var err error
-		if e.journal != nil {
-			err = e.journal.Sync()
-		}
-		env.reply <- err
+		env.reply <- e.syncJournal()
 	case envFinalize:
 		for _, vs := range e.vessels {
 			for _, trip := range vs.tracker.Flush() {
@@ -335,11 +350,7 @@ func (e *Engine) process(env envelope) {
 			}
 		}
 		e.mergeAndPublish(time.Now())
-		var err error
-		if e.journal != nil {
-			err = e.journal.Sync()
-		}
-		env.reply <- err
+		env.reply <- e.syncJournal()
 	}
 }
 
@@ -436,6 +447,20 @@ func (e *Engine) emitTrip(trip pipeline.Trip) {
 		})
 }
 
+// syncJournal runs the journal durability barrier, recording its duration
+// in the journal_fsync stage histogram.
+func (e *Engine) syncJournal() error {
+	if e.journal == nil {
+		return nil
+	}
+	t0 := time.Now()
+	err := e.journal.Sync()
+	if e.hJournal != nil {
+		e.hJournal.ObserveSince(t0)
+	}
+	return err
+}
+
 // mergeAndPublish folds the period inventory into the master, publishes a
 // fresh snapshot, and handles journal flushing plus checkpoint cadence.
 func (e *Engine) mergeAndPublish(now time.Time) {
@@ -476,6 +501,9 @@ func (e *Engine) mergePeriod(now time.Time) {
 	e.m.merges.Add(1)
 	e.m.lastMergeNanos.Store(int64(d))
 	e.m.totalMergeNanos.Add(int64(d))
+	if e.hMerge != nil {
+		e.hMerge.Observe(d.Seconds())
+	}
 }
 
 // publish clones the master and swaps it in atomically.
@@ -483,9 +511,13 @@ func (e *Engine) publish(now time.Time) *inventory.Inventory {
 	t0 := time.Now()
 	snap := e.master.Clone()
 	e.snap.Store(snap)
-	e.m.lastPublishNanos.Store(int64(time.Since(t0)))
+	d := time.Since(t0)
+	e.m.lastPublishNanos.Store(int64(d))
 	e.m.lastPublishUnix.Store(now.Unix())
 	e.m.groups.Store(int64(snap.Len()))
+	if e.hPublish != nil {
+		e.hPublish.Observe(d.Seconds())
+	}
 	return snap
 }
 
@@ -498,9 +530,13 @@ func (e *Engine) checkpoint(snap *inventory.Inventory) {
 	}
 	go func() {
 		defer e.ckptBusy.Store(false)
+		t0 := time.Now()
 		if err := inventory.WriteFile(snap, e.opt.CheckpointPath); err != nil {
 			e.m.checkpointErrors.Add(1)
 			return
+		}
+		if e.hCheckpoint != nil {
+			e.hCheckpoint.ObserveSince(t0)
 		}
 		e.m.checkpoints.Add(1)
 	}()

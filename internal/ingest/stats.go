@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"github.com/patternsoflife/pol/internal/obs"
 )
 
 // metrics is the engine-wide counter block. All fields are atomics:
@@ -79,8 +81,114 @@ type FeedSnapshot struct {
 	Rejected  int64  `json:"rejected"`
 }
 
+// Uptime returns how long the engine has been running.
+func (e *Engine) Uptime() time.Duration { return time.Since(e.start) }
+
+// SnapshotAge returns the time since the last snapshot publication — the
+// staleness of what serving reads. Zero before the first publication.
+func (e *Engine) SnapshotAge() time.Duration {
+	last := e.m.lastPublishUnix.Load()
+	if last == 0 {
+		return 0
+	}
+	age := time.Since(time.Unix(last, 0))
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
+// Ready reports whether the engine has published a snapshot with data —
+// either a data-bearing merge has run or journal replay restored state.
+// Daemons gate their /readyz on this so load balancers don't route
+// queries to an empty inventory.
+func (e *Engine) Ready() bool {
+	if e.m.merges.Load() > 0 {
+		return true
+	}
+	snap := e.Snapshot()
+	return snap != nil && snap.Len() > 0
+}
+
+// registerMetrics re-registers the engine counter block in the telemetry
+// registry as sampled functions over the same atomics the JSON stats
+// endpoint reads — no double counting, one source of truth.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	counter := func(name string, v *atomic.Int64) {
+		reg.CounterFunc(name, nil, func() float64 { return float64(v.Load()) })
+	}
+	counter("pol_ingest_positions_total", &e.m.positionsSeen)
+	counter("pol_ingest_statics_total", &e.m.staticsSeen)
+	counter("pol_ingest_accepted_total", &e.m.accepted)
+	counter("pol_ingest_rejected_total", &e.m.rejected)
+	counter("pol_ingest_trips_total", &e.m.trips)
+	counter("pol_ingest_trip_records_total", &e.m.tripRecords)
+	counter("pol_ingest_observations_total", &e.m.observations)
+	counter("pol_ingest_merges_total", &e.m.merges)
+	counter("pol_ingest_checkpoints_total", &e.m.checkpoints)
+	counter("pol_ingest_checkpoint_errors_total", &e.m.checkpointErrors)
+	counter("pol_ingest_journal_errors_total", &e.m.journalErrors)
+	for reason, v := range map[string]*atomic.Int64{
+		"unknown_vessel": &e.m.rejectedUnknown,
+		"non_commercial": &e.m.rejectedNonCommercial,
+		"range":          &e.m.rejectedRange,
+		"duplicate":      &e.m.rejectedDuplicate,
+		"out_of_order":   &e.m.rejectedOutOfOrder,
+		"infeasible":     &e.m.rejectedInfeasible,
+	} {
+		v := v
+		reg.CounterFunc("pol_ingest_rejected_by_total", obs.Labels{"reason": reason},
+			func() float64 { return float64(v.Load()) })
+	}
+	gauge := func(name string, fn func() float64) { reg.GaugeFunc(name, nil, fn) }
+	gauge("pol_ingest_vessels", func() float64 { return float64(e.m.vessels.Load()) })
+	gauge("pol_ingest_groups", func() float64 { return float64(e.m.groups.Load()) })
+	gauge("pol_ingest_journal_bytes", func() float64 { return float64(e.m.journalBytes.Load()) })
+	gauge("pol_ingest_uptime_seconds", func() float64 { return e.Uptime().Seconds() })
+	gauge("pol_ingest_snapshot_age_seconds", func() float64 { return e.SnapshotAge().Seconds() })
+	gauge("pol_ingest_queue_depth", func() float64 { return float64(len(e.in)) })
+	gauge("pol_ingest_feeds", func() float64 {
+		e.feedsMu.Lock()
+		defer e.feedsMu.Unlock()
+		return float64(len(e.feeds))
+	})
+	// Aggregate feed counters: per-connection blocks summed at scrape
+	// time, so churning connections don't leak series.
+	feedSum := func(pick func(*FeedStats) int64) func() float64 {
+		return func() float64 {
+			e.feedsMu.Lock()
+			feeds := make([]*FeedStats, len(e.feeds))
+			copy(feeds, e.feeds)
+			e.feedsMu.Unlock()
+			var total int64
+			for _, fs := range feeds {
+				total += pick(fs)
+			}
+			return float64(total)
+		}
+	}
+	reg.CounterFunc("pol_ingest_feed_lines_total", nil, feedSum(func(fs *FeedStats) int64 { return fs.Lines.Load() }))
+	reg.CounterFunc("pol_ingest_feed_bad_lines_total", nil, feedSum(func(fs *FeedStats) int64 { return fs.BadLines.Load() }))
+	reg.CounterFunc("pol_ingest_feed_bad_nmea_total", nil, feedSum(func(fs *FeedStats) int64 { return fs.BadNMEA.Load() }))
+}
+
+// AttachWatchdog registers the engine's operational signals with the ops
+// anomaly watchdog: accept rate, reject rate, and merge latency — the
+// signals whose baseline shifts flag a misbehaving feed or a degrading
+// merge path.
+func (e *Engine) AttachWatchdog(wd *obs.Watchdog) {
+	wd.WatchRate("ingest_accept_rate", func() float64 { return float64(e.m.accepted.Load()) })
+	wd.WatchRate("ingest_reject_rate", func() float64 { return float64(e.m.rejected.Load()) })
+	wd.WatchValue("ingest_merge_seconds", func() float64 {
+		return float64(e.m.lastMergeNanos.Load()) / float64(time.Second)
+	})
+}
+
 // Stats is the JSON document served by StatsHandler.
 type Stats struct {
+	UptimeSeconds      int64 `json:"uptime_seconds"`
+	SnapshotAgeSeconds int64 `json:"snapshot_age_seconds"`
+
 	PositionsSeen int64 `json:"positions_seen"`
 	StaticsSeen   int64 `json:"statics_seen"`
 	Accepted      int64 `json:"accepted"`
@@ -112,6 +220,8 @@ type Stats struct {
 // StatsSnapshot collects the current counters.
 func (e *Engine) StatsSnapshot() Stats {
 	var s Stats
+	s.UptimeSeconds = int64(e.Uptime().Seconds())
+	s.SnapshotAgeSeconds = int64(e.SnapshotAge().Seconds())
 	s.PositionsSeen = e.m.positionsSeen.Load()
 	s.StaticsSeen = e.m.staticsSeen.Load()
 	s.Accepted = e.m.accepted.Load()

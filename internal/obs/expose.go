@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a sample the way Prometheus text exposition
+// expects. Integral values print in fixed notation (counters read as
+// "1000000", not "1e+06"); everything else uses the shortest float form.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel returns the label block with one extra label appended, used
+// for histogram `le` buckets.
+func withLabel(block, key, val string) string {
+	extra := fmt.Sprintf("%s=%q", key, val)
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}
+
+// WriteText writes the registry contents in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered by metric name and
+// label block.
+func (r *Registry) WriteText(w io.Writer) {
+	all, help := r.snapshot()
+	lastName := ""
+	for _, s := range all {
+		if s.name != lastName {
+			if h, ok := help[s.name]; ok {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, h)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind)
+			lastName = s.name
+		}
+		if s.kind == kindHist {
+			h := s.hist
+			cum := h.bucketCounts()
+			for i, c := range cum {
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = formatValue(h.bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", le), c)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", s.name, s.labels, formatValue(h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.labels, h.Count())
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, formatValue(s.sample()))
+	}
+}
+
+// Expose returns the exposition text as a string (test and debugging
+// helper).
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Handler serves GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

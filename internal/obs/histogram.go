@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets are the default histogram bounds, in seconds, tuned
+// for request/stage latencies from sub-millisecond to tens of seconds.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations in fixed buckets and keeps the running
+// sum, supporting quantile estimation by linear interpolation within the
+// matched bucket. Observe is lock-free; all methods are safe for
+// concurrent use.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; final +Inf bucket is implicit
+	counts  []atomic.Int64
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the observation sum
+}
+
+// NewHistogram builds a histogram with the given sorted upper bounds
+// (DefLatencyBuckets when none given).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		newV := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, newV) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the rank. Returns NaN on an empty
+// histogram. Values in the overflow bucket report the largest finite
+// bound, matching the Prometheus histogram_quantile convention.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		// Position of the rank within this bucket's count.
+		within := rank - float64(cum-c)
+		return lower + (upper-lower)*(within/float64(c))
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// bucketCounts returns the cumulative per-bucket counts for exposition:
+// one entry per finite bound plus the +Inf bucket.
+func (h *Histogram) bucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package obs is the repository's unified telemetry layer: a stdlib-only
+// concurrent metrics registry (counters, gauges, fixed-bucket latency
+// histograms), Prometheus-style text exposition, HTTP middleware recording
+// per-endpoint request counts, status classes and latencies, span timing
+// for pipeline stages, health/readiness probes, and a statistical anomaly
+// watchdog that maintains rolling baselines over operational rates.
+//
+// Every serving daemon mounts one Registry at GET /metrics; the ingestion
+// engine, the query API, and the batch pipeline all record into it, so a
+// single scrape shows the whole system: request latency percentiles per
+// endpoint, ingest accept/reject counters, merge and publish durations,
+// and watchdog z-scores. Metric names follow the Prometheus conventions
+// (snake case, base units, `_total` suffix on counters) under the `pol_`
+// namespace.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimensions to a metric. Label values are free-form but
+// must be low-cardinality: every distinct combination creates a series.
+type Labels map[string]string
+
+// metric kinds for exposition.
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+	kindHist    = "histogram"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an arbitrary float64 value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		newV := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, newV) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// series is one named+labelled metric instance.
+type series struct {
+	name   string
+	kind   string
+	labels string // canonical rendered label block, e.g. `{a="b",c="d"}`
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      atomic.Pointer[func() float64] // sampled at exposition time when non-nil
+}
+
+// sample returns the series' exposition value: the sampled func when one
+// is registered, otherwise the stored counter/gauge value.
+func (s *series) sample() float64 {
+	if p := s.fn.Load(); p != nil {
+		return (*p)()
+	}
+	switch {
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	case s.gauge != nil:
+		return s.gauge.Value()
+	}
+	return 0
+}
+
+// Registry holds a process's metrics. All methods are safe for concurrent
+// use; metric constructors are get-or-create, so re-registering the same
+// name+labels returns the existing instance.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series // keyed by name + canonical labels
+	help   map[string]string  // per metric name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*series),
+		help:   make(map[string]string),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, for callers without an
+// explicit one.
+func Default() *Registry { return defaultRegistry }
+
+// Help sets the exposition HELP text for a metric name.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// renderLabels produces the canonical sorted label block ("" when empty).
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the series for name+labels, creating it with mk when
+// absent. Kind conflicts on an existing series panic: they are programming
+// errors, like prometheus.MustRegister.
+func (r *Registry) lookup(name string, labels Labels, kind string, mk func() *series) *series {
+	lb := renderLabels(labels)
+	key := name + lb
+	r.mu.RLock()
+	s, ok := r.series[key]
+	r.mu.RUnlock()
+	if ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, kind, s.kind))
+		}
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.series[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, kind, s.kind))
+		}
+		return s
+	}
+	s = mk()
+	s.name, s.kind, s.labels = name, kind, lb
+	r.series[key] = s
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it if needed.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	s := r.lookup(name, labels, kindCounter, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it if needed.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	s := r.lookup(name, labels, kindGauge, func() *series {
+		return &series{gauge: &Gauge{}}
+	})
+	return s.gauge
+}
+
+// GaugeFunc registers (or replaces) a gauge whose value is sampled from fn
+// at exposition time — the zero-overhead way to surface an existing atomic
+// counter block.
+func (r *Registry) GaugeFunc(name string, labels Labels, fn func() float64) {
+	s := r.lookup(name, labels, kindGauge, func() *series { return &series{} })
+	s.fn.Store(&fn)
+}
+
+// CounterFunc registers (or replaces) a counter sampled from fn at
+// exposition time. fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name string, labels Labels, fn func() float64) {
+	s := r.lookup(name, labels, kindCounter, func() *series { return &series{} })
+	s.fn.Store(&fn)
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket upper bounds (DefLatencyBuckets when none given). Bounds of
+// an existing histogram are not changed.
+func (r *Registry) Histogram(name string, labels Labels, bounds ...float64) *Histogram {
+	s := r.lookup(name, labels, kindHist, func() *series {
+		return &series{hist: NewHistogram(bounds...)}
+	})
+	return s.hist
+}
+
+// snapshot returns all series sorted by name then label block, for
+// deterministic exposition.
+func (r *Registry) snapshot() ([]*series, map[string]string) {
+	r.mu.RLock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out, help
+}

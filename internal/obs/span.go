@@ -1,0 +1,50 @@
+package obs
+
+import "time"
+
+// MetricStageSeconds is the shared histogram family for pipeline stage
+// durations: the batch dataflow stages, the live engine's merge/publish/
+// journal work, and any future stage all record here under distinct
+// stage labels, so one scrape shows where pipeline time goes.
+const MetricStageSeconds = "pol_pipeline_stage_seconds"
+
+// Span measures one timed region of a pipeline stage. Spans are values:
+// start with StartSpan, finish with End. A zero Span (nil registry) is a
+// no-op, so instrumented code needs no nil checks.
+type Span struct {
+	hist *Histogram
+	t0   time.Time
+}
+
+// StartSpan begins a timed span recording into the stage-duration
+// histogram of reg under the given stage label. A nil registry returns a
+// no-op span.
+func StartSpan(reg *Registry, stage string) Span {
+	if reg == nil {
+		return Span{}
+	}
+	return Span{
+		hist: reg.Histogram(MetricStageSeconds, Labels{"stage": stage}),
+		t0:   time.Now(),
+	}
+}
+
+// End finishes the span, records its duration, and returns it.
+func (s Span) End() time.Duration {
+	if s.hist == nil {
+		return 0
+	}
+	d := time.Since(s.t0)
+	s.hist.Observe(d.Seconds())
+	return d
+}
+
+// ObserveStage records an already-measured stage duration — for callers
+// that time work themselves (the dataflow engine's per-stage busy time).
+// A nil registry is a no-op.
+func ObserveStage(reg *Registry, stage string, d time.Duration) {
+	if reg == nil {
+		return
+	}
+	reg.Histogram(MetricStageSeconds, Labels{"stage": stage}).Observe(d.Seconds())
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestWatchdogZScoreTrigger drives the watchdog with a scripted counter
+// ramp: a jittery-but-steady accept rate builds the baseline, then an
+// injected rate spike must flip the anomaly gauge and land in the
+// history; recovery must clear the flag.
+func TestWatchdogZScoreTrigger(t *testing.T) {
+	reg := NewRegistry()
+	wd := NewWatchdog(reg, WatchdogOptions{
+		Window:     32,
+		MinSamples: 5,
+		ZThreshold: 3,
+	})
+	var counter float64
+	wd.WatchRate("accept_rate", func() float64 { return counter })
+
+	clock := time.Unix(1700000000, 0)
+	step := func(delta float64) {
+		counter += delta
+		clock = clock.Add(time.Second)
+		wd.Step(clock)
+	}
+
+	// Baseline: ~100/s with small jitter so stddev is non-zero.
+	for i := 0; i < 20; i++ {
+		step(100 + float64(i%5))
+	}
+	flag := reg.Gauge(MetricWatchdogAnomaly, Labels{"series": "accept_rate"})
+	if flag.Value() != 0 {
+		t.Fatalf("anomaly flagged during steady baseline")
+	}
+	if len(wd.Anomalies()) != 0 {
+		t.Fatalf("anomaly history not empty: %+v", wd.Anomalies())
+	}
+
+	// Injected spike: two orders of magnitude above the baseline.
+	step(10000)
+	if flag.Value() != 1 {
+		t.Fatalf("anomaly gauge did not flip on spike (z=%v)",
+			reg.Gauge(MetricWatchdogZScore, Labels{"series": "accept_rate"}).Value())
+	}
+	anoms := wd.Anomalies()
+	if len(anoms) != 1 {
+		t.Fatalf("anomaly history %d entries, want 1", len(anoms))
+	}
+	a := anoms[0]
+	if a.Series != "accept_rate" || a.ZScore < 3 || a.Value < 5000 {
+		t.Errorf("anomaly record degenerate: %+v", a)
+	}
+	if reg.Counter(MetricWatchdogAnomalies, nil).Value() != 1 {
+		t.Errorf("anomalies total counter not incremented")
+	}
+
+	// Recovery: normal samples clear the flag. The spike joined the
+	// baseline window, so give the z-score a few samples to settle.
+	for i := 0; i < 5; i++ {
+		step(100 + float64(i%5))
+	}
+	if flag.Value() != 0 {
+		t.Errorf("anomaly flag stuck after recovery")
+	}
+}
+
+func TestWatchdogValueSeriesAndHandler(t *testing.T) {
+	reg := NewRegistry()
+	wd := NewWatchdog(reg, WatchdogOptions{Window: 16, MinSamples: 4, ZThreshold: 3})
+	latency := 0.010
+	wd.WatchValue("merge_seconds", func() float64 { return latency })
+
+	clock := time.Unix(1700000000, 0)
+	for i := 0; i < 10; i++ {
+		latency = 0.010 + float64(i%3)*0.001
+		clock = clock.Add(time.Second)
+		wd.Step(clock)
+	}
+	latency = 2.5 // merge latency explosion
+	clock = clock.Add(time.Second)
+	wd.Step(clock)
+
+	rec := httptest.NewRecorder()
+	wd.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/ops/anomalies", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("handler status %d", rec.Code)
+	}
+	var doc struct {
+		Baselines []struct {
+			Series  string  `json:"series"`
+			Mean    float64 `json:"mean"`
+			Samples int     `json:"samples"`
+		} `json:"baselines"`
+		Anomalies []Anomaly `json:"anomalies"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Baselines) != 1 || doc.Baselines[0].Series != "merge_seconds" || doc.Baselines[0].Samples == 0 {
+		t.Errorf("baselines degenerate: %+v", doc.Baselines)
+	}
+	if len(doc.Anomalies) != 1 || doc.Anomalies[0].Value != 2.5 {
+		t.Errorf("anomalies degenerate: %+v", doc.Anomalies)
+	}
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	reg := NewRegistry()
+	wd := NewWatchdog(reg, WatchdogOptions{Interval: time.Millisecond})
+	n := 0.0
+	wd.WatchRate("r", func() float64 { n++; return n })
+	wd.Start()
+	time.Sleep(20 * time.Millisecond)
+	wd.Stop()
+	if n == 0 {
+		t.Error("sampling loop never ran")
+	}
+	// Stop on a never-started watchdog must not hang.
+	NewWatchdog(reg, WatchdogOptions{}).Stop()
+}
+
+func TestSpanRecordsStageDuration(t *testing.T) {
+	reg := NewRegistry()
+	sp := StartSpan(reg, "clean")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d < time.Millisecond {
+		t.Errorf("span duration %v", d)
+	}
+	h := reg.Histogram(MetricStageSeconds, Labels{"stage": "clean"})
+	if h.Count() != 1 || h.Sum() < 0.001 {
+		t.Errorf("stage histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	// Nil-registry spans and stage observations are no-ops.
+	StartSpan(nil, "x").End()
+	ObserveStage(nil, "x", time.Second)
+}

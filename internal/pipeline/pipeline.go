@@ -20,6 +20,7 @@ import (
 	"github.com/patternsoflife/pol/internal/dataflow"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/obs"
 	"github.com/patternsoflife/pol/internal/ports"
 )
 
@@ -39,6 +40,10 @@ type Options struct {
 	MinTripRecords int
 	// Description is stored in the inventory build info.
 	Description string
+	// Obs, when non-nil, receives span timings for the run's macro phases
+	// and the per-stage busy durations of the dataflow graph, all under
+	// the shared pipeline stage histogram family.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -98,11 +103,13 @@ func Run(records *dataflow.Dataset[model.PositionRecord], static map[uint32]mode
 	}
 
 	var stats Stats
+	countSpan := obs.StartSpan(opt.Obs, "pipeline_input_count")
 	if n, err := dataflow.Count(records); err == nil {
 		stats.RawRecords = n
 	} else {
 		return nil, err
 	}
+	countSpan.End()
 
 	// Step 1 (§3.3.1): partition by vessel identifier.
 	keyed := dataflow.KeyBy(records, "partition-by-vessel", func(r model.PositionRecord) uint32 { return r.MMSI })
@@ -138,10 +145,15 @@ func Run(records *dataflow.Dataset[model.PositionRecord], static map[uint32]mode
 		BuiltUnix:   time.Now().Unix(),
 		Description: opt.Description,
 	})
+	// The graph is lazy: this Collect executes cleaning, trip extraction,
+	// projection and the feature reduce in one go, so the span covers the
+	// whole §3.3 dataflow.
+	execSpan := obs.StartSpan(opt.Obs, "pipeline_execute")
 	pairs, err := dataflow.Collect(aggregated)
 	if err != nil {
 		return nil, err
 	}
+	execSpan.End()
 	for _, p := range pairs {
 		inv.Put(p.Key, p.Value)
 	}
@@ -160,6 +172,10 @@ func Run(records *dataflow.Dataset[model.PositionRecord], static map[uint32]mode
 	info := inv.Info()
 	info.UsedRecords = stats.TripRecords
 	inv.SetInfo(info)
+
+	// Surface the per-stage busy times (clean/extract/shuffle/reduce) as
+	// duration metrics, not just record counts.
+	m.PublishTo(opt.Obs)
 
 	return &Result{Inventory: inv, Stats: stats}, nil
 }

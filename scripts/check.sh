@@ -21,6 +21,6 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race -count=1 ./internal/ingest/ ./internal/inventory/ ./internal/stream/
+go test -race -count=1 ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/stream/
 
 echo "all checks passed"
