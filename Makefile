@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race
+.PHONY: check build test vet fmt race benchsmoke bench
 
-check: fmt vet build test race
+check: fmt vet build test race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,13 @@ fmt:
 # ingestion engine, the snapshot-serving inventory and the stream monitor.
 race:
 	$(GO) test -race -count=1 ./internal/ingest/ ./internal/inventory/ ./internal/stream/
+
+# One-iteration smoke of the snapshot-publish benchmark: catches publish-path
+# regressions that compile but break at run time, without benchmark noise.
+benchsmoke:
+	$(GO) test -run='^$$' -bench=Publish -benchtime=1x ./internal/inventory/
+
+# Full benchmark suite: regenerates BENCH_PR3.json and prints the headline
+# publish/shuffle benchmarks (see scripts/bench.sh).
+bench:
+	./scripts/bench.sh

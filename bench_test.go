@@ -324,6 +324,88 @@ func BenchmarkInventoryAdaptive(b *testing.B) {
 	}
 }
 
+// benchObservation builds a minimal observation at the given position.
+func benchObservation(mmsi uint32, t int64, p geo.LatLng) inventory.Observation {
+	return inventory.Observation{
+		Rec: model.TripRecord{
+			PositionRecord: model.PositionRecord{MMSI: mmsi, Time: t, Pos: p, SOG: 12, COG: 45, Heading: 44},
+			VType:          model.VesselCargo,
+			TripID:         uint64(mmsi)<<32 | uint64(t),
+			Origin:         model.PortID(1),
+			Dest:           model.PortID(2),
+			DepartTime:     t - 1000,
+			ArriveTime:     t + 1000,
+		},
+		NextCell: hexgrid.InvalidCell,
+	}
+}
+
+// BenchmarkPublishLargeInventory is the headline publish benchmark: a live
+// master holding the full res-7 inventory receives a 16-key micro-batch
+// delta, then publishes a serving snapshot. cow-snapshot re-copies only
+// the shards the delta dirtied; clone-baseline re-copies every group (the
+// pre-COW publish path) — its cost grows with inventory size while the
+// snapshot's stays proportional to the delta.
+func BenchmarkPublishLargeInventory(b *testing.B) {
+	l := getLab(b)
+	var keys []inventory.GroupKey
+	l.inv7.Each(func(k inventory.GroupKey, _ *inventory.CellSummary) bool {
+		keys = append(keys, k)
+		return true
+	})
+	const delta = 16
+	modes := []struct {
+		name    string
+		publish func(*inventory.Inventory) *inventory.Inventory
+	}{
+		{"cow-snapshot", (*inventory.Inventory).Snapshot},
+		{"clone-baseline", (*inventory.Inventory).Clone},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			master := l.inv7.Clone()
+			m.publish(master) // prime: measure steady-state publishes
+			b.ReportAllocs()
+			b.ReportMetric(float64(master.Len()), "groups")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < delta; j++ {
+					k := keys[(i*delta+j)%len(keys)]
+					master.Observe(k, benchObservation(uint32(210000000+j), int64(i*delta+j), k.Cell.LatLng()))
+				}
+				snap := m.publish(master)
+				if snap.Len() != master.Len() {
+					b.Fatalf("published %d groups, master has %d", snap.Len(), master.Len())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShuffleAllocs measures the dataflow hash shuffle on the
+// pipeline's partition-by-vessel step: one full repartition of the fleet's
+// records per op. The typed-hasher + count-then-fill bucketing keeps
+// allocations per op fixed regardless of record count.
+func BenchmarkShuffleAllocs(b *testing.B) {
+	l := getLab(b)
+	ctx := dataflow.NewContext(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		records := dataflow.Generate(ctx, len(l.tracks), func(i int) []model.PositionRecord { return l.tracks[i] })
+		keyed := dataflow.KeyBy(records, "bench.key", func(r model.PositionRecord) uint32 { return r.MMSI })
+		shuffled := dataflow.RepartitionByKey(keyed, "bench.shuffle", 8)
+		rows, err := dataflow.Collect(shuffled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int64(len(rows)) != l.records {
+			b.Fatalf("shuffle produced %d rows, want %d", len(rows), l.records)
+		}
+	}
+	b.ReportMetric(float64(l.records), "records/op")
+}
+
 // BenchmarkGeofencing measures the per-record port test dominating trip
 // extraction.
 func BenchmarkGeofencing(b *testing.B) {

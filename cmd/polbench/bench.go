@@ -1,0 +1,200 @@
+package main
+
+// Machine-readable benchmark mode: `polbench -json FILE` runs a fixed
+// micro-benchmark suite — inventory build, snapshot publish (COW vs clone
+// baseline), point and OD queries, and the dataflow shuffle — over the lab
+// dataset via testing.Benchmark, and writes the results as JSON. The
+// committed BENCH_PR3.json is one run of this suite; `make bench`
+// regenerates it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/hexgrid"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/pipeline"
+)
+
+type benchResult struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+}
+
+type benchReport struct {
+	Dataset    string        `json:"dataset"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Records    int64         `json:"records"`
+	GroupsRes6 int           `json:"groups_res6"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchObservation builds a minimal observation for delta writes.
+func benchObservation(mmsi uint32, t int64, k inventory.GroupKey) inventory.Observation {
+	return inventory.Observation{
+		Rec: model.TripRecord{
+			PositionRecord: model.PositionRecord{MMSI: mmsi, Time: t, Pos: k.Cell.LatLng(), SOG: 12, COG: 45, Heading: 44},
+			VType:          model.VesselCargo,
+			TripID:         uint64(mmsi)<<32 | uint64(t),
+			Origin:         model.PortID(1),
+			Dest:           model.PortID(2),
+			DepartTime:     t - 1000,
+			ArriveTime:     t + 1000,
+		},
+		NextCell: hexgrid.InvalidCell,
+	}
+}
+
+// runBenchJSON executes the suite and writes the JSON report to path.
+func (l *lab) runBenchJSON(path string) error {
+	inv, _, err := l.ensureInv(6)
+	if err != nil {
+		return err
+	}
+	var records int64
+	for _, t := range l.tracks {
+		records += int64(len(t))
+	}
+	var keys []inventory.GroupKey
+	inv.Each(func(k inventory.GroupKey, _ *inventory.CellSummary) bool {
+		keys = append(keys, k)
+		return true
+	})
+	var odKey inventory.GroupKey
+	for _, k := range keys {
+		if k.Set == inventory.GSCellODType {
+			odKey = k
+			break
+		}
+	}
+	cells := inv.Cells(inventory.GSCell)
+	target := cells[len(cells)/2]
+
+	report := benchReport{
+		Dataset:    l.sim.Config().Describe(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Records:    records,
+		GroupsRes6: inv.Len(),
+	}
+	run := func(name string, recsPerOp int64, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		res := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if recsPerOp > 0 && res.NsPerOp > 0 {
+			res.RecordsPerSec = float64(recsPerOp) / (res.NsPerOp / 1e9)
+		}
+		fmt.Printf("  %-28s %12.0f ns/op %12d B/op %9d allocs/op\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		report.Results = append(report.Results, res)
+	}
+
+	fmt.Println("benchmark suite:")
+
+	// Build: one full pipeline pass over the dataset.
+	run("build-res6", records, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := dataflow.NewContext(0)
+			ds := dataflow.Generate(ctx, len(l.tracks), func(i int) []model.PositionRecord { return l.tracks[i] })
+			result, err := pipeline.Run(ds, l.sim.Fleet().StaticIndex(), l.portIdx,
+				pipeline.Options{Resolution: 6})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if result.Inventory.Len() == 0 {
+				b.Fatal("empty inventory")
+			}
+		}
+	})
+
+	// Publish: a 16-key micro-batch delta, then publish for serving.
+	const delta = 16
+	publishBench := func(publish func(*inventory.Inventory) *inventory.Inventory) func(b *testing.B) {
+		return func(b *testing.B) {
+			master := inv.Clone()
+			publish(master) // prime: steady-state publishes
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < delta; j++ {
+					k := keys[(i*delta+j)%len(keys)]
+					master.Observe(k, benchObservation(uint32(210000000+j), int64(i*delta+j), k))
+				}
+				if snap := publish(master); snap.Len() != master.Len() {
+					b.Fatalf("published %d groups, master has %d", snap.Len(), master.Len())
+				}
+			}
+		}
+	}
+	run("publish-cow-snapshot", 0, publishBench((*inventory.Inventory).Snapshot))
+	run("publish-clone-baseline", 0, publishBench((*inventory.Inventory).Clone))
+
+	// Queries: point lookup and OD retrieval on a published snapshot.
+	snap := inv.Clone().Snapshot()
+	run("query-cell-get", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := snap.Cell(target); !ok {
+				b.Fatal("missing cell")
+			}
+		}
+	})
+	run("query-od-cells", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if cells := snap.ODCells(odKey.Origin, odKey.Dest, odKey.VType); len(cells) == 0 {
+				b.Fatal("empty OD result")
+			}
+		}
+	})
+
+	// Shuffle: the pipeline's partition-by-vessel repartition.
+	run("shuffle-repartition", records, func(b *testing.B) {
+		ctx := dataflow.NewContext(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds := dataflow.Generate(ctx, len(l.tracks), func(i int) []model.PositionRecord { return l.tracks[i] })
+			keyed := dataflow.KeyBy(ds, "bench.key", func(r model.PositionRecord) uint32 { return r.MMSI })
+			rows, err := dataflow.Collect(dataflow.RepartitionByKey(keyed, "bench.shuffle", 8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if int64(len(rows)) != records {
+				b.Fatalf("shuffle produced %d rows, want %d", len(rows), records)
+			}
+		}
+	})
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -33,7 +33,41 @@ import (
 type Context struct {
 	parallelism int
 	metrics     *Metrics
+	scratch     sync.Pool // *shuffleScratch, reused across shuffles
 }
+
+// shuffleScratch is the per-partition working memory of a shuffle's
+// count-then-fill bucketing pass: one bucket index per row and one running
+// count per bucket. Pooled on the Context so consecutive shuffles (and the
+// many partitions within one) reuse allocations instead of growing fresh
+// buckets row by row.
+type shuffleScratch struct {
+	idx    []int32
+	counts []int
+}
+
+// getScratch returns pooled scratch with idx sized for rows and counts
+// zeroed for n buckets.
+func (c *Context) getScratch(rows, n int) *shuffleScratch {
+	sc, _ := c.scratch.Get().(*shuffleScratch)
+	if sc == nil {
+		sc = &shuffleScratch{}
+	}
+	if cap(sc.idx) < rows {
+		sc.idx = make([]int32, rows)
+	}
+	sc.idx = sc.idx[:rows]
+	if cap(sc.counts) < n {
+		sc.counts = make([]int, n)
+	}
+	sc.counts = sc.counts[:n]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+	return sc
+}
+
+func (c *Context) putScratch(sc *shuffleScratch) { c.scratch.Put(sc) }
 
 // NewContext returns a Context executing up to parallelism concurrent
 // partition tasks. Values below 1 default to GOMAXPROCS.

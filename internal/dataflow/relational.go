@@ -24,7 +24,7 @@ func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
 // meet in one partition. The element type must be a valid map key.
 func Distinct[T comparable](d *Dataset[T], name string, numPartitions int) *Dataset[T] {
 	keyed := KeyBy(d, name+".key", func(x T) T { return x })
-	shuffled := shuffle(keyed, name+".shuffle", numPartitions)
+	shuffled := shuffle(keyed, name+".shuffle", numPartitions, HasherFor[T]())
 	return MapPartitions(shuffled, name+".dedup", func(_ int, in []Pair[T, T]) []T {
 		seen := make(map[T]struct{}, len(in))
 		out := make([]T, 0, len(in))
@@ -76,8 +76,9 @@ func Join[K comparable, L, R any](left *Dataset[Pair[K, L]], right *Dataset[Pair
 	if numPartitions < 1 {
 		numPartitions = left.ctx.parallelism
 	}
-	ls := shuffle(left, name+".left", numPartitions)
-	rs := shuffle(right, name+".right", numPartitions)
+	hash := HasherFor[K]()
+	ls := shuffle(left, name+".left", numPartitions, hash)
+	rs := shuffle(right, name+".right", numPartitions, hash)
 	out := &Dataset[JoinedPair[K, L, R]]{ctx: left.ctx, nParts: numPartitions, name: name}
 	out.compute = func(part int) (res []JoinedPair[K, L, R], err error) {
 		defer guard(name, &err)

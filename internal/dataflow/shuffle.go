@@ -4,12 +4,60 @@ import (
 	"fmt"
 	"sync"
 	"time"
+	"unsafe"
 )
 
+// Hasher is a typed key-hash function for shuffle partitioning. Typed
+// hashers keep the keyed hot path allocation-free: hashing through a
+// concrete func(K) uint64 never boxes the key, where the any-typed HashKey
+// heap-allocates most non-trivial keys once per record.
+type Hasher[K comparable] func(K) uint64
+
+// hash64er matches key types carrying their own hash (inventory.GroupKey).
+type hash64er interface{ Hash64() uint64 }
+
+// HasherFor returns the best Hasher for K, selected once at call time:
+// scalar and string keys hash directly with no per-record boxing; types
+// implementing Hash64 use it (boxing only the interface conversion); other
+// types fall back to HashKey. Hot paths with a custom key type should pass
+// the method expression (for example inventory.GroupKey.Hash64) to the
+// *Hashed shuffle variants instead — that is allocation-free for any type.
+func HasherFor[K comparable]() Hasher[K] {
+	var zero K
+	switch any(zero).(type) {
+	case uint64:
+		return viewHasher[K](func(v uint64) uint64 { return mix64(v) })
+	case uint32:
+		return viewHasher[K](func(v uint32) uint64 { return mix64(uint64(v)) })
+	case int:
+		return viewHasher[K](func(v int) uint64 { return mix64(uint64(int64(v))) })
+	case int64:
+		return viewHasher[K](func(v int64) uint64 { return mix64(uint64(v)) })
+	case int32:
+		return viewHasher[K](func(v int32) uint64 { return mix64(uint64(int64(v))) })
+	case string:
+		return viewHasher[K](func(v string) uint64 { return hashString(v) })
+	}
+	if _, ok := any(zero).(hash64er); ok {
+		return func(k K) uint64 { return any(k).(hash64er).Hash64() }
+	}
+	return func(k K) uint64 { return HashKey(k) }
+}
+
+// viewHasher reinterprets a key of static type K as its dynamic type T.
+// Each call site sits in a HasherFor switch arm that only executes when
+// K's dynamic type is exactly T, so the layouts are identical by
+// construction and the cast is sound; it exists to hash scalar keys
+// without boxing them through any.
+func viewHasher[K comparable, T any](f func(T) uint64) Hasher[K] {
+	return func(k K) uint64 { return f(*(*T)(unsafe.Pointer(&k))) }
+}
+
 // HashKey maps a key of any common identifier type to a well-distributed
-// uint64, deterministically across runs. It backs the hash partitioner of
-// all shuffle operations. Unsupported key types hash via their formatted
-// representation.
+// uint64, deterministically across runs. It is the untyped fallback behind
+// HasherFor; passing keys through any boxes them, so per-record paths
+// should use a Hasher instead. Unsupported key types hash via their
+// formatted representation.
 func HashKey(k any) uint64 {
 	switch v := k.(type) {
 	case uint64:
@@ -24,7 +72,7 @@ func HashKey(k any) uint64 {
 		return mix64(uint64(int64(v)))
 	case string:
 		return hashString(v)
-	case interface{ Hash64() uint64 }:
+	case hash64er:
 		return v.Hash64()
 	default:
 		return hashString(fmt.Sprint(k))
@@ -56,7 +104,13 @@ func hashString(s string) uint64 {
 // output partition; every input partition is bucketed by key hash and the
 // buckets concatenated per output partition. Records with equal keys always
 // land in the same output partition.
-func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int) *Dataset[Pair[K, V]] {
+//
+// Each input partition buckets in two passes — count, then fill into one
+// contiguous backing array sliced per bucket — so a shuffle performs a
+// fixed number of allocations per partition regardless of record count or
+// skew. The per-row bucket indexes live in a scratch buffer pooled on the
+// Context and reused across shuffles.
+func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int, hash Hasher[K]) *Dataset[Pair[K, V]] {
 	if n < 1 {
 		n = d.ctx.parallelism
 	}
@@ -75,23 +129,49 @@ func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int) *D
 				if err != nil {
 					return err
 				}
-				b := make([][]Pair[K, V], n)
-				for _, r := range rows {
-					i := int(HashKey(r.Key) % uint64(n))
-					b[i] = append(b[i], r)
+				sc := d.ctx.getScratch(len(rows), n)
+				for i, r := range rows {
+					sc.idx[i] = int32(hash(r.Key) % uint64(n))
+					sc.counts[sc.idx[i]]++
 				}
+				backing := make([]Pair[K, V], len(rows))
+				b := make([][]Pair[K, V], n)
+				off := 0
+				for j := 0; j < n; j++ {
+					b[j] = backing[off : off : off+sc.counts[j]]
+					off += sc.counts[j]
+				}
+				for i, r := range rows {
+					j := sc.idx[i]
+					b[j] = append(b[j], r)
+				}
+				d.ctx.putScratch(sc)
 				local[p] = b
 				return nil
 			})
 			if shuffleErr != nil {
 				return
 			}
-			buckets = make([][]Pair[K, V], n)
 			var rows int64
-			for _, lb := range local {
-				for i, b := range lb {
-					buckets[i] = append(buckets[i], b...)
+			if d.nParts == 1 {
+				// Single input partition: its buckets are the output.
+				buckets = local[0]
+				for _, b := range buckets {
 					rows += int64(len(b))
+				}
+			} else {
+				buckets = make([][]Pair[K, V], n)
+				for i := range buckets {
+					total := 0
+					for _, lb := range local {
+						total += len(lb[i])
+					}
+					merged := make([]Pair[K, V], 0, total)
+					for _, lb := range local {
+						merged = append(merged, lb[i]...)
+					}
+					buckets[i] = merged
+					rows += int64(total)
 				}
 			}
 			d.ctx.metrics.add(name, rows, rows, time.Since(t0))
@@ -110,7 +190,12 @@ func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int) *D
 // records with the same key land in the same partition; order within an
 // input partition is preserved per bucket.
 func RepartitionByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int) *Dataset[Pair[K, V]] {
-	return shuffle(d, name, numPartitions)
+	return shuffle(d, name, numPartitions, HasherFor[K]())
+}
+
+// RepartitionByKeyHashed is RepartitionByKey with an explicit key hasher.
+func RepartitionByKeyHashed[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int, hash Hasher[K]) *Dataset[Pair[K, V]] {
+	return shuffle(d, name, numPartitions, hash)
 }
 
 // ReduceByKey combines all values sharing a key with the associative,
@@ -119,6 +204,11 @@ func RepartitionByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, 
 // proportional to distinct keys, not records — the property that makes the
 // paper's grouping-set aggregation tractable.
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int, combine func(V, V) V) *Dataset[Pair[K, V]] {
+	return ReduceByKeyHashed(d, name, numPartitions, HasherFor[K](), combine)
+}
+
+// ReduceByKeyHashed is ReduceByKey with an explicit key hasher.
+func ReduceByKeyHashed[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int, hash Hasher[K], combine func(V, V) V) *Dataset[Pair[K, V]] {
 	combined := MapPartitions(d, name+".combine", func(_ int, in []Pair[K, V]) []Pair[K, V] {
 		acc := make(map[K]V, len(in)/2+1)
 		for _, p := range in {
@@ -134,7 +224,7 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPa
 		}
 		return out
 	})
-	shuffled := shuffle(combined, name+".shuffle", numPartitions)
+	shuffled := shuffle(combined, name+".shuffle", numPartitions, hash)
 	return MapPartitions(shuffled, name+".reduce", func(_ int, in []Pair[K, V]) []Pair[K, V] {
 		acc := make(map[K]V, len(in))
 		for _, p := range in {
@@ -161,6 +251,14 @@ func AggregateByKey[K comparable, V, A any](
 	d *Dataset[Pair[K, V]], name string, numPartitions int,
 	newAcc func() A, seqOp func(A, V) A, combOp func(A, A) A,
 ) *Dataset[Pair[K, A]] {
+	return AggregateByKeyHashed(d, name, numPartitions, HasherFor[K](), newAcc, seqOp, combOp)
+}
+
+// AggregateByKeyHashed is AggregateByKey with an explicit key hasher.
+func AggregateByKeyHashed[K comparable, V, A any](
+	d *Dataset[Pair[K, V]], name string, numPartitions int, hash Hasher[K],
+	newAcc func() A, seqOp func(A, V) A, combOp func(A, A) A,
+) *Dataset[Pair[K, A]] {
 	partial := MapPartitions(d, name+".partial", func(_ int, in []Pair[K, V]) []Pair[K, A] {
 		acc := make(map[K]A, len(in)/2+1)
 		for _, p := range in {
@@ -176,7 +274,7 @@ func AggregateByKey[K comparable, V, A any](
 		}
 		return out
 	})
-	shuffled := shuffle(partial, name+".shuffle", numPartitions)
+	shuffled := shuffle(partial, name+".shuffle", numPartitions, hash)
 	return MapPartitions(shuffled, name+".merge", func(_ int, in []Pair[K, A]) []Pair[K, A] {
 		acc := make(map[K]A, len(in))
 		for _, p := range in {
@@ -199,7 +297,7 @@ func AggregateByKey[K comparable, V, A any](
 // materializes every value and is provided for sessionization-style logic
 // (the paper's per-vessel trip splitting).
 func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], name string, numPartitions int) *Dataset[Pair[K, []V]] {
-	shuffled := shuffle(d, name+".shuffle", numPartitions)
+	shuffled := shuffle(d, name+".shuffle", numPartitions, HasherFor[K]())
 	return MapPartitions(shuffled, name+".group", func(_ int, in []Pair[K, V]) []Pair[K, []V] {
 		acc := make(map[K][]V, len(in)/4+1)
 		for _, p := range in {

@@ -7,11 +7,13 @@
 // completed trips into micro-batch *period inventories* that are merged
 // into a running master on a configurable tick.
 //
-// Serving never blocks on ingestion: the engine owns a private master
-// inventory and publishes immutable deep-copy snapshots through an
-// atomic.Pointer on every merge, so readers (internal/api in -live mode,
-// the stats endpoint, stream monitors) always see a complete, consistent
-// inventory.
+// Serving never blocks on ingestion: the engine owns a private sharded
+// master inventory and publishes immutable copy-on-write snapshots through
+// an atomic.Pointer on every merge, so readers (internal/api in -live
+// mode, the stats endpoint, stream monitors) always see a complete,
+// consistent inventory. Publishing re-copies only the shards the
+// micro-batch dirtied (inventory.Snapshot), so publish latency tracks the
+// delta size, not the accumulated inventory size.
 //
 // Durability is a length-prefixed write-ahead journal of accepted records
 // (positions that survived range validation and deduplication, plus
@@ -483,7 +485,9 @@ func (e *Engine) mergeAndPublish(now time.Time) {
 	}
 }
 
-// mergePeriod folds the period into the master (no publication).
+// mergePeriod folds the period into the master (no publication). Period
+// and master share the shard hash, so MergeFrom merges shard-by-shard —
+// in parallel when a backfill-sized period warrants it.
 func (e *Engine) mergePeriod(now time.Time) {
 	if e.period.Len() == 0 {
 		return
@@ -506,10 +510,11 @@ func (e *Engine) mergePeriod(now time.Time) {
 	}
 }
 
-// publish clones the master and swaps it in atomically.
+// publish takes a copy-on-write snapshot of the master — deep-copying only
+// the shards dirtied since the last publish — and swaps it in atomically.
 func (e *Engine) publish(now time.Time) *inventory.Inventory {
 	t0 := time.Now()
-	snap := e.master.Clone()
+	snap := e.master.Snapshot()
 	e.snap.Store(snap)
 	d := time.Since(t0)
 	e.m.lastPublishNanos.Store(int64(d))

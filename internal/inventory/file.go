@@ -86,23 +86,24 @@ func writeTo(inv *Inventory, w io.Writer) (int64, error) {
 	head = binary.LittleEndian.AppendUint64(head, uint64(info.BuiltUnix))
 	head = binary.LittleEndian.AppendUint32(head, uint32(len(info.Description)))
 	head = append(head, info.Description...)
-	head = binary.LittleEndian.AppendUint64(head, uint64(len(inv.groups)))
+	head = binary.LittleEndian.AppendUint64(head, uint64(inv.Len()))
 	if err := emit(head); err != nil {
 		return written, err
 	}
 
 	// Sort keys by encoded bytes.
 	type entry struct {
-		keyEnc [keyBytes]byte
-		key    GroupKey
+		keyEnc  [keyBytes]byte
+		summary *CellSummary
 	}
-	entries := make([]entry, 0, len(inv.groups))
-	for k := range inv.groups {
+	entries := make([]entry, 0, inv.Len())
+	inv.Each(func(k GroupKey, s *CellSummary) bool {
 		var e entry
 		copy(e.keyEnc[:], appendKey(nil, k))
-		e.key = k
+		e.summary = s
 		entries = append(entries, e)
-	}
+		return true
+	})
 	sort.Slice(entries, func(i, j int) bool {
 		return bytes.Compare(entries[i].keyEnc[:], entries[j].keyEnc[:]) < 0
 	})
@@ -117,7 +118,7 @@ func writeTo(inv *Inventory, w io.Writer) (int64, error) {
 		index = append(index, idxEntry{keyEnc: e.keyEnc, offset: uint64(written)})
 		buf = buf[:0]
 		buf = append(buf, e.keyEnc[:]...)
-		body := inv.groups[e.key].AppendBinary(nil)
+		body := e.summary.AppendBinary(nil)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
 		buf = append(buf, body...)
 		if err := emit(buf); err != nil {
@@ -216,7 +217,7 @@ func decodeAll(data []byte) (*Inventory, error) {
 			return nil, fmt.Errorf("inventory: group %d: %d trailing bytes", i, len(rest))
 		}
 		p = p[bodyLen:]
-		inv.groups[key] = s
+		inv.Put(key, s)
 	}
 	if err := inv.Validate(); err != nil {
 		return nil, err

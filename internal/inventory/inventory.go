@@ -2,6 +2,7 @@ package inventory
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -20,25 +21,31 @@ type BuildInfo struct {
 }
 
 // Inventory is the in-memory global inventory: group identifier →
-// statistical summary.
+// statistical summary, hash-sharded into ShardCount partitions.
 //
 // Concurrency contract: writes (Put, Observe, MergeFrom, SetInfo) are
 // single-writer and must not run concurrently with readers on the same
-// instance. The live-serving pattern is copy-on-publish: one owner
-// goroutine mutates a private master inventory and publishes immutable
-// deep copies (Clone) through an atomic.Pointer[Inventory]; any number of
-// goroutines may then read a published snapshot concurrently — the lazily
-// built OD index is the only internal mutation on the read path and is
-// guarded by a mutex.
+// instance. The live-serving pattern is copy-on-write publishing: one owner
+// goroutine mutates a private master inventory and publishes Snapshot()
+// results through an atomic.Pointer[Inventory]. A snapshot re-copies only
+// the shards dirtied since the previous snapshot and shares every clean
+// shard with it, so publish cost is proportional to the micro-batch delta,
+// not the inventory size. Snapshots are frozen: their write methods panic,
+// and any number of goroutines may read one concurrently — the lazily
+// built per-shard OD index is the only internal mutation on the read path
+// and is mutex-guarded.
 type Inventory struct {
 	info   BuildInfo
-	groups map[GroupKey]*CellSummary
+	shards [ShardCount]*shard // nil until a shard receives its first group
+	count  int                // total groups across all shards
 
-	// Secondary index for route forecasting: (origin, dest, vtype) → cells,
-	// built lazily under odMu so concurrent readers of a published snapshot
-	// are safe.
-	odMu    sync.Mutex
-	odIndex map[odKey][]hexgrid.Cell
+	// Writer-side copy-on-write state (unused on frozen snapshots):
+	// dirty marks shards mutated since the last Snapshot; pub holds the
+	// immutable copies the last Snapshot published, reused verbatim for
+	// clean shards by the next one.
+	dirty  [ShardCount]bool
+	pub    []*shard
+	frozen bool
 }
 
 type odKey struct {
@@ -48,29 +55,57 @@ type odKey struct {
 
 // New returns an empty inventory with the given build info.
 func New(info BuildInfo) *Inventory {
-	return &Inventory{info: info, groups: make(map[GroupKey]*CellSummary)}
+	return &Inventory{info: info}
 }
 
 // Info returns the build provenance.
 func (inv *Inventory) Info() BuildInfo { return inv.info }
 
 // SetInfo replaces the build provenance (used by builders).
-func (inv *Inventory) SetInfo(info BuildInfo) { inv.info = info }
+func (inv *Inventory) SetInfo(info BuildInfo) {
+	inv.mustWrite("SetInfo")
+	inv.info = info
+}
 
 // Len returns the number of groups across all grouping sets.
-func (inv *Inventory) Len() int { return len(inv.groups) }
+func (inv *Inventory) Len() int { return inv.count }
+
+// mustWrite enforces the snapshot immutability contract.
+func (inv *Inventory) mustWrite(op string) {
+	if inv.frozen {
+		panic("inventory: " + op + " on a published snapshot (snapshots are immutable; mutate the master and re-publish)")
+	}
+}
+
+// writeShard returns the shard for key, creating it if needed and marking
+// it dirty for the next Snapshot.
+func (inv *Inventory) writeShard(key GroupKey) (*shard, int) {
+	i := shardFor(key)
+	sh := inv.shards[i]
+	if sh == nil {
+		sh = newShard()
+		inv.shards[i] = sh
+	}
+	inv.dirty[i] = true
+	return sh, i
+}
 
 // Put inserts or merges a summary under the key. Writer-side only — see
 // the type's concurrency contract.
 func (inv *Inventory) Put(key GroupKey, s *CellSummary) {
-	if cur, ok := inv.groups[key]; ok {
+	inv.mustWrite("Put")
+	sh, _ := inv.writeShard(key)
+	if cur, ok := sh.groups[key]; ok {
 		cur.Merge(s)
 		return
 	}
-	inv.groups[key] = s
-	inv.odMu.Lock()
-	inv.odIndex = nil
-	inv.odMu.Unlock()
+	sh.groups[key] = s
+	inv.count++
+	// Only OD-grouping keys appear in the OD sub-index; the single-writer
+	// master invalidates without any lock round-trip.
+	if key.Set == GSCellODType {
+		sh.od = nil
+	}
 }
 
 // Observe folds one observation into the summary of the key, creating the
@@ -78,50 +113,130 @@ func (inv *Inventory) Put(key GroupKey, s *CellSummary) {
 // path (one call per grouping set per accepted trip record). Writer-side
 // only.
 func (inv *Inventory) Observe(key GroupKey, o Observation) {
-	s, ok := inv.groups[key]
+	inv.mustWrite("Observe")
+	sh, _ := inv.writeShard(key)
+	s, ok := sh.groups[key]
 	if !ok {
 		s = NewCellSummary()
-		inv.groups[key] = s
-		inv.odMu.Lock()
-		inv.odIndex = nil
-		inv.odMu.Unlock()
+		sh.groups[key] = s
+		inv.count++
+		if key.Set == GSCellODType {
+			sh.od = nil
+		}
 	}
 	s.Add(o)
 }
 
+// parallelMergeThreshold is the source-inventory size from which MergeFrom
+// fans the per-shard merges out across goroutines. Micro-batch period
+// inventories stay below it and merge serially; monthly-build-sized merges
+// amortize the goroutine overhead many times over.
+const parallelMergeThreshold = 4096
+
 // MergeFrom folds another inventory of the same resolution into this one —
 // the incremental-update path: periodic (micro-batch or monthly) builds
 // merge into a running inventory without re-scanning raw data, because
-// every Table-3 statistic is a mergeable sketch. It returns an error on
-// resolution mismatch.
+// every Table-3 statistic is a mergeable sketch. Both inventories shard by
+// the same hash, so shard i of other merges only into shard i of the
+// receiver; large merges run shard-by-shard in parallel. It returns an
+// error on resolution mismatch.
 //
 // MergeFrom is writer-side: it must not run concurrently with any other
-// method on the receiver, and other must not be mutated during the merge.
-// Summaries from other are deep-copied, so other may be discarded or
-// mutated afterwards. Readers must never hold the receiver while it
-// merges; the supported pattern is merging into a private master and
-// publishing Clone() snapshots atomically (see the type documentation and
-// TestConcurrentSnapshotServing).
+// method on the receiver, and other must not be mutated during the merge
+// (reading other, including a frozen snapshot, is fine). Summaries from
+// other are deep-copied, so other may be discarded or mutated afterwards.
 func (inv *Inventory) MergeFrom(other *Inventory) error {
+	inv.mustWrite("MergeFrom")
 	if other.info.Resolution != inv.info.Resolution {
 		return fmt.Errorf("inventory: merge resolution %d into %d",
 			other.info.Resolution, inv.info.Resolution)
 	}
-	other.Each(func(k GroupKey, s *CellSummary) bool {
-		c := NewCellSummary()
-		c.Merge(s)
-		inv.Put(k, c)
-		return true
-	})
+	var added [ShardCount]int
+	mergeShard := func(i int) {
+		os := other.shards[i]
+		if os == nil || len(os.groups) == 0 {
+			return
+		}
+		sh := inv.shards[i]
+		if sh == nil {
+			sh = &shard{groups: make(map[GroupKey]*CellSummary, len(os.groups))}
+			inv.shards[i] = sh
+		}
+		inv.dirty[i] = true
+		for k, s := range os.groups {
+			if cur, ok := sh.groups[k]; ok {
+				cur.Merge(s)
+				continue
+			}
+			c := NewCellSummary()
+			c.Merge(s)
+			sh.groups[k] = c
+			added[i]++
+			if k.Set == GSCellODType {
+				sh.od = nil
+			}
+		}
+	}
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && other.count >= parallelMergeThreshold {
+		if workers > ShardCount {
+			workers = ShardCount
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < ShardCount; i += workers {
+					mergeShard(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < ShardCount; i++ {
+			mergeShard(i)
+		}
+	}
+	for _, n := range added {
+		inv.count += n
+	}
 	inv.info.RawRecords += other.info.RawRecords
 	inv.info.UsedRecords += other.info.UsedRecords
 	return nil
 }
 
-// Clone returns a deep copy of the inventory: fresh summaries (every
-// sketch duplicated) and identical build info. The copy shares no mutable
-// state with the receiver, so a live builder can keep mutating its master
-// while readers query the published clone.
+// Snapshot publishes the current state as a frozen inventory in O(delta):
+// shards dirtied since the previous Snapshot are deep-copied; clean shards
+// are shared, pointer-for-pointer, with the previously published snapshot.
+// The result is immutable (its write methods panic) and safe for any
+// number of concurrent readers; the master may keep mutating immediately —
+// it never shares memory with its snapshots.
+func (inv *Inventory) Snapshot() *Inventory {
+	if inv.frozen {
+		return inv
+	}
+	if inv.pub == nil {
+		inv.pub = make([]*shard, ShardCount)
+	}
+	snap := &Inventory{info: inv.info, count: inv.count, frozen: true}
+	for i := range inv.shards {
+		sh := inv.shards[i]
+		if sh == nil {
+			continue
+		}
+		if inv.dirty[i] || inv.pub[i] == nil {
+			inv.pub[i] = sh.deepCopy()
+			inv.dirty[i] = false
+		}
+		snap.shards[i] = inv.pub[i]
+	}
+	return snap
+}
+
+// Clone returns a deep, mutable copy of the inventory: fresh summaries
+// (every sketch duplicated) and identical build info. The copy shares no
+// state with the receiver. Live serving should prefer Snapshot, which
+// re-copies only dirty shards; Clone always pays O(inventory).
 func (inv *Inventory) Clone() *Inventory {
 	c := New(BuildInfo{Resolution: inv.info.Resolution})
 	_ = c.MergeFrom(inv) // same resolution by construction
@@ -131,7 +246,11 @@ func (inv *Inventory) Clone() *Inventory {
 
 // Get returns the summary for an exact group identifier.
 func (inv *Inventory) Get(key GroupKey) (*CellSummary, bool) {
-	s, ok := inv.groups[key]
+	sh := inv.shards[shardFor(key)]
+	if sh == nil {
+		return nil, false
+	}
+	s, ok := sh.groups[key]
 	return s, ok
 }
 
@@ -150,9 +269,14 @@ func (inv *Inventory) At(p geo.LatLng) (*CellSummary, bool) {
 // CountGroups returns the number of groups in one grouping set.
 func (inv *Inventory) CountGroups(set GroupSet) int {
 	n := 0
-	for k := range inv.groups {
-		if k.Set == set {
-			n++
+	for _, sh := range inv.shards {
+		if sh == nil {
+			continue
+		}
+		for k := range sh.groups {
+			if k.Set == set {
+				n++
+			}
 		}
 	}
 	return n
@@ -161,9 +285,14 @@ func (inv *Inventory) CountGroups(set GroupSet) int {
 // Cells returns all cells of one grouping set, sorted for determinism.
 func (inv *Inventory) Cells(set GroupSet) []hexgrid.Cell {
 	seen := make(map[hexgrid.Cell]struct{})
-	for k := range inv.groups {
-		if k.Set == set {
-			seen[k.Cell] = struct{}{}
+	for _, sh := range inv.shards {
+		if sh == nil {
+			continue
+		}
+		for k := range sh.groups {
+			if k.Set == set {
+				seen[k.Cell] = struct{}{}
+			}
 		}
 	}
 	out := make([]hexgrid.Cell, 0, len(seen))
@@ -176,9 +305,14 @@ func (inv *Inventory) Cells(set GroupSet) []hexgrid.Cell {
 
 // Each calls f for every (key, summary) pair, in unspecified order.
 func (inv *Inventory) Each(f func(GroupKey, *CellSummary) bool) {
-	for k, s := range inv.groups {
-		if !f(k, s) {
-			return
+	for _, sh := range inv.shards {
+		if sh == nil {
+			continue
+		}
+		for k, s := range sh.groups {
+			if !f(k, s) {
+				return
+			}
 		}
 	}
 }
@@ -196,24 +330,23 @@ func (inv *Inventory) MostFrequentDestination(cell hexgrid.Cell) (model.PortID, 
 
 // ODCells returns every cell that has traffic for the (origin, destination,
 // vessel-type) key — the paper's route-forecasting retrieval ("the full set
-// of possible transition locations for the selected key"). The result is
-// sorted for determinism.
+// of possible transition locations for the selected key"). Each shard's OD
+// sub-index builds lazily on first use and, because clean shards are shared
+// between snapshots, is reused across publishes instead of being rebuilt
+// from the whole inventory. The result is sorted for determinism.
 func (inv *Inventory) ODCells(origin, dest model.PortID, vt model.VesselType) []hexgrid.Cell {
-	inv.odMu.Lock()
-	defer inv.odMu.Unlock()
-	if inv.odIndex == nil {
-		inv.odIndex = make(map[odKey][]hexgrid.Cell)
-		for k := range inv.groups {
-			if k.Set == GSCellODType {
-				ok := odKey{origin: k.Origin, dest: k.Dest, vtype: k.VType}
-				inv.odIndex[ok] = append(inv.odIndex[ok], k.Cell)
-			}
+	k := odKey{origin: origin, dest: dest, vtype: vt}
+	var out []hexgrid.Cell
+	for _, sh := range inv.shards {
+		if sh == nil {
+			continue
 		}
-		for _, cells := range inv.odIndex {
-			sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+		if cells := sh.odCells(k); len(cells) > 0 {
+			out = append(out, cells...)
 		}
 	}
-	return inv.odIndex[odKey{origin: origin, dest: dest, vtype: vt}]
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // ODSummary returns the summary for a cell under the OD grouping set.
@@ -272,25 +405,39 @@ func (inv *Inventory) CoverageUtilization(box geo.BBox) float64 {
 }
 
 // Validate performs internal consistency checks (used by tests and the
-// file loader): every key's set is known, cells match the resolution, and
-// summaries are non-nil.
+// file loader): every key's set is known, cells match the resolution,
+// summaries are non-nil, keys live in the shard their hash selects, and
+// the cached group count matches the shard contents.
 func (inv *Inventory) Validate() error {
-	for k, s := range inv.groups {
-		if s == nil {
-			return fmt.Errorf("inventory: nil summary for %v", k)
+	total := 0
+	for i, sh := range inv.shards {
+		if sh == nil {
+			continue
 		}
-		switch k.Set {
-		case GSCell, GSCellType, GSCellODType:
-		default:
-			return fmt.Errorf("inventory: unknown grouping set %d", k.Set)
+		total += len(sh.groups)
+		for k, s := range sh.groups {
+			if s == nil {
+				return fmt.Errorf("inventory: nil summary for %v", k)
+			}
+			if shardFor(k) != i {
+				return fmt.Errorf("inventory: key %v in shard %d, want %d", k, i, shardFor(k))
+			}
+			switch k.Set {
+			case GSCell, GSCellType, GSCellODType:
+			default:
+				return fmt.Errorf("inventory: unknown grouping set %d", k.Set)
+			}
+			if !k.Cell.Valid() {
+				return fmt.Errorf("inventory: invalid cell in key %v", k)
+			}
+			if k.Cell.Resolution() != inv.info.Resolution {
+				return fmt.Errorf("inventory: key %v at resolution %d, want %d",
+					k, k.Cell.Resolution(), inv.info.Resolution)
+			}
 		}
-		if !k.Cell.Valid() {
-			return fmt.Errorf("inventory: invalid cell in key %v", k)
-		}
-		if k.Cell.Resolution() != inv.info.Resolution {
-			return fmt.Errorf("inventory: key %v at resolution %d, want %d",
-				k, k.Cell.Resolution(), inv.info.Resolution)
-		}
+	}
+	if total != inv.count {
+		return fmt.Errorf("inventory: cached count %d, shards hold %d", inv.count, total)
 	}
 	return nil
 }

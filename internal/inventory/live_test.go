@@ -28,19 +28,20 @@ func testObservation(mmsi uint32, t int64, p geo.LatLng) Observation {
 
 // TestConcurrentSnapshotServing exercises the documented live-serving
 // pattern under the race detector: a single writer merges micro-batch
-// period inventories into a private master and publishes Clone()
-// snapshots through an atomic pointer, while reader goroutines
-// concurrently hit Get, At, Cells and ODCells (the lazy-index path) on
-// whatever snapshot is current. Readers must never observe a partially
-// merged inventory: every published snapshot's group count and record
-// totals are internally consistent and monotonically non-decreasing.
+// period inventories into a private master and publishes Snapshot()
+// results (copy-on-write: only dirty shards re-copied) through an atomic
+// pointer, while reader goroutines concurrently hit Get, At, Cells and
+// ODCells (the lazy per-shard index path) on whatever snapshot is
+// current. Readers must never observe a partially merged inventory: every
+// published snapshot's group count and record totals are internally
+// consistent and monotonically non-decreasing.
 func TestConcurrentSnapshotServing(t *testing.T) {
 	const res = 6
 	base := geo.LatLng{Lat: 35, Lng: 18}
 
 	master := New(BuildInfo{Resolution: res})
 	var snap atomic.Pointer[Inventory]
-	snap.Store(master.Clone())
+	snap.Store(master.Snapshot())
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -90,7 +91,7 @@ func TestConcurrentSnapshotServing(t *testing.T) {
 		if err := master.MergeFrom(p); err != nil {
 			t.Fatal(err)
 		}
-		snap.Store(master.Clone())
+		snap.Store(master.Snapshot())
 	}
 	stop.Store(true)
 	wg.Wait()

@@ -1,0 +1,78 @@
+package inventory
+
+import (
+	"sync"
+
+	"github.com/patternsoflife/pol/internal/hexgrid"
+)
+
+// The inventory's group map is split into ShardCount hash shards so that
+// publishing a live snapshot costs O(micro-batch delta), not O(inventory):
+// the single writer tracks which shards a micro-batch touched and Snapshot
+// re-copies only those, sharing every clean shard with the previously
+// published snapshot. ShardCount is a power of two so shard selection is a
+// mask over GroupKey.Hash64.
+//
+// 256 shards keeps the per-inventory overhead small (a few KB of headers)
+// while making the copied fraction of a mostly-clean inventory
+// ≈ dirtyShards/256 — a 2-second micro-batch touching a handful of cells
+// republishes well under 1/10th of a large inventory instead of all of it.
+const ShardCount = 256
+
+// shardFor maps a group key to its shard index.
+func shardFor(k GroupKey) int {
+	return int(k.Hash64() & (ShardCount - 1))
+}
+
+// shard is one hash partition of the group map. Shards are shared between
+// published snapshots: once published they are immutable except for the
+// lazily built OD sub-index, which is mutex-guarded (and, being per shard,
+// is built at most once per shard copy no matter how many snapshots share
+// it). The writer's private shards are never shared — see
+// Inventory.Snapshot.
+type shard struct {
+	groups map[GroupKey]*CellSummary
+
+	// odMu guards the lazy OD sub-index on shared (published) shards.
+	// The single writer invalidates od on its private shards without the
+	// lock: writes never run concurrently with reads on the same instance
+	// (see the Inventory concurrency contract).
+	odMu sync.Mutex
+	od   map[odKey][]hexgrid.Cell
+}
+
+func newShard() *shard {
+	return &shard{groups: make(map[GroupKey]*CellSummary)}
+}
+
+// deepCopy returns a fully independent copy of the shard: fresh map, every
+// summary duplicated. The OD sub-index is not copied; it rebuilds lazily on
+// first query of the copy.
+func (sh *shard) deepCopy() *shard {
+	c := &shard{groups: make(map[GroupKey]*CellSummary, len(sh.groups))}
+	for k, s := range sh.groups {
+		d := NewCellSummary()
+		d.Merge(s)
+		c.groups[k] = d
+	}
+	return c
+}
+
+// odCells returns the cells recorded under the OD grouping set for one
+// (origin, dest, vessel-type) key, building the shard's sub-index on first
+// use. The returned slice is shared — callers must not mutate it.
+func (sh *shard) odCells(k odKey) []hexgrid.Cell {
+	sh.odMu.Lock()
+	if sh.od == nil {
+		sh.od = make(map[odKey][]hexgrid.Cell)
+		for gk := range sh.groups {
+			if gk.Set == GSCellODType {
+				ok := odKey{origin: gk.Origin, dest: gk.Dest, vtype: gk.VType}
+				sh.od[ok] = append(sh.od[ok], gk.Cell)
+			}
+		}
+	}
+	cells := sh.od[k]
+	sh.odMu.Unlock()
+	return cells
+}

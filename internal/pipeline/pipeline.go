@@ -126,8 +126,11 @@ func Run(records *dataflow.Dataset[model.PositionRecord], static map[uint32]mode
 			return processPartition(rows, static, portIdx, opt, &counters)
 		})
 
-	// Step 3 (§3.3.4): grouping-set aggregation — the MapReduce phase.
-	aggregated := dataflow.AggregateByKey(observations, "feature-extraction", parts,
+	// Step 3 (§3.3.4): grouping-set aggregation — the MapReduce phase. The
+	// shuffle hashes through the typed method expression so no group key is
+	// boxed on the per-record path.
+	aggregated := dataflow.AggregateByKeyHashed(observations, "feature-extraction", parts,
+		inventory.GroupKey.Hash64,
 		inventory.NewCellSummary,
 		func(acc *inventory.CellSummary, o inventory.Observation) *inventory.CellSummary {
 			acc.Add(o)

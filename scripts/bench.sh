@@ -1,0 +1,16 @@
+#!/bin/sh
+# Benchmark suite — regenerates the committed machine-readable benchmark
+# results and prints the headline go-test benchmarks. Run from the
+# repository root:
+#
+#   ./scripts/bench.sh            # writes BENCH_PR3.json
+#   ./scripts/bench.sh results.json
+set -e
+
+out="${1:-BENCH_PR3.json}"
+
+echo "== polbench micro-benchmark suite → $out =="
+go run ./cmd/polbench -json "$out" -vessels 30 -days 15
+
+echo "== headline benchmarks (publish COW vs clone, shuffle allocs) =="
+go test -run='^$' -bench='PublishLargeInventory|PublishDelta|ShuffleAllocs' -benchmem ./... 2>&1 | grep -E 'Benchmark|^ok|^PASS'

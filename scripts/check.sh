@@ -23,4 +23,7 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race -count=1 ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/stream/
 
+echo "== benchmark smoke (snapshot publish) =="
+go test -run='^$' -bench=Publish -benchtime=1x ./internal/inventory/
+
 echo "all checks passed"
