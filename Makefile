@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race benchsmoke bench
+.PHONY: check build test vet fmt race benchsmoke bench e2e
 
-check: fmt vet build test race benchsmoke
+check: fmt vet build test race benchsmoke e2e
 
 build:
 	$(GO) build ./...
@@ -20,17 +20,23 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Short race pass over the packages with real concurrency: the live
-# ingestion engine, the snapshot-serving inventory and the stream monitor.
+# Short race pass over the packages with real concurrency: the distributed
+# build cluster, the dataflow engine, the live ingestion engine, the
+# snapshot-serving inventory and the stream monitor.
 race:
-	$(GO) test -race -count=1 ./internal/ingest/ ./internal/inventory/ ./internal/stream/
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/stream/
 
 # One-iteration smoke of the snapshot-publish benchmark: catches publish-path
 # regressions that compile but break at run time, without benchmark noise.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=Publish -benchtime=1x ./internal/inventory/
 
-# Full benchmark suite: regenerates BENCH_PR3.json and prints the headline
-# publish/shuffle benchmarks (see scripts/bench.sh).
+# Loopback cluster end-to-end smoke: coordinator + two workers, one killed
+# mid-task by a failpoint (see scripts/cluster_e2e.sh).
+e2e:
+	./scripts/cluster_e2e.sh
+
+# Full benchmark suite: regenerates BENCH_PR4.json and prints the headline
+# publish/shuffle/distributed benchmarks (see scripts/bench.sh).
 bench:
 	./scripts/bench.sh

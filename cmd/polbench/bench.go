@@ -4,16 +4,19 @@ package main
 // micro-benchmark suite — inventory build, snapshot publish (COW vs clone
 // baseline), point and OD queries, and the dataflow shuffle — over the lab
 // dataset via testing.Benchmark, and writes the results as JSON. The
-// committed BENCH_PR3.json is one run of this suite; `make bench`
+// committed BENCH_PR4.json is one run of this suite; `make bench`
 // regenerates it.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
+	"github.com/patternsoflife/pol/internal/cluster"
 	"github.com/patternsoflife/pol/internal/dataflow"
 	"github.com/patternsoflife/pol/internal/hexgrid"
 	"github.com/patternsoflife/pol/internal/inventory"
@@ -179,6 +182,42 @@ func (l *lab) runBenchJSON(path string) error {
 			if int64(len(rows)) != records {
 				b.Fatalf("shuffle produced %d rows, want %d", len(rows), records)
 			}
+		}
+	})
+
+	// Distributed build: loopback coordinator plus two in-process workers
+	// over the same fleet — the delta against build-res6 is the scheduling
+	// and gob-transport overhead of the cluster path.
+	run("build-distributed-2workers", records, func(b *testing.B) {
+		spec := cluster.SpecFromConfig(l.sim.Config())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			co, err := cluster.NewCoordinator(cluster.Config{Addr: "127.0.0.1:0", MinWorkers: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			addr := co.Addr().String()
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := cluster.RunWorker(context.Background(), cluster.WorkerConfig{Coordinator: addr}); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			res, err := co.Run(context.Background(), cluster.Job{
+				Resolution: 6,
+				Synthetic:  &cluster.SyntheticJob{Spec: spec, Tasks: 8},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Inventory.Len() != inv.Len() {
+				b.Fatalf("distributed build: %d groups, local has %d", res.Inventory.Len(), inv.Len())
+			}
+			wg.Wait()
 		}
 	})
 

@@ -5,15 +5,24 @@
 //
 //	polbuild -in fleet.nmea -res 6 -out fleet.polinv
 //	polbuild -synthetic -vessels 100 -days 30 -res 7 -out synth.polinv
+//
+// With -coordinator the build is distributed: polbuild listens on the given
+// address, waits for -workers polworker processes to join, splits the input
+// into map tasks, and reduces the partial inventories they return:
+//
+//	polbuild -synthetic -vessels 500 -coordinator :7700 -workers 4 -out synth.polinv
+//	polbuild -in fleet.nmea -coordinator :7700 -workers 2 -out fleet.polinv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
 
+	"github.com/patternsoflife/pol/internal/cluster"
 	"github.com/patternsoflife/pol/internal/dataflow"
 	"github.com/patternsoflife/pol/internal/feed"
 	"github.com/patternsoflife/pol/internal/inventory"
@@ -28,17 +37,30 @@ func main() {
 	log.SetPrefix("polbuild: ")
 
 	var (
-		in        = flag.String("in", "", "input timestamped-NMEA archive (from polgen or a provider)")
-		synthetic = flag.Bool("synthetic", false, "generate the dataset in-process instead of reading -in")
-		vessels   = flag.Int("vessels", 100, "synthetic fleet size")
-		days      = flag.Int("days", 30, "synthetic days")
-		seed      = flag.Int64("seed", 1, "synthetic seed")
-		res       = flag.Int("res", 6, "hexgrid resolution of the inventory (paper: 6 or 7)")
-		out       = flag.String("out", "inventory.polinv", "output inventory file")
-		par       = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool width")
-		verbose   = flag.Bool("v", false, "print stage metrics")
+		in          = flag.String("in", "", "input timestamped-NMEA archive (from polgen or a provider)")
+		synthetic   = flag.Bool("synthetic", false, "generate the dataset in-process instead of reading -in")
+		vessels     = flag.Int("vessels", 100, "synthetic fleet size")
+		days        = flag.Int("days", 30, "synthetic days")
+		seed        = flag.Int64("seed", 1, "synthetic seed")
+		res         = flag.Int("res", 6, "hexgrid resolution of the inventory (paper: 6 or 7)")
+		out         = flag.String("out", "inventory.polinv", "output inventory file")
+		par         = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool width")
+		coordinator = flag.String("coordinator", "", "distribute the build: listen on this address for polworker processes")
+		workers     = flag.Int("workers", 1, "distributed mode: wait for this many workers before dispatching")
+		mapTasks    = flag.Int("map-tasks", 0, "distributed mode: map task count (default 4 per worker)")
+		verbose     = flag.Bool("v", false, "print stage metrics (local) or scheduling progress (distributed)")
 	)
 	flag.Parse()
+
+	if *coordinator != "" {
+		runDistributed(distOpts{
+			addr: *coordinator, workers: *workers, mapTasks: *mapTasks,
+			in: *in, synthetic: *synthetic,
+			vessels: *vessels, days: *days, seed: *seed,
+			res: *res, out: *out, verbose: *verbose,
+		})
+		return
+	}
 
 	gaz := ports.Default()
 	portIdx := ports.NewIndex(gaz, ports.IndexResolution)
@@ -90,19 +112,79 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("pipeline: %s", result.Stats)
-	inv := result.Inventory
+	if *verbose {
+		fmt.Fprint(os.Stderr, ctx.Metrics().String())
+	}
+	report(result.Inventory, *out)
+}
+
+type distOpts struct {
+	addr      string
+	workers   int
+	mapTasks  int
+	in        string
+	synthetic bool
+	vessels   int
+	days      int
+	seed      int64
+	res       int
+	out       string
+	verbose   bool
+}
+
+// runDistributed coordinates a cluster build: polworker processes dial in,
+// execute map tasks, and this process reduces their partial inventories.
+func runDistributed(o distOpts) {
+	job := cluster.Job{Resolution: o.res}
+	switch {
+	case o.synthetic:
+		spec := cluster.SpecFromConfig(sim.Config{Vessels: o.vessels, Days: o.days, Seed: o.seed})
+		job.Synthetic = &cluster.SyntheticJob{Spec: spec, Tasks: o.mapTasks}
+		job.Description = fmt.Sprintf("synthetic (distributed): %d vessels, %d days, seed %d",
+			o.vessels, o.days, o.seed)
+	case o.in != "":
+		job.Archive = &cluster.ArchiveJob{Path: o.in, MapTasks: o.mapTasks}
+		job.Description = "archive (distributed): " + o.in
+	default:
+		log.Fatal("need -in FILE or -synthetic (see -h)")
+	}
+
+	cfg := cluster.Config{Addr: o.addr, MinWorkers: o.workers}
+	if o.verbose {
+		cfg.Logf = log.Printf
+	}
+	co, err := cluster.NewCoordinator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("coordinating on %s, waiting for %d worker(s)", co.Addr(), o.workers)
+	result, err := co.Run(context.Background(), job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pipeline: %s", result.Stats)
+	log.Printf("cluster: %d tasks, %d retries, %d duplicate completions",
+		result.Tasks, result.Retries, result.Duplicates)
+	if job.Archive != nil {
+		log.Printf("ingest: %d lines, %d positions, %d statics, %d bad lines, %d bad NMEA",
+			result.Feed.Lines, result.Feed.Positions, result.Feed.Statics,
+			result.Feed.BadLines, result.Feed.BadNMEA)
+	}
+	report(result.Inventory, o.out)
+}
+
+// report prints the inventory summary and writes the POLINV file — shared
+// by the local and distributed paths so both modes produce identical output.
+func report(inv *inventory.Inventory, out string) {
 	for _, gs := range inventory.AllGroupSets {
 		log.Printf("groups %v: %d (compression %.4f%%)",
 			gs, inv.CountGroups(gs), inv.Compression(gs)*100)
 	}
 	log.Printf("cells: %d (global H3 utilization %.6f%%)",
 		len(inv.Cells(inventory.GSCell)), inv.Utilization()*100)
-	if *verbose {
-		fmt.Fprint(os.Stderr, ctx.Metrics().String())
-	}
-	if err := inventory.WriteFile(inv, *out); err != nil {
+	if err := inventory.WriteFile(inv, out); err != nil {
 		log.Fatal(err)
 	}
-	fi, _ := os.Stat(*out)
-	log.Printf("wrote %s (%d groups, %.1f MiB)", *out, inv.Len(), float64(fi.Size())/(1<<20))
+	fi, _ := os.Stat(out)
+	log.Printf("wrote %s (%d groups, %.1f MiB)", out, inv.Len(), float64(fi.Size())/(1<<20))
 }

@@ -1,0 +1,75 @@
+// Command polworker runs one worker of the distributed inventory build:
+// it dials the coordinator started by polbuild -coordinator, executes the
+// map and reduce tasks it is assigned, and exits when the job is done.
+//
+// Usage:
+//
+//	polworker -coordinator 127.0.0.1:7700
+//	polworker -coordinator build-host:7700 -parallelism 8 -v
+//
+// The -failpoint flag injects faults for robustness testing:
+// "kill-task=N" makes the worker die abruptly on its Nth task,
+// "fail-tasks=N" makes the first N executions report an error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"github.com/patternsoflife/pol/internal/cluster"
+	"github.com/patternsoflife/pol/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("polworker: ")
+
+	var (
+		coordinator = flag.String("coordinator", "127.0.0.1:7700", "coordinator address to dial")
+		name        = flag.String("name", "", "worker name in logs and metrics (default host:pid)")
+		par         = flag.Int("parallelism", runtime.GOMAXPROCS(0), "dataflow pool width per task")
+		failpoint   = flag.String("failpoint", "", "fault injection: kill-task=N or fail-tasks=N")
+		metricsAddr = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9104)")
+		verbose     = flag.Bool("v", false, "log connection and task progress")
+	)
+	flag.Parse()
+
+	fp, err := cluster.ParseFailpoint(*failpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cluster.WorkerConfig{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Parallelism: *par,
+		Failpoint:   fp,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, obs.Default().Handler()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cluster.RunWorker(ctx, cfg); err != nil {
+		if errors.Is(err, cluster.ErrKilled) {
+			log.Print(err)
+			os.Exit(3)
+		}
+		log.Fatal(err)
+	}
+	log.Print("job complete, exiting")
+}

@@ -1,0 +1,630 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/feed"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/pipeline"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Addr is the TCP listen address (e.g. ":7700", "127.0.0.1:0").
+	Addr string
+	// MinWorkers defers task dispatch until this many workers have joined
+	// (default 1). Workers joining later still receive work.
+	MinWorkers int
+	// TaskTimeout is the liveness deadline per running task: a task whose
+	// worker neither heartbeats nor completes within it is re-queued as a
+	// straggler (default 30s).
+	TaskTimeout time.Duration
+	// MaxRetries bounds re-executions per task beyond the first attempt
+	// (default 3); exhausting it fails the job.
+	MaxRetries int
+	// RetryBackoff delays attempt n+1 of a task by n×RetryBackoff
+	// (default 250ms).
+	RetryBackoff time.Duration
+	// WriteTimeout bounds one frame send to a worker (default 10s); a
+	// blocked send marks the worker dead.
+	WriteTimeout time.Duration
+	// MaxFrameBytes caps one protocol frame (default DefaultMaxFrameBytes).
+	MaxFrameBytes int
+	// Obs receives cluster metrics (default obs.Default()).
+	Obs *obs.Registry
+	// Logf, when non-nil, receives coordinator progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinWorkers < 1 {
+		c.MinWorkers = 1
+	}
+	if c.TaskTimeout <= 0 {
+		c.TaskTimeout = 30 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	return c
+}
+
+// Job describes one distributed build; exactly one of Synthetic or Archive
+// must be set.
+type Job struct {
+	Resolution  int
+	Description string
+	Synthetic   *SyntheticJob
+	Archive     *ArchiveJob
+}
+
+// SyntheticJob builds from the simulator, partitioned by vessel index.
+type SyntheticJob struct {
+	Spec SimSpec
+	// Tasks is the number of vessel-range map tasks (default 4 per
+	// expected worker, clamped to the fleet size).
+	Tasks int
+}
+
+// ArchiveJob builds from a timestamped-NMEA archive in two phases: scan
+// map tasks over byte-range sections, then reduce tasks over vessel-hash
+// buckets. Path must be readable by every worker (shared or replicated
+// storage — on a loopback cluster, the same filesystem).
+type ArchiveJob struct {
+	Path string
+	// MapTasks is the section count (default 4 per expected worker).
+	MapTasks int
+	// ReduceTasks is the vessel-hash bucket count (default 2 per worker).
+	ReduceTasks int
+}
+
+// BuildResult is the reduced output of a distributed build.
+type BuildResult struct {
+	Inventory *inventory.Inventory
+	Stats     pipeline.Stats
+	Feed      feed.ReadStats
+	// Tasks, Retries and Duplicates count scheduling outcomes across all
+	// phases of the job.
+	Tasks, Retries, Duplicates int
+}
+
+// Coordinator schedules a distributed build over connected workers.
+type Coordinator struct {
+	cfg     Config
+	ln      net.Listener
+	metrics *coordMetrics
+	events  chan event
+	done    chan struct{}
+}
+
+// event is one scheduler input from a worker connection.
+type event struct {
+	kind eventKind
+	rem  *remote
+	env  *envelope
+	err  error
+}
+
+type eventKind uint8
+
+const (
+	evJoin eventKind = iota + 1
+	evFrame
+	evGone
+)
+
+// remote is the coordinator's view of one worker connection.
+type remote struct {
+	name    string
+	conn    net.Conn
+	cur     *taskState // task currently assigned, nil when idle
+	dead    bool
+	strikes int // consecutive straggler timeouts; cleared on completion
+}
+
+// strikeLimit benches a worker from new assignments after this many
+// consecutive straggler timeouts, so a black-holing worker cannot keep
+// reclaiming the task it just lost. The bench lifts when every live worker
+// is benched (otherwise a lone slow worker would deadlock the job) or when
+// the worker completes anything.
+const strikeLimit = 2
+
+// taskState tracks one task through attempts and retries.
+type taskState struct {
+	task      Task
+	attempts  int       // executions started
+	notBefore time.Time // retry backoff gate
+	deadline  time.Time // liveness deadline while running
+	runner    *remote   // nil unless running
+	started   time.Time
+	done      bool
+}
+
+// NewCoordinator starts listening on cfg.Addr. Workers may dial as soon as
+// this returns; they idle until Run dispatches a job.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Addr, err)
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ln:      ln,
+		metrics: newCoordMetrics(cfg.Obs),
+		events:  make(chan event, 64),
+		done:    make(chan struct{}),
+	}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Close stops the listener. Run closes it implicitly when it returns.
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// post delivers a connection event to the scheduler unless the job is over.
+func (c *Coordinator) post(ev event) {
+	select {
+	case c.events <- ev:
+	case <-c.done:
+	}
+}
+
+// acceptLoop hands fresh connections to per-connection handshake readers.
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handshake(conn)
+	}
+}
+
+// handshake reads the hello frame, then streams worker frames as events.
+func (c *Coordinator) handshake(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	in := countingReader{r: conn, c: c.metrics.bytesIn}
+	env, err := readFrame(in, c.cfg.MaxFrameBytes)
+	if err != nil || env.Type != msgHello || env.Hello == nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	rem := &remote{name: env.Hello.Name, conn: conn}
+	c.post(event{kind: evJoin, rem: rem})
+	for {
+		env, err := readFrame(in, c.cfg.MaxFrameBytes)
+		if err != nil {
+			c.post(event{kind: evGone, rem: rem, err: err})
+			return
+		}
+		c.post(event{kind: evFrame, rem: rem, env: env})
+	}
+}
+
+// send writes one frame to a worker under the write deadline; on failure
+// the connection is closed and the reader goroutine reports evGone.
+func (c *Coordinator) send(rem *remote, env *envelope) bool {
+	rem.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	err := writeFrame(countingWriter{w: rem.conn, c: c.metrics.bytesOut}, env)
+	rem.conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		rem.conn.Close()
+		return false
+	}
+	return true
+}
+
+// jobState is the scheduler state shared across a job's phases.
+type jobState struct {
+	workers map[*remote]bool
+	started bool        // MinWorkers reached once; dispatch stays open
+	statics *staticsMsg // broadcast before reduce tasks, nil otherwise
+	res     BuildResult
+	nextID  uint64
+}
+
+// Run executes one job to completion and returns the reduced result. It
+// consumes the coordinator: the listener is closed and every worker is told
+// to shut down when it returns.
+func (c *Coordinator) Run(ctx context.Context, job Job) (*BuildResult, error) {
+	defer c.ln.Close()
+	defer close(c.done)
+	if (job.Synthetic == nil) == (job.Archive == nil) {
+		return nil, errors.New("cluster: job needs exactly one of Synthetic or Archive")
+	}
+	if job.Resolution <= 0 {
+		job.Resolution = 6
+	}
+	start := time.Now()
+	st := &jobState{workers: make(map[*remote]bool)}
+	final := inventory.New(inventory.BuildInfo{
+		Resolution:  job.Resolution,
+		BuiltUnix:   time.Now().Unix(),
+		Description: job.Description,
+	})
+
+	// MergeFrom accumulates the partials' RawRecords/UsedRecords into the
+	// final build info, so the reduced inventory reports the same totals a
+	// single-process build would.
+	mergeBuild := func(r *TaskResult) error {
+		partial, err := inventory.Unmarshal(r.Inventory)
+		if err != nil {
+			return fmt.Errorf("cluster: task %d partial inventory: %w", r.ID, err)
+		}
+		if err := final.MergeFrom(partial); err != nil {
+			return err
+		}
+		addStats(&st.res.Stats, r.Stats)
+		return nil
+	}
+
+	var err error
+	if job.Synthetic != nil {
+		err = c.runSynthetic(ctx, st, job, mergeBuild)
+	} else {
+		err = c.runArchive(ctx, st, job, mergeBuild)
+	}
+	c.shutdownWorkers(st)
+	if err != nil {
+		return nil, err
+	}
+
+	st.res.Inventory = final
+	st.res.Stats.Groups = int64(final.Len())
+	st.res.Stats.Elapsed = time.Since(start)
+	return &st.res, nil
+}
+
+// runSynthetic schedules one phase of vessel-range build tasks.
+func (c *Coordinator) runSynthetic(ctx context.Context, st *jobState, job Job, merge func(*TaskResult) error) error {
+	// Resolve defaults once so every task ships the same fully-specified
+	// fleet and the index ranges cover the effective vessel count.
+	spec := SpecFromConfig(job.Synthetic.Spec.Config().WithDefaults())
+	vessels := spec.Vessels
+	nTasks := job.Synthetic.Tasks
+	if nTasks <= 0 {
+		nTasks = 4 * c.cfg.MinWorkers
+	}
+	if nTasks > vessels {
+		nTasks = vessels
+	}
+	tasks := make([]Task, 0, nTasks)
+	for i := 0; i < nTasks; i++ {
+		st.nextID++
+		tasks = append(tasks, Task{
+			ID:         st.nextID,
+			Kind:       TaskSimBuild,
+			Resolution: job.Resolution,
+			Sim:        spec,
+			VesselLo:   vessels * i / nTasks,
+			VesselHi:   vessels * (i + 1) / nTasks,
+		})
+	}
+	return c.runPhase(ctx, st, "sim-build", tasks, merge)
+}
+
+// runArchive schedules the scan phase, shuffles through the coordinator,
+// broadcasts statics, then schedules the reduce phase.
+func (c *Coordinator) runArchive(ctx context.Context, st *jobState, job Job, merge func(*TaskResult) error) error {
+	mapTasks := job.Archive.MapTasks
+	if mapTasks <= 0 {
+		mapTasks = 4 * c.cfg.MinWorkers
+	}
+	reduceTasks := job.Archive.ReduceTasks
+	if reduceTasks <= 0 {
+		reduceTasks = 2 * c.cfg.MinWorkers
+	}
+	sections, err := feed.Split(job.Archive.Path, mapTasks)
+	if err != nil {
+		return err
+	}
+	tasks := make([]Task, 0, len(sections))
+	for _, sec := range sections {
+		st.nextID++
+		tasks = append(tasks, Task{
+			ID:      st.nextID,
+			Kind:    TaskScan,
+			Section: sec,
+			Buckets: reduceTasks,
+		})
+	}
+	scans := make(map[int]*TaskResult, len(sections))
+	err = c.runPhase(ctx, st, "scan", tasks, func(r *TaskResult) error {
+		scans[r.SectionIndex] = r
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Shuffle: merge statics and concatenate bucket blocks in ascending
+	// section order, so per-vessel record order — and order-dependent
+	// cleaning decisions like duplicate-timestamp resolution — match a
+	// sequential read of the archive.
+	indexes := make([]int, 0, len(scans))
+	for idx := range scans {
+		indexes = append(indexes, idx)
+	}
+	sort.Ints(indexes)
+	st.statics = &staticsMsg{Statics: make(map[uint32]model.VesselInfo)}
+	buckets := make([][]model.PositionRecord, reduceTasks)
+	for _, idx := range indexes {
+		r := scans[idx]
+		for mmsi, vi := range r.Statics {
+			st.statics.Statics[mmsi] = vi
+		}
+		for b, block := range r.BucketBlocks {
+			if b < len(buckets) {
+				buckets[b] = append(buckets[b], block...)
+			}
+		}
+		addFeedStats(&st.res.Feed, r.Feed)
+	}
+	for rem := range st.workers {
+		if !rem.dead {
+			c.send(rem, &envelope{Type: msgStatics, Statics: st.statics})
+		}
+	}
+
+	tasks = tasks[:0]
+	for _, bucket := range buckets {
+		st.nextID++
+		tasks = append(tasks, Task{
+			ID:         st.nextID,
+			Kind:       TaskReduceBuild,
+			Resolution: job.Resolution,
+			Records:    bucket,
+		})
+	}
+	return c.runPhase(ctx, st, "reduce-build", tasks, merge)
+}
+
+// runPhase drives one task set to completion: assignment, heartbeat
+// deadlines, straggler re-queue, bounded backed-off retries, and duplicate
+// suppression keyed on idempotent task IDs.
+func (c *Coordinator) runPhase(ctx context.Context, st *jobState, phase string, tasks []Task, onResult func(*TaskResult) error) error {
+	states := make(map[uint64]*taskState, len(tasks))
+	var pending []*taskState
+	for i := range tasks {
+		ts := &taskState{task: tasks[i]}
+		states[tasks[i].ID] = ts
+		pending = append(pending, ts)
+	}
+	st.res.Tasks += len(tasks)
+	remaining := len(tasks)
+	if remaining == 0 {
+		return nil
+	}
+	c.logf("phase %s: %d tasks", phase, len(tasks))
+
+	tick := c.cfg.TaskTimeout / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	requeue := func(ts *taskState, why string) error {
+		ts.runner = nil
+		if ts.done {
+			return nil
+		}
+		if ts.attempts > c.cfg.MaxRetries {
+			c.metrics.failed.Inc()
+			return fmt.Errorf("cluster: task %d (%s) failed after %d attempts: %s",
+				ts.task.ID, ts.task.Kind, ts.attempts, why)
+		}
+		c.metrics.retried.Inc()
+		st.res.Retries++
+		ts.notBefore = time.Now().Add(time.Duration(ts.attempts) * c.cfg.RetryBackoff)
+		pending = append(pending, ts)
+		c.logf("phase %s: task %d re-queued (%s), attempt %d next", phase, ts.task.ID, why, ts.attempts+1)
+		return nil
+	}
+
+	assign := func() {
+		if !st.started {
+			if len(st.workers) < c.cfg.MinWorkers {
+				return
+			}
+			st.started = true
+		}
+		allBenched := true
+		for rem := range st.workers {
+			if !rem.dead && rem.strikes < strikeLimit {
+				allBenched = false
+				break
+			}
+		}
+		now := time.Now()
+		for rem := range st.workers {
+			if rem.dead || rem.cur != nil {
+				continue
+			}
+			if rem.strikes >= strikeLimit && !allBenched {
+				continue
+			}
+			best := -1
+			for i := 0; i < len(pending); i++ {
+				if pending[i].done {
+					// Completed by a straggler after being re-queued.
+					pending = append(pending[:i], pending[i+1:]...)
+					i--
+					continue
+				}
+				if !pending[i].notBefore.After(now) {
+					best = i
+					break
+				}
+			}
+			if best < 0 {
+				return
+			}
+			ts := pending[best]
+			pending = append(pending[:best], pending[best+1:]...)
+			ts.attempts++
+			ts.task.Attempt = ts.attempts
+			ts.runner = rem
+			ts.deadline = now.Add(c.cfg.TaskTimeout)
+			ts.started = now
+			rem.cur = ts
+			c.metrics.assigned.Inc()
+			// On send failure the reader goroutine delivers evGone, which
+			// re-queues the task with consistent attempt accounting.
+			c.send(rem, &envelope{Type: msgTask, Task: &ts.task})
+		}
+	}
+
+	for {
+		assign()
+		if remaining == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: phase %s aborted: %w", phase, ctx.Err())
+		case <-ticker.C:
+			now := time.Now()
+			for _, ts := range states {
+				if ts.runner != nil && now.After(ts.deadline) {
+					// Drop the claim; the straggler may still finish, in
+					// which case whichever completion arrives first wins
+					// and the other is dropped as a duplicate.
+					ts.runner.strikes++
+					ts.runner.cur = nil
+					if err := requeue(ts, "straggler timeout"); err != nil {
+						return err
+					}
+				}
+			}
+		case ev := <-c.events:
+			switch ev.kind {
+			case evJoin:
+				st.workers[ev.rem] = true
+				c.metrics.workers.Set(float64(len(st.workers)))
+				c.logf("worker %s joined (%d connected)", ev.rem.name, len(st.workers))
+				if st.statics != nil {
+					c.send(ev.rem, &envelope{Type: msgStatics, Statics: st.statics})
+				}
+			case evGone:
+				if !st.workers[ev.rem] {
+					break
+				}
+				delete(st.workers, ev.rem)
+				ev.rem.dead = true
+				c.metrics.workers.Set(float64(len(st.workers)))
+				c.logf("worker %s gone: %v", ev.rem.name, ev.err)
+				if ts := ev.rem.cur; ts != nil {
+					ev.rem.cur = nil
+					if err := requeue(ts, "worker lost"); err != nil {
+						return err
+					}
+				}
+			case evFrame:
+				switch ev.env.Type {
+				case msgHeartbeat:
+					c.metrics.heartbeats.Inc()
+					if hb := ev.env.Heartbeat; hb != nil {
+						if ts := states[hb.TaskID]; ts != nil && ts.runner == ev.rem {
+							ts.deadline = time.Now().Add(c.cfg.TaskTimeout)
+						}
+					}
+				case msgResult:
+					r := ev.env.Result
+					if r == nil {
+						break
+					}
+					if ev.rem.cur != nil && ev.rem.cur.task.ID == r.ID {
+						ev.rem.cur = nil
+					}
+					ev.rem.strikes = 0
+					ts := states[r.ID]
+					if ts == nil || ts.done {
+						// A straggler finished after its re-run did: the
+						// idempotent task ID makes this a no-op.
+						c.metrics.duplicate.Inc()
+						st.res.Duplicates++
+						break
+					}
+					if r.Err != "" {
+						if ts.runner == ev.rem {
+							ts.runner = nil
+						}
+						if err := requeue(ts, "worker error: "+r.Err); err != nil {
+							return err
+						}
+						break
+					}
+					ts.done = true
+					ts.runner = nil
+					remaining--
+					c.metrics.completed.Inc()
+					c.metrics.taskSeconds.Observe(time.Since(ts.started).Seconds())
+					if err := onResult(r); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+}
+
+// shutdownWorkers tells every connected worker the job is over and closes
+// the connections.
+func (c *Coordinator) shutdownWorkers(st *jobState) {
+	for rem := range st.workers {
+		if !rem.dead {
+			c.send(rem, &envelope{Type: msgShutdown})
+			rem.conn.Close()
+		}
+	}
+	c.metrics.workers.Set(0)
+}
+
+// addStats sums pipeline flow statistics across partial builds.
+func addStats(dst *pipeline.Stats, s pipeline.Stats) {
+	dst.RawRecords += s.RawRecords
+	dst.ValidRecords += s.ValidRecords
+	dst.FeasibleRecords += s.FeasibleRecords
+	dst.CommercialOnly += s.CommercialOnly
+	dst.TripRecords += s.TripRecords
+	dst.Trips += s.Trips
+	dst.Observations += s.Observations
+}
+
+// addFeedStats sums archive read statistics across scan tasks.
+func addFeedStats(dst *feed.ReadStats, s feed.ReadStats) {
+	dst.Lines += s.Lines
+	dst.BadLines += s.BadLines
+	dst.BadNMEA += s.BadNMEA
+	dst.Positions += s.Positions
+	dst.Statics += s.Statics
+	dst.Unsupported += s.Unsupported
+}

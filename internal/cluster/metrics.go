@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"io"
+
+	"github.com/patternsoflife/pol/internal/obs"
+)
+
+// Cluster metric names (Prometheus conventions, pol_ namespace).
+const (
+	MetricTasks            = "pol_cluster_tasks_total"
+	MetricTaskSeconds      = "pol_cluster_task_seconds"
+	MetricHeartbeats       = "pol_cluster_heartbeats_total"
+	MetricWorkers          = "pol_cluster_workers"
+	MetricBytes            = "pol_cluster_bytes_total"
+	MetricWorkerTasks      = "pol_cluster_worker_tasks_total"
+	MetricWorkerHeartbeats = "pol_cluster_worker_heartbeats_total"
+)
+
+// coordMetrics is the coordinator-side instrument set.
+type coordMetrics struct {
+	assigned    *obs.Counter
+	completed   *obs.Counter
+	retried     *obs.Counter
+	duplicate   *obs.Counter
+	failed      *obs.Counter
+	heartbeats  *obs.Counter
+	workers     *obs.Gauge
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+	taskSeconds *obs.Histogram
+}
+
+func newCoordMetrics(reg *obs.Registry) *coordMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Help(MetricTasks, "Coordinator task scheduling events by outcome.")
+	reg.Help(MetricTaskSeconds, "Wall time of completed tasks, assignment to result.")
+	reg.Help(MetricHeartbeats, "Worker heartbeats received by the coordinator.")
+	reg.Help(MetricWorkers, "Workers currently connected to the coordinator.")
+	reg.Help(MetricBytes, "Protocol bytes through the coordinator by direction.")
+	ev := func(event string) *obs.Counter {
+		return reg.Counter(MetricTasks, obs.Labels{"event": event})
+	}
+	return &coordMetrics{
+		assigned:    ev("assigned"),
+		completed:   ev("completed"),
+		retried:     ev("retried"),
+		duplicate:   ev("duplicate"),
+		failed:      ev("failed"),
+		heartbeats:  reg.Counter(MetricHeartbeats, nil),
+		workers:     reg.Gauge(MetricWorkers, nil),
+		bytesIn:     reg.Counter(MetricBytes, obs.Labels{"dir": "in"}),
+		bytesOut:    reg.Counter(MetricBytes, obs.Labels{"dir": "out"}),
+		taskSeconds: reg.Histogram(MetricTaskSeconds, nil),
+	}
+}
+
+// workerMetrics is the worker-side instrument set.
+type workerMetrics struct {
+	tasksOK    *obs.Counter
+	tasksErr   *obs.Counter
+	heartbeats *obs.Counter
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+}
+
+func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Help(MetricWorkerTasks, "Tasks executed by this worker by outcome.")
+	reg.Help(MetricWorkerHeartbeats, "Heartbeats sent by this worker.")
+	return &workerMetrics{
+		tasksOK:    reg.Counter(MetricWorkerTasks, obs.Labels{"state": "ok"}),
+		tasksErr:   reg.Counter(MetricWorkerTasks, obs.Labels{"state": "error"}),
+		heartbeats: reg.Counter(MetricWorkerHeartbeats, nil),
+		bytesIn:    reg.Counter(MetricBytes, obs.Labels{"dir": "in"}),
+		bytesOut:   reg.Counter(MetricBytes, obs.Labels{"dir": "out"}),
+	}
+}
+
+// countingWriter tallies written bytes into a counter.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
+}
+
+// countingReader tallies read bytes into a counter.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/feed"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/pipeline"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/sim"
+)
+
+// ErrKilled reports that the worker terminated itself through a kill-task
+// failpoint (fault-injection for re-queue tests).
+var ErrKilled = errors.New("cluster: worker killed by failpoint")
+
+// Failpoint injects faults into a worker for robustness tests.
+type Failpoint struct {
+	// KillOnTask, when > 0, makes the worker abruptly close its connection
+	// and exit upon receiving its KillOnTask-th task — after sending one
+	// heartbeat, so the coordinator observes a live worker dying mid-task.
+	KillOnTask int
+	// FailTasks, when > 0, makes the first FailTasks task executions report
+	// an execution error instead of running.
+	FailTasks int
+}
+
+// ParseFailpoint parses the -failpoint flag syntax: "", "kill-task=N" or
+// "fail-tasks=N".
+func ParseFailpoint(s string) (Failpoint, error) {
+	var fp Failpoint
+	if s == "" {
+		return fp, nil
+	}
+	key, val, ok := strings.Cut(s, "=")
+	n, err := strconv.Atoi(val)
+	if !ok || err != nil || n < 1 {
+		return fp, fmt.Errorf("cluster: bad failpoint %q (want kill-task=N or fail-tasks=N)", s)
+	}
+	switch key {
+	case "kill-task":
+		fp.KillOnTask = n
+	case "fail-tasks":
+		fp.FailTasks = n
+	default:
+		return fp, fmt.Errorf("cluster: unknown failpoint %q", key)
+	}
+	return fp, nil
+}
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// Coordinator is the TCP address to dial.
+	Coordinator string
+	// Name identifies the worker in logs and results (default host:pid).
+	Name string
+	// Parallelism is the dataflow pool width per task (default GOMAXPROCS).
+	Parallelism int
+	// HeartbeatEvery is the liveness interval while executing a task
+	// (default 2s; keep it well under the coordinator's TaskTimeout).
+	HeartbeatEvery time.Duration
+	// DialRetryFor keeps re-dialing a not-yet-listening coordinator for
+	// this long (default 10s) — workers may start first.
+	DialRetryFor time.Duration
+	// MaxFrameBytes caps one protocol frame (default DefaultMaxFrameBytes).
+	MaxFrameBytes int
+	// Failpoint injects faults for tests.
+	Failpoint Failpoint
+	// Obs receives worker metrics (default obs.Default()).
+	Obs *obs.Registry
+	// Logf, when non-nil, receives worker progress lines.
+	Logf func(format string, args ...any)
+
+	// resultDelay, when non-nil, delays each result send (test hook for
+	// shuffled completion order and straggler scenarios).
+	resultDelay func(t Task) time.Duration
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		c.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 2 * time.Second
+	}
+	if c.DialRetryFor <= 0 {
+		c.DialRetryFor = 10 * time.Second
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	return c
+}
+
+// worker is the run state of one RunWorker call.
+type worker struct {
+	cfg     WorkerConfig
+	conn    net.Conn
+	writeMu sync.Mutex // heartbeat goroutine vs result sends
+	metrics *workerMetrics
+	portIdx *ports.Index
+	statics map[uint32]model.VesselInfo // broadcast vessel static inventory
+
+	simSpec SimSpec        // cached fleet spec…
+	sim     *sim.Simulator // …and its simulator (lane graph reuse)
+
+	tasksSeen int
+	failsLeft int
+}
+
+// RunWorker connects to the coordinator and executes tasks until the
+// coordinator sends a shutdown (returns nil), the connection is lost, the
+// context is cancelled, or a kill failpoint fires (returns ErrKilled).
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	w := &worker{
+		cfg:       cfg,
+		metrics:   newWorkerMetrics(cfg.Obs),
+		portIdx:   ports.NewIndex(ports.Default(), ports.IndexResolution),
+		failsLeft: cfg.Failpoint.FailTasks,
+	}
+	conn, err := w.dial(ctx)
+	if err != nil {
+		return err
+	}
+	w.conn = conn
+	defer conn.Close()
+	if err := w.send(&envelope{Type: msgHello, Hello: &helloMsg{Name: cfg.Name, Procs: cfg.Parallelism}}); err != nil {
+		return err
+	}
+	w.logf("connected to %s as %s", cfg.Coordinator, cfg.Name)
+
+	// runCtx cancels running pipelines the moment the connection dies or
+	// the caller's context is cancelled.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	frames := make(chan *envelope, 16)
+	readErr := make(chan error, 1)
+	go func() {
+		in := countingReader{r: conn, c: w.metrics.bytesIn}
+		for {
+			env, err := readFrame(in, cfg.MaxFrameBytes)
+			if err != nil {
+				readErr <- err
+				cancel()
+				close(frames)
+				return
+			}
+			frames <- env
+		}
+	}()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case env, ok := <-frames:
+			if !ok {
+				err := <-readErr
+				if err == io.EOF {
+					return nil // coordinator closed us out
+				}
+				return fmt.Errorf("cluster: connection lost: %w", err)
+			}
+			switch env.Type {
+			case msgShutdown:
+				w.logf("shutdown received")
+				return nil
+			case msgStatics:
+				if env.Statics != nil {
+					w.statics = env.Statics.Statics
+					w.logf("statics broadcast: %d vessels", len(w.statics))
+				}
+			case msgTask:
+				if env.Task == nil {
+					continue
+				}
+				done, err := w.handleTask(runCtx, *env.Task)
+				if err != nil {
+					return err
+				}
+				if done {
+					return ErrKilled
+				}
+			}
+		}
+	}
+}
+
+// dial connects with retries, tolerating a coordinator that starts late.
+func (w *worker) dial(ctx context.Context) (net.Conn, error) {
+	deadline := time.Now().Add(w.cfg.DialRetryFor)
+	for {
+		conn, err := net.DialTimeout("tcp", w.cfg.Coordinator, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: dial %s: %w", w.cfg.Coordinator, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// send writes one frame under the write mutex (heartbeats interleave with
+// results on the same connection).
+func (w *worker) send(env *envelope) error {
+	w.writeMu.Lock()
+	defer w.writeMu.Unlock()
+	return writeFrame(countingWriter{w: w.conn, c: w.metrics.bytesOut}, env)
+}
+
+// handleTask executes one task and reports its result; killed reports that
+// the kill failpoint fired and the worker must exit.
+func (w *worker) handleTask(ctx context.Context, t Task) (killed bool, fatal error) {
+	w.tasksSeen++
+	w.logf("task %d (%s) attempt %d", t.ID, t.Kind, t.Attempt)
+	if w.cfg.Failpoint.KillOnTask > 0 && w.tasksSeen >= w.cfg.Failpoint.KillOnTask {
+		// Die mid-task: prove liveness once, then vanish without a result.
+		w.send(&envelope{Type: msgHeartbeat, Heartbeat: &heartbeatMsg{TaskID: t.ID}})
+		w.conn.Close()
+		w.logf("failpoint: killed on task %d", t.ID)
+		return true, nil
+	}
+
+	// Heartbeat for the whole execution.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		tick := time.NewTicker(w.cfg.HeartbeatEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				w.metrics.heartbeats.Inc()
+				if err := w.send(&envelope{Type: msgHeartbeat, Heartbeat: &heartbeatMsg{TaskID: t.ID}}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	res := w.execute(ctx, t)
+	close(hbStop)
+	hbWG.Wait()
+	if res.Err == "" {
+		w.metrics.tasksOK.Inc()
+	} else {
+		w.metrics.tasksErr.Inc()
+		w.logf("task %d failed: %s", t.ID, res.Err)
+	}
+	if w.cfg.resultDelay != nil {
+		if d := w.cfg.resultDelay(t); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+	}
+	if err := w.send(&envelope{Type: msgResult, Result: res}); err != nil {
+		return false, fmt.Errorf("cluster: send result %d: %w", t.ID, err)
+	}
+	return false, nil
+}
+
+// execute runs one task, never panicking the worker loop on bad input.
+func (w *worker) execute(ctx context.Context, t Task) *TaskResult {
+	res := &TaskResult{ID: t.ID, Attempt: t.Attempt, Worker: w.cfg.Name}
+	if w.failsLeft > 0 {
+		w.failsLeft--
+		res.Err = "failpoint: injected task failure"
+		return res
+	}
+	var err error
+	switch t.Kind {
+	case TaskSimBuild:
+		err = w.runSimBuild(ctx, t, res)
+	case TaskScan:
+		err = w.runScan(t, res)
+	case TaskReduceBuild:
+		err = w.runReduceBuild(ctx, t, res)
+	default:
+		err = fmt.Errorf("unknown task kind %d", t.Kind)
+	}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// simulator returns a cached simulator for the spec; rebuilding the lane
+// graph per task would dominate small tasks.
+func (w *worker) simulator(spec SimSpec) (*sim.Simulator, error) {
+	if w.sim != nil && w.simSpec == spec {
+		return w.sim, nil
+	}
+	s, err := sim.New(spec.Config(), ports.Default())
+	if err != nil {
+		return nil, err
+	}
+	w.sim, w.simSpec = s, spec
+	return s, nil
+}
+
+// runSimBuild regenerates the task's vessel range from the shared seed and
+// runs the full pipeline over it. The fleet static index covers the whole
+// fleet, exactly as in a single-process synthetic build.
+func (w *worker) runSimBuild(ctx context.Context, t Task, res *TaskResult) error {
+	s, err := w.simulator(t.Sim)
+	if err != nil {
+		return err
+	}
+	if t.VesselLo < 0 || t.VesselHi > len(s.Fleet().Vessels) || t.VesselLo >= t.VesselHi {
+		return fmt.Errorf("bad vessel range [%d,%d) of %d", t.VesselLo, t.VesselHi, len(s.Fleet().Vessels))
+	}
+	dctx := dataflow.NewContextWith(ctx, w.cfg.Parallelism)
+	records := dataflow.Generate(dctx, t.VesselHi-t.VesselLo, func(part int) []model.PositionRecord {
+		recs, _ := s.VesselTrack(t.VesselLo + part)
+		return recs
+	})
+	return w.runPipeline(records, s.Fleet().StaticIndex(), t, res)
+}
+
+// runScan decodes one archive section, returning statics and positions
+// bucketed by vessel hash — the map side of the archive shuffle.
+func (w *worker) runScan(t Task, res *TaskResult) error {
+	if t.Buckets < 1 {
+		return fmt.Errorf("scan task %d without buckets", t.ID)
+	}
+	r, closer, err := feed.OpenSection(t.Section)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	buckets := make([][]model.PositionRecord, t.Buckets)
+	for {
+		it, err := r.NextItem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if it.Kind == feed.ItemPosition {
+			b := dataflow.HashKey(it.Pos.MMSI) % uint64(t.Buckets)
+			buckets[b] = append(buckets[b], it.Pos)
+		}
+	}
+	res.Statics = r.StaticsAsVesselInfo()
+	res.BucketBlocks = buckets
+	res.Feed = r.Stats()
+	res.SectionIndex = t.Section.Index
+	return nil
+}
+
+// runReduceBuild runs the full pipeline over one vessel-complete record
+// bucket using the broadcast statics.
+func (w *worker) runReduceBuild(ctx context.Context, t Task, res *TaskResult) error {
+	dctx := dataflow.NewContextWith(ctx, w.cfg.Parallelism)
+	records := dataflow.Parallelize(dctx, t.Records, w.cfg.Parallelism*4)
+	return w.runPipeline(records, w.statics, t, res)
+}
+
+// runPipeline executes the inventory pipeline and marshals the partial.
+func (w *worker) runPipeline(records *dataflow.Dataset[model.PositionRecord], static map[uint32]model.VesselInfo, t Task, res *TaskResult) error {
+	out, err := pipeline.Run(records, static, w.portIdx, pipeline.Options{
+		Resolution:  t.Resolution,
+		Description: fmt.Sprintf("cluster task %d (%s)", t.ID, t.Kind),
+		Obs:         w.cfg.Obs,
+	})
+	if err != nil {
+		return err
+	}
+	blob, err := inventory.Marshal(out.Inventory)
+	if err != nil {
+		return err
+	}
+	res.Inventory = blob
+	res.Stats = out.Stats
+	return nil
+}

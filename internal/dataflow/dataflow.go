@@ -22,6 +22,7 @@
 package dataflow
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -33,7 +34,8 @@ import (
 type Context struct {
 	parallelism int
 	metrics     *Metrics
-	scratch     sync.Pool // *shuffleScratch, reused across shuffles
+	scratch     sync.Pool       // *shuffleScratch, reused across shuffles
+	std         context.Context // cancellation source for all actions
 }
 
 // shuffleScratch is the per-partition working memory of a shuffle's
@@ -72,14 +74,30 @@ func (c *Context) putScratch(sc *shuffleScratch) { c.scratch.Put(sc) }
 // NewContext returns a Context executing up to parallelism concurrent
 // partition tasks. Values below 1 default to GOMAXPROCS.
 func NewContext(parallelism int) *Context {
+	return NewContextWith(context.Background(), parallelism)
+}
+
+// NewContextWith is NewContext bound to a cancellation context: when std is
+// cancelled, in-flight actions stop dispatching partition tasks and return
+// std's error instead of running the remaining stages to completion.
+// Cancellation is observed at partition-task boundaries, so promptness
+// scales with partition granularity, not dataset size.
+func NewContextWith(std context.Context, parallelism int) *Context {
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Context{parallelism: parallelism, metrics: newMetrics()}
+	if std == nil {
+		std = context.Background()
+	}
+	return &Context{parallelism: parallelism, metrics: newMetrics(), std: std}
 }
 
 // Parallelism returns the worker-pool width.
 func (c *Context) Parallelism() int { return c.parallelism }
+
+// Err returns the cancellation state of the bound context: nil while the
+// context is live, the context's error once cancelled.
+func (c *Context) Err() error { return c.std.Err() }
 
 // Metrics returns the execution metrics collected so far.
 func (c *Context) Metrics() *Metrics { return c.metrics }
@@ -279,7 +297,7 @@ func Cache[T any](d *Dataset[T]) *Dataset[T] {
 	out.compute = func(part int) ([]T, error) {
 		once.Do(func() {
 			parts = make([][]T, d.nParts)
-			cacheErr = runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+			cacheErr = d.ctx.runParallel(d.nParts, func(p int) error {
 				rows, err := d.compute(p)
 				if err != nil {
 					return err
@@ -297,8 +315,11 @@ func Cache[T any](d *Dataset[T]) *Dataset[T] {
 }
 
 // runParallel executes f(0..tasks-1) over at most width goroutines and
-// returns the first error.
-func runParallel(width, tasks int, f func(i int) error) error {
+// returns the first error. Workers stop claiming new tasks once the
+// context's cancellation fires, and the cancellation error is reported when
+// no task failed first.
+func (c *Context) runParallel(tasks int, f func(i int) error) error {
+	width := c.parallelism
 	if width > tasks {
 		width = tasks
 	}
@@ -306,10 +327,11 @@ func runParallel(width, tasks int, f func(i int) error) error {
 		width = 1
 	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		next      int
+		err       error
+		cancelled bool
 	)
 	for w := 0; w < width; w++ {
 		wg.Add(1)
@@ -318,6 +340,11 @@ func runParallel(width, tasks int, f func(i int) error) error {
 			for {
 				mu.Lock()
 				if err != nil || next >= tasks {
+					mu.Unlock()
+					return
+				}
+				if c.std.Err() != nil {
+					cancelled = true
 					mu.Unlock()
 					return
 				}
@@ -336,6 +363,9 @@ func runParallel(width, tasks int, f func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err == nil && cancelled {
+		err = fmt.Errorf("dataflow: cancelled: %w", c.std.Err())
+	}
 	return err
 }
 
@@ -343,7 +373,7 @@ func runParallel(width, tasks int, f func(i int) error) error {
 // concatenated elements in partition order.
 func Collect[T any](d *Dataset[T]) ([]T, error) {
 	parts := make([][]T, d.nParts)
-	err := runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+	err := d.ctx.runParallel(d.nParts, func(p int) error {
 		rows, e := d.compute(p)
 		if e != nil {
 			return e
@@ -369,7 +399,7 @@ func Collect[T any](d *Dataset[T]) ([]T, error) {
 func Count[T any](d *Dataset[T]) (int64, error) {
 	var mu sync.Mutex
 	var total int64
-	err := runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+	err := d.ctx.runParallel(d.nParts, func(p int) error {
 		rows, e := d.compute(p)
 		if e != nil {
 			return e
@@ -385,7 +415,7 @@ func Count[T any](d *Dataset[T]) (int64, error) {
 // ForeachPartition evaluates the dataset, invoking f once per partition.
 // f must be safe for concurrent calls on distinct partitions.
 func ForeachPartition[T any](d *Dataset[T], f func(part int, rows []T) error) error {
-	return runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+	return d.ctx.runParallel(d.nParts, func(p int) error {
 		rows, e := d.compute(p)
 		if e != nil {
 			return e

@@ -1,6 +1,8 @@
 package dataflow
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -476,5 +478,52 @@ func TestValuesAfterShuffle(t *testing.T) {
 	vals, err := Collect(Values(re, "vals"))
 	if err != nil || len(vals) != 2 {
 		t.Fatalf("values after shuffle: %v, %v", vals, err)
+	}
+}
+
+func TestCollectCancelledStopsDispatch(t *testing.T) {
+	// A context cancelled while an action runs must stop partition
+	// dispatch promptly: with parallelism 1 and the cancel fired inside the
+	// first partition, at most the in-flight partition may still complete.
+	stdctx, cancel := context.WithCancel(context.Background())
+	ctx := NewContextWith(stdctx, 1)
+	var executed atomic.Int64
+	d := Generate(ctx, 64, func(part int) []int {
+		executed.Add(1)
+		if part == 0 {
+			cancel()
+		}
+		return []int{part}
+	})
+	_, err := Collect(d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Collect err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n > 2 {
+		t.Errorf("%d partitions executed after cancellation, want <= 2", n)
+	}
+	if ctx.Err() == nil {
+		t.Error("Context.Err must report cancellation")
+	}
+}
+
+func TestCancelledContextFailsAllActions(t *testing.T) {
+	stdctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := NewContextWith(stdctx, 4)
+	d := Parallelize(ctx, []int{1, 2, 3, 4}, 4)
+	if _, err := Collect(d); !errors.Is(err, context.Canceled) {
+		t.Errorf("Collect on dead context: %v", err)
+	}
+	if _, err := Count(d); !errors.Is(err, context.Canceled) {
+		t.Errorf("Count on dead context: %v", err)
+	}
+	keyed := KeyBy(d, "k", func(x int) int { return x })
+	if _, err := Collect(RepartitionByKey(keyed, "shuffle", 2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("shuffle on dead context: %v", err)
+	}
+	// A nil context and NewContext behave as background: never cancelled.
+	if NewContext(1).Err() != nil || NewContextWith(nil, 1).Err() != nil {
+		t.Error("background contexts must not report cancellation")
 	}
 }

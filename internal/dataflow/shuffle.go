@@ -124,7 +124,7 @@ func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int, ha
 			t0 := time.Now()
 			// Per input partition, bucket locally (no locks), then merge.
 			local := make([][][]Pair[K, V], d.nParts)
-			shuffleErr = runParallel(d.ctx.parallelism, d.nParts, func(p int) error {
+			shuffleErr = d.ctx.runParallel(d.nParts, func(p int) error {
 				rows, err := d.compute(p)
 				if err != nil {
 					return err

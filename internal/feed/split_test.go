@@ -1,0 +1,224 @@
+package feed
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/sim"
+)
+
+// interleavedArchive writes a small archive mixing position lines with
+// multi-sentence (two-line) static reports, so section boundaries can land
+// on every interesting spot: mid-line, at newlines, and between the
+// sentences of a group.
+func interleavedArchive(t testing.TB, trailingNewline bool) []byte {
+	t.Helper()
+	s, err := sim.New(sim.Config{Vessels: 3, Days: 2, Seed: 7}, ports.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i, v := range s.Fleet().Vessels {
+		recs, _ := s.VesselTrack(i)
+		if len(recs) > 8 {
+			recs = recs[:8]
+		}
+		for j, r := range recs {
+			if j%3 == 0 {
+				if err := w.WriteStatic(v, r.Time); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.WritePosition(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !trailingNewline {
+		data = data[:len(data)-1]
+	}
+	return data
+}
+
+// itemIdentity renders the fields that identify a decoded item.
+func itemIdentity(it Item) string {
+	if it.Kind == ItemStatic {
+		return fmt.Sprintf("static %d @%d", it.Static.MMSI, it.Time)
+	}
+	return fmt.Sprintf("pos %d @%d %.5f,%.5f", it.Pos.MMSI, it.Pos.Time, it.Pos.Pos.Lat, it.Pos.Pos.Lng)
+}
+
+func drainItems(t testing.TB, r *Reader) []string {
+	t.Helper()
+	var out []string
+	for {
+		it, err := r.NextItem()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, itemIdentity(it))
+	}
+}
+
+// TestSectionReaderEveryBoundary sweeps the split point across every byte
+// offset of the archive: the two sections' decoded items, concatenated,
+// must equal a sequential full read exactly — no record lost, duplicated,
+// or reordered, wherever the boundary lands (mid-line, on a newline, or
+// between the sentences of a two-line static group).
+func TestSectionReaderEveryBoundary(t *testing.T) {
+	for _, trailing := range []bool{true, false} {
+		data := interleavedArchive(t, trailing)
+		full := drainItems(t, NewReader(bytes.NewReader(data)))
+		if len(full) == 0 {
+			t.Fatal("empty fixture")
+		}
+		for k := 0; k <= len(data); k++ {
+			var got []string
+			for _, rng := range [][2]int64{{0, int64(k)}, {int64(k), int64(len(data))}} {
+				r, err := NewSectionReader(bytes.NewReader(data), rng[0], rng[1])
+				if err != nil {
+					t.Fatalf("k=%d range %v: %v", k, rng, err)
+				}
+				got = append(got, drainItems(t, r)...)
+			}
+			if len(got) != len(full) {
+				t.Fatalf("trailing=%v split at %d: %d items, want %d", trailing, k, len(got), len(full))
+			}
+			for i := range got {
+				if got[i] != full[i] {
+					t.Fatalf("trailing=%v split at %d: item %d = %q, want %q", trailing, k, i, got[i], full[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSplitSectionsCoverArchive checks Split + OpenSection end to end over
+// a real file for several section counts, including counts far exceeding
+// the line count.
+func TestSplitSectionsCoverArchive(t *testing.T) {
+	data := interleavedArchive(t, true)
+	path := filepath.Join(t.TempDir(), "fleet.nmea")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	full := drainItems(t, NewReader(bytes.NewReader(data)))
+	sort.Strings(full)
+
+	for _, n := range []int{1, 2, 3, 5, 8, 64} {
+		secs, err := Split(path, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(secs) != n {
+			t.Fatalf("n=%d: %d sections", n, len(secs))
+		}
+		var prev int64
+		var got []string
+		var stats ReadStats
+		for i, sec := range secs {
+			if sec.Start != prev || sec.Index != i || sec.End < sec.Start {
+				t.Fatalf("n=%d: section %d not contiguous: %+v", n, i, sec)
+			}
+			prev = sec.End
+			r, closer, err := OpenSection(sec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, drainItems(t, r)...)
+			st := r.Stats()
+			stats.Positions += st.Positions
+			stats.Statics += st.Statics
+			stats.BadNMEA += st.BadNMEA
+			closer.Close()
+		}
+		if prev != int64(len(data)) {
+			t.Fatalf("n=%d: sections end at %d, file is %d bytes", n, prev, len(data))
+		}
+		sort.Strings(got)
+		if len(got) != len(full) {
+			t.Fatalf("n=%d: %d items, want %d", n, len(got), len(full))
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("n=%d: item %d = %q, want %q", n, i, got[i], full[i])
+			}
+		}
+		if stats.BadNMEA != 0 {
+			t.Errorf("n=%d: %d bad NMEA from boundary resync", n, stats.BadNMEA)
+		}
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.nmea")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	secs, err := Split(empty, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 1 || secs[0].Start != 0 || secs[0].End != 0 {
+		t.Fatalf("empty file sections: %+v", secs)
+	}
+	r, closer, err := OpenSection(secs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if _, err := r.NextItem(); err != io.EOF {
+		t.Fatalf("empty section item: %v", err)
+	}
+
+	if _, err := Split(filepath.Join(dir, "missing"), 2); err == nil {
+		t.Error("missing file must fail")
+	}
+	if _, err := NewSectionReader(bytes.NewReader(nil), 5, 2); err == nil {
+		t.Error("inverted range must fail")
+	}
+
+	// A section in the middle of a line-less byte soup must not loop.
+	soup := filepath.Join(dir, "soup.bin")
+	if err := os.WriteFile(soup, bytes.Repeat([]byte{'x'}, 300), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	secs, err = Split(soup, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs int
+	for _, sec := range secs {
+		r, closer, err := OpenSection(sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := r.NextItem(); err != nil {
+				break
+			}
+			recs++
+		}
+		closer.Close()
+	}
+	if recs != 0 {
+		t.Errorf("decoded %d records from garbage", recs)
+	}
+	_ = model.PositionRecord{}
+}

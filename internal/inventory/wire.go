@@ -1,0 +1,58 @@
+package inventory
+
+import (
+	"bytes"
+)
+
+// Marshal encodes the inventory into the POLINV container format — the same
+// bytes WriteFile persists, usable as a wire representation. The cluster
+// layer ships partial inventories from workers to the coordinator this way,
+// so a map task's result is bit-identical to what the worker would have
+// written to disk.
+func Marshal(inv *Inventory) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(1 << 16)
+	if _, err := writeTo(inv, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a POLINV byte image produced by Marshal (or read from a
+// file) into a fresh mutable inventory, validating internal consistency.
+func Unmarshal(data []byte) (*Inventory, error) {
+	return decodeAll(data)
+}
+
+// Equal reports whether two inventories hold exactly the same groups with
+// exactly the same summary statistics, at the same resolution. Build
+// provenance other than the resolution (description, timestamps, record
+// counters) is ignored: it describes how an inventory was produced, not
+// what it contains. Summaries compare by their canonical binary encoding,
+// so every sketch (HLL registers, t-digest centroids, top-N tables) must
+// match, not just the headline counts.
+func Equal(a, b *Inventory) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.info.Resolution != b.info.Resolution || a.count != b.count {
+		return false
+	}
+	equal := true
+	var abuf, bbuf []byte
+	a.Each(func(k GroupKey, s *CellSummary) bool {
+		bs, ok := b.Get(k)
+		if !ok {
+			equal = false
+			return false
+		}
+		abuf = s.AppendBinary(abuf[:0])
+		bbuf = bs.AppendBinary(bbuf[:0])
+		if !bytes.Equal(abuf, bbuf) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}

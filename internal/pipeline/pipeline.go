@@ -102,6 +102,13 @@ func Run(records *dataflow.Dataset[model.PositionRecord], static map[uint32]mode
 		parts = ctx.Parallelism()
 	}
 
+	// A build launched on an already-cancelled context (worker shutdown,
+	// coordinator abort) must not start evaluating stages at all; mid-run
+	// cancellation is observed by every dataflow action below.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+
 	var stats Stats
 	countSpan := obs.StartSpan(opt.Obs, "pipeline_input_count")
 	if n, err := dataflow.Count(records); err == nil {

@@ -60,6 +60,12 @@ type Config struct {
 	Weather *weather.Field
 }
 
+// WithDefaults returns the configuration with unset fields filled exactly
+// as New would fill them — callers that partition a fleet (the distributed
+// build coordinator) resolve the effective vessel count through it before
+// splitting index ranges.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
 	if c.Vessels <= 0 {

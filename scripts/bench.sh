@@ -3,11 +3,11 @@
 # results and prints the headline go-test benchmarks. Run from the
 # repository root:
 #
-#   ./scripts/bench.sh            # writes BENCH_PR3.json
+#   ./scripts/bench.sh            # writes BENCH_PR4.json
 #   ./scripts/bench.sh results.json
 set -e
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 
 echo "== polbench micro-benchmark suite → $out =="
 go run ./cmd/polbench -json "$out" -vessels 30 -days 15

@@ -21,9 +21,12 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race -count=1 ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/stream/
+go test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/stream/
 
 echo "== benchmark smoke (snapshot publish) =="
 go test -run='^$' -bench=Publish -benchtime=1x ./internal/inventory/
+
+echo "== cluster e2e smoke (loopback coordinator + 2 workers, 1 killed) =="
+./scripts/cluster_e2e.sh
 
 echo "all checks passed"

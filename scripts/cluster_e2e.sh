@@ -1,0 +1,63 @@
+#!/bin/sh
+# Loopback cluster end-to-end smoke: builds polbuild + polworker, runs a
+# distributed synthetic build with two workers — one killed mid-task by a
+# failpoint — and checks that the job completes via re-queue with the same
+# group count as a single-process build of the same fleet. Run from the
+# repository root:
+#
+#   ./scripts/cluster_e2e.sh
+set -e
+
+tmp="$(mktemp -d)"
+w1=""
+w2=""
+cleanup() {
+	[ -n "$w1" ] && kill "$w1" 2>/dev/null
+	[ -n "$w2" ] && kill "$w2" 2>/dev/null
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp" ./cmd/polbuild ./cmd/polworker
+
+addr="127.0.0.1:$((7900 + $$ % 100))"
+
+"$tmp/polbuild" -synthetic -vessels 16 -days 4 -res 6 \
+	-out "$tmp/local.polinv" >"$tmp/local.log" 2>&1
+
+"$tmp/polworker" -coordinator "$addr" >"$tmp/w1.log" 2>&1 &
+w1=$!
+"$tmp/polworker" -coordinator "$addr" -failpoint kill-task=1 >"$tmp/w2.log" 2>&1 &
+w2=$!
+
+"$tmp/polbuild" -synthetic -vessels 16 -days 4 -res 6 \
+	-coordinator "$addr" -workers 2 -v \
+	-out "$tmp/dist.polinv" >"$tmp/dist.log" 2>&1 || {
+	echo "distributed build failed:"
+	cat "$tmp/dist.log"
+	exit 1
+}
+
+wait "$w1" || { echo "surviving worker failed:"; cat "$tmp/w1.log"; exit 1; }
+if wait "$w2"; then
+	echo "killed worker exited 0, failpoint did not fire:"
+	cat "$tmp/w2.log"
+	exit 1
+fi
+w1=""
+w2=""
+
+grep -q 're-queued' "$tmp/dist.log" || {
+	echo "killed worker's task was not re-queued:"
+	cat "$tmp/dist.log"
+	exit 1
+}
+
+local_groups="$(sed -n 's/.*wrote .* (\([0-9]*\) groups.*/\1/p' "$tmp/local.log")"
+dist_groups="$(sed -n 's/.*wrote .* (\([0-9]*\) groups.*/\1/p' "$tmp/dist.log")"
+if [ -z "$local_groups" ] || [ "$local_groups" -lt 1 ] || [ "$local_groups" != "$dist_groups" ]; then
+	echo "distributed build diverged: local=$local_groups groups, distributed=$dist_groups groups"
+	exit 1
+fi
+
+echo "cluster e2e smoke passed: $dist_groups groups, killed worker re-queued"
