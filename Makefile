@@ -22,19 +22,22 @@ fmt:
 
 # Short race pass over the packages with real concurrency: the distributed
 # build cluster, the dataflow engine, the live ingestion engine, the
-# snapshot-serving inventory and the stream monitor.
+# snapshot-serving inventory, the observability middleware and the stream
+# monitor.
 race:
-	$(GO) test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/stream/
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/stream/
 
 # One-iteration smoke of the snapshot-publish benchmark: catches publish-path
 # regressions that compile but break at run time, without benchmark noise.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=Publish -benchtime=1x ./internal/inventory/
 
-# Loopback cluster end-to-end smoke: coordinator + two workers, one killed
-# mid-task by a failpoint (see scripts/cluster_e2e.sh).
+# End-to-end smokes: the loopback cluster (coordinator + two workers, one
+# killed mid-task) and the durability chaos drill (crash mid-checkpoint
+# rename, permanently failing journal disk, recovery convergence).
 e2e:
 	./scripts/cluster_e2e.sh
+	./scripts/chaos_e2e.sh
 
 # Full benchmark suite: regenerates BENCH_PR4.json and prints the headline
 # publish/shuffle/distributed benchmarks (see scripts/bench.sh).

@@ -1,0 +1,187 @@
+// Command polfeed streams a recorded NMEA archive into a live daemon's
+// feed port — the scripted replacement for `nc host:port < archive` in
+// smoke tests and chaos drills, with two extras netcat can't give us:
+// it can wait for the daemon to finish absorbing the archive (polling
+// /v1/ingest/stats until the counters stop moving) and it doubles as a
+// minimal HTTP fetcher so end-to-end scripts need neither nc nor curl.
+//
+// Usage:
+//
+//	polfeed -addr localhost:10110 archive.nmea
+//	polfeed -addr localhost:10110 -stats http://localhost:8080/v1/ingest/stats archive.nmea
+//	polfeed -get http://localhost:8080/readyz
+//
+// With -stats, after the archive has been written polfeed polls the
+// stats endpoint until the groups/accepted/rejected counters are
+// unchanged between consecutive polls (i.e. the daemon has drained its
+// queue and merged), then prints the final stats JSON to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("polfeed: ")
+
+	var (
+		addr     = flag.String("addr", "localhost:10110", "daemon NMEA feed address")
+		statsURL = flag.String("stats", "", "poll this /v1/ingest/stats URL until counters settle, then print it")
+		getURL   = flag.String("get", "", "fetch this URL, print the body and exit (no feeding)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "overall deadline for connect, feed and settle")
+		poll     = flag.Duration("poll", 200*time.Millisecond, "stats polling interval")
+	)
+	flag.Parse()
+
+	if *getURL != "" {
+		body, status, err := fetch(*getURL, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(body)
+		if status < 200 || status >= 300 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	deadline := time.Now().Add(*timeout)
+	conn, err := dialUntil(*addr, deadline)
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	n, err := io.Copy(conn, in)
+	if cerr := conn.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatalf("feed %s: %v after %d bytes", *addr, err, n)
+	}
+	log.Printf("fed %d bytes to %s", n, *addr)
+
+	if *statsURL == "" {
+		return
+	}
+	stats, err := settle(*statsURL, *poll, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(stats)
+}
+
+// dialUntil retries the feed connection until the deadline so scripts
+// can start polfeed immediately after the daemon without sleeping.
+func dialUntil(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// settle polls the stats endpoint until the daemon has demonstrably
+// finished absorbing the feed: every feed connection has reached EOF,
+// the submission queue is empty, and the ingestion counters are
+// identical across three consecutive polls (so the final merge has
+// landed). Counter stability alone is not enough — a long journal fsync
+// can freeze every counter for hundreds of milliseconds mid-ingest and
+// fake a settle.
+func settle(url string, poll time.Duration, deadline time.Time) ([]byte, error) {
+	var prev string
+	stable := 0
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("stats did not settle before deadline (%s)", url)
+		}
+		body, status, err := fetch(url, time.Until(deadline))
+		if err != nil || status != http.StatusOK {
+			time.Sleep(poll)
+			continue
+		}
+		cur, drained, ok := counterKey(body)
+		if ok && drained && cur == prev {
+			if stable++; stable >= 2 {
+				return body, nil
+			}
+		} else {
+			stable = 0
+		}
+		prev = cur
+		time.Sleep(poll)
+	}
+}
+
+// counterKey reduces a stats document to the counters that move while
+// ingestion is still in flight (volatile fields like uptime are
+// excluded so settle terminates) plus whether the daemon has drained:
+// all feeds at EOF and nothing left in the submission queue.
+func counterKey(body []byte) (key string, drained, ok bool) {
+	var s struct {
+		Positions  int64 `json:"positions_seen"`
+		Statics    int64 `json:"statics_seen"`
+		Accepted   int64 `json:"accepted"`
+		Rejected   int64 `json:"rejected"`
+		Groups     int64 `json:"groups"`
+		Dropped    int64 `json:"degraded_dropped"`
+		QueueDepth int   `json:"queue_depth"`
+		Obs        int64 `json:"observations"`
+		MergedObs  int64 `json:"merged_observations"`
+		Feeds      []struct {
+			Closed bool `json:"closed"`
+		} `json:"feeds"`
+	}
+	if err := json.Unmarshal(body, &s); err != nil {
+		return "", false, false
+	}
+	// Drained = every feed at EOF, nothing queued, and every emitted
+	// observation folded into a published snapshot (a long merge can
+	// freeze the counters for several polls while a trip is still
+	// unpublished).
+	drained = s.QueueDepth == 0 && s.Obs == s.MergedObs
+	for _, f := range s.Feeds {
+		if !f.Closed {
+			drained = false
+		}
+	}
+	key = fmt.Sprintf("%d/%d/%d/%d/%d/%d",
+		s.Positions, s.Statics, s.Accepted, s.Rejected, s.Groups, s.Dropped)
+	return key, drained, true
+}
+
+func fetch(url string, timeout time.Duration) ([]byte, int, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}

@@ -21,9 +21,18 @@
 //	GET /v1/ops/anomalies   watchdog baselines and anomaly history
 //	GET /metrics            Prometheus-style telemetry
 //	GET /healthz            liveness probe
-//	GET /readyz             readiness: 503 until the first data snapshot
+//	GET /readyz             readiness: 503 until the first data snapshot;
+//	                        a daemon running degraded (journal disk gone,
+//	                        serving the last good snapshot read-only)
+//	                        answers 200 "ready (degraded: ...)"
 //	GET /debug/pprof/       profiling handlers (behind -pprof)
 //	GET /v1/info, /v1/cell, /v1/eta, ...
+//
+// Under overload, -max-inflight bounds concurrent HTTP requests; excess
+// requests are shed immediately with 429 + Retry-After rather than
+// queued (counted in pol_http_shed_total). Fault injection points for
+// robustness drills are armed via the POL_FAILPOINTS environment
+// variable (see internal/fault).
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"github.com/patternsoflife/pol/internal/api"
+	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/ingest"
 	"github.com/patternsoflife/pol/internal/obs"
 	"github.com/patternsoflife/pol/internal/ports"
@@ -55,7 +65,9 @@ func main() {
 		journal   = flag.String("journal", "polingest.wal", "write-ahead journal path (empty disables durability)")
 		ckpt      = flag.String("checkpoint", "", "periodic inventory checkpoint path (empty disables)")
 		ckptEvery = flag.Int("checkpoint-every", 16, "merges between checkpoints")
+		walSeg    = flag.Int64("wal-segment-bytes", 0, "journal segment rotation threshold (0 = default 64 MiB)")
 		queue     = flag.Int("queue", 4096, "submission queue depth (backpressure bound)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrent HTTP requests before shedding with 429 (0 disables)")
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop feeds silent for this long")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
@@ -68,6 +80,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if active := fault.Default().Active(); len(active) > 0 {
+		logger.Warn("failpoints armed", "points", active)
+	}
+
 	reg := obs.NewRegistry()
 	t0 := time.Now()
 	eng, err := ingest.NewEngine(ingest.Options{
@@ -76,9 +92,13 @@ func main() {
 		JournalPath:     *journal,
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
+		WALSegmentBytes: *walSeg,
 		QueueSize:       *queue,
 		Description:     "polingest live inventory",
 		Metrics:         reg,
+		Logf: func(format string, args ...any) {
+			logger.With("sub", "engine").Warn(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
 		logger.Error("engine start", "err", err)
@@ -114,7 +134,7 @@ func main() {
 	mux.Handle("GET /v1/ops/anomalies", wd.Handler())
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /healthz", obs.HealthzHandler())
-	mux.Handle("GET /readyz", obs.ReadyzHandler(eng.Ready))
+	mux.Handle("GET /readyz", obs.ReadyzDetailHandler(eng.ReadyDetail))
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -128,6 +148,7 @@ func main() {
 	if *accessLog {
 		handler = obs.AccessLog(logger.With("sub", "http"), handler)
 	}
+	handler = obs.Shed(reg, *inflight, handler)
 	httpSrv := &http.Server{
 		Addr:              *httpAddr,
 		Handler:           handler,

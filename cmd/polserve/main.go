@@ -15,7 +15,8 @@
 //	                        pipeline stage durations, watchdog gauges)
 //	GET /healthz            liveness (200 while the process serves)
 //	GET /readyz             readiness (live mode: 503 until the first
-//	                        data snapshot is published)
+//	                        data snapshot is published; degraded-mode
+//	                        serving answers 200 "ready (degraded: ...)")
 //	GET /v1/ops/anomalies   watchdog baselines and anomaly history
 //	                        (live mode)
 //	GET /debug/pprof/       profiling handlers (behind -pprof)
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"github.com/patternsoflife/pol/internal/api"
+	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/ingest"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/obs"
@@ -59,8 +61,10 @@ func main() {
 		journal   = flag.String("journal", "", "write-ahead journal path (live mode, empty disables)")
 		ckpt      = flag.String("checkpoint", "", "periodic inventory checkpoint path (live mode)")
 		ckptEvery = flag.Int("checkpoint-every", 16, "merges between checkpoints (live mode)")
+		walSeg    = flag.Int64("wal-segment-bytes", 0, "journal segment rotation threshold (live mode, 0 = default 64 MiB)")
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop feeds silent for this long (live mode)")
 
+		inflight  = flag.Int("max-inflight", 0, "max concurrent HTTP requests before shedding with 429 (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
 	)
@@ -71,10 +75,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if active := fault.Default().Active(); len(active) > 0 {
+		logger.Warn("failpoints armed", "points", active)
+	}
+
 	reg := obs.NewRegistry()
 	mux := http.NewServeMux()
 	gaz := ports.Default()
-	ready := func() bool { return true }
+	ready := func() (bool, string) { return true, "" }
 	var cleanup func()
 
 	if *live {
@@ -84,8 +92,10 @@ func main() {
 			JournalPath:     *journal,
 			CheckpointPath:  *ckpt,
 			CheckpointEvery: *ckptEvery,
+			WALSegmentBytes: *walSeg,
 			Description:     "polserve live ingestion",
 			Metrics:         reg,
+			Logf:            logf(logger.With("sub", "engine")),
 		})
 		if err != nil {
 			fatal(logger, "engine start", err)
@@ -107,7 +117,7 @@ func main() {
 		mux.Handle("/", api.NewLiveServer(eng, gaz).WithMetrics(reg).Handler())
 		mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
 		mux.Handle("GET /v1/ops/anomalies", wd.Handler())
-		ready = eng.Ready
+		ready = eng.ReadyDetail
 		cleanup = func() {
 			wd.Stop()
 			if err := feeds.Close(); err != nil {
@@ -129,7 +139,7 @@ func main() {
 
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /healthz", obs.HealthzHandler())
-	mux.Handle("GET /readyz", obs.ReadyzHandler(ready))
+	mux.Handle("GET /readyz", obs.ReadyzDetailHandler(ready))
 	if *pprofOn {
 		mountPprof(mux)
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
@@ -139,6 +149,7 @@ func main() {
 	if *accessLog {
 		handler = obs.AccessLog(logger.With("sub", "http"), handler)
 	}
+	handler = obs.Shed(reg, *inflight, handler)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

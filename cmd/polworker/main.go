@@ -7,9 +7,11 @@
 //	polworker -coordinator 127.0.0.1:7700
 //	polworker -coordinator build-host:7700 -parallelism 8 -v
 //
-// The -failpoint flag injects faults for robustness testing:
-// "kill-task=N" makes the worker die abruptly on its Nth task,
-// "fail-tasks=N" makes the first N executions report an error.
+// The -failpoint flag arms internal/fault points for robustness testing
+// using the POL_FAILPOINTS syntax, e.g.
+// "cluster.worker.kill=error*1" (die abruptly on the first task) or
+// "cluster.worker.execute=error*3" (fail the first three executions).
+// Points armed via the POL_FAILPOINTS environment variable apply too.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"syscall"
 
 	"github.com/patternsoflife/pol/internal/cluster"
+	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/obs"
 )
 
@@ -35,21 +38,24 @@ func main() {
 		coordinator = flag.String("coordinator", "127.0.0.1:7700", "coordinator address to dial")
 		name        = flag.String("name", "", "worker name in logs and metrics (default host:pid)")
 		par         = flag.Int("parallelism", runtime.GOMAXPROCS(0), "dataflow pool width per task")
-		failpoint   = flag.String("failpoint", "", "fault injection: kill-task=N or fail-tasks=N")
+		failpoint   = flag.String("failpoint", "", "fault injection: name=spec[;name=spec] (e.g. cluster.worker.kill=error*1)")
 		metricsAddr = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9104)")
 		verbose     = flag.Bool("v", false, "log connection and task progress")
 	)
 	flag.Parse()
 
-	fp, err := cluster.ParseFailpoint(*failpoint)
-	if err != nil {
+	faults := fault.Default()
+	if err := faults.EnableSet(*failpoint); err != nil {
 		log.Fatal(err)
+	}
+	if active := faults.Active(); len(active) > 0 {
+		log.Printf("failpoints armed: %v", active)
 	}
 	cfg := cluster.WorkerConfig{
 		Coordinator: *coordinator,
 		Name:        *name,
 		Parallelism: *par,
-		Failpoint:   fp,
+		Faults:      faults,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

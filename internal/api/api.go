@@ -60,9 +60,10 @@ type LiveStatus interface {
 
 // Server answers inventory queries over HTTP.
 type Server struct {
-	src Source
-	gaz *ports.Gazetteer
-	reg *obs.Registry
+	src         Source
+	gaz         *ports.Gazetteer
+	reg         *obs.Registry
+	maxInFlight int
 }
 
 // NewServer builds a Server over a loaded inventory and port gazetteer.
@@ -81,6 +82,15 @@ func NewLiveServer(src Source, gaz *ports.Gazetteer) *Server {
 // chaining.
 func (s *Server) WithMetrics(reg *obs.Registry) *Server {
 	s.reg = reg
+	return s
+}
+
+// WithLoadShedding bounds the query requests concurrently in flight:
+// past n, requests are answered immediately with 429 + Retry-After
+// instead of queueing, so overload degrades into fast rejections (n <= 0
+// disables shedding). Returns the Server for chaining.
+func (s *Server) WithLoadShedding(n int) *Server {
+	s.maxInFlight = n
 	return s
 }
 
@@ -104,6 +114,12 @@ func (s *Server) Handler() http.Handler {
 			h = obs.Instrument(s.reg, rt.endpoint, h)
 		}
 		mux.Handle("GET "+rt.endpoint, h)
+	}
+	if s.maxInFlight > 0 {
+		// Shed outside the router: rejected requests bypass routing and
+		// per-endpoint instrumentation entirely (pol_http_shed_total is
+		// their only trace), keeping the rejection path allocation-light.
+		return obs.Shed(s.reg, s.maxInFlight, mux)
 	}
 	return mux
 }

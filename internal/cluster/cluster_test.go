@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/feed"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
@@ -166,7 +167,10 @@ func TestDistributedWorkerKill(t *testing.T) {
 	survivor := startWorker(t, addr, func(c *WorkerConfig) { c.Name = "survivor" })
 	victim := startWorker(t, addr, func(c *WorkerConfig) {
 		c.Name = "victim"
-		c.Failpoint = Failpoint{KillOnTask: 1}
+		c.Faults = fault.New()
+		if err := c.Faults.Enable(FPWorkerKill, "error*1"); err != nil {
+			t.Fatal(err)
+		}
 	})
 	res, err := co.Run(context.Background(), Job{
 		Resolution: testRes,
@@ -194,7 +198,10 @@ func TestInjectedFailureRecovers(t *testing.T) {
 	local := localBuild(t)
 	co := newTestCoordinator(t, nil)
 	w := startWorker(t, co.Addr().String(), func(c *WorkerConfig) {
-		c.Failpoint = Failpoint{FailTasks: 1}
+		c.Faults = fault.New()
+		if err := c.Faults.Enable(FPWorkerExecute, "error*1"); err != nil {
+			t.Fatal(err)
+		}
 	})
 	res, err := co.Run(context.Background(), Job{
 		Resolution: testRes,
@@ -213,7 +220,10 @@ func TestInjectedFailureRecovers(t *testing.T) {
 
 	co = newTestCoordinator(t, func(c *Config) { c.MaxRetries = 2 })
 	w = startWorker(t, co.Addr().String(), func(c *WorkerConfig) {
-		c.Failpoint = Failpoint{FailTasks: 100}
+		c.Faults = fault.New()
+		if err := c.Faults.Enable(FPWorkerExecute, "error"); err != nil {
+			t.Fatal(err)
+		}
 	})
 	_, err = co.Run(context.Background(), Job{
 		Resolution: testRes,
@@ -479,24 +489,34 @@ func TestProtocolFrames(t *testing.T) {
 	}
 }
 
-func TestParseFailpoint(t *testing.T) {
-	cases := []struct {
-		in   string
-		want Failpoint
-		ok   bool
-	}{
-		{"", Failpoint{}, true},
-		{"kill-task=2", Failpoint{KillOnTask: 2}, true},
-		{"fail-tasks=3", Failpoint{FailTasks: 3}, true},
-		{"kill-task=0", Failpoint{}, false},
-		{"kill-task=x", Failpoint{}, false},
-		{"explode=1", Failpoint{}, false},
-		{"kill-task", Failpoint{}, false},
+// TestWorkerFaultSpecs pins the fault-spec shapes the worker failpoints
+// are driven with (the replacements for the old kill-task=N /
+// fail-tasks=N flags): a one-shot kill on the Nth evaluation and a
+// bounded run of execution failures.
+func TestWorkerFaultSpecs(t *testing.T) {
+	r := fault.New()
+	if err := r.Enable(FPWorkerKill, "error*1@1"); err != nil { // legacy kill-task=2
+		t.Fatal(err)
 	}
-	for _, c := range cases {
-		got, err := ParseFailpoint(c.in)
-		if (err == nil) != c.ok || got != c.want {
-			t.Errorf("ParseFailpoint(%q) = %+v, %v", c.in, got, err)
+	if r.Hit(FPWorkerKill) != nil {
+		t.Error("kill fired on first task, want second")
+	}
+	if r.Hit(FPWorkerKill) == nil {
+		t.Error("kill did not fire on second task")
+	}
+	if r.Hit(FPWorkerKill) != nil {
+		t.Error("one-shot kill fired twice")
+	}
+	if err := r.Enable(FPWorkerExecute, "error*3"); err != nil { // legacy fail-tasks=3
+		t.Fatal(err)
+	}
+	var fails int
+	for i := 0; i < 6; i++ {
+		if r.Hit(FPWorkerExecute) != nil {
+			fails++
 		}
+	}
+	if fails != 3 {
+		t.Errorf("execute failpoint fired %d times, want 3", fails)
 	}
 }

@@ -8,12 +8,11 @@ import (
 	"net"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/feed"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
@@ -23,43 +22,20 @@ import (
 	"github.com/patternsoflife/pol/internal/sim"
 )
 
-// ErrKilled reports that the worker terminated itself through a kill-task
-// failpoint (fault-injection for re-queue tests).
+// ErrKilled reports that the worker terminated itself through the
+// cluster.worker.kill failpoint (fault-injection for re-queue tests).
 var ErrKilled = errors.New("cluster: worker killed by failpoint")
 
-// Failpoint injects faults into a worker for robustness tests.
-type Failpoint struct {
-	// KillOnTask, when > 0, makes the worker abruptly close its connection
-	// and exit upon receiving its KillOnTask-th task — after sending one
-	// heartbeat, so the coordinator observes a live worker dying mid-task.
-	KillOnTask int
-	// FailTasks, when > 0, makes the first FailTasks task executions report
-	// an execution error instead of running.
-	FailTasks int
-}
-
-// ParseFailpoint parses the -failpoint flag syntax: "", "kill-task=N" or
-// "fail-tasks=N".
-func ParseFailpoint(s string) (Failpoint, error) {
-	var fp Failpoint
-	if s == "" {
-		return fp, nil
-	}
-	key, val, ok := strings.Cut(s, "=")
-	n, err := strconv.Atoi(val)
-	if !ok || err != nil || n < 1 {
-		return fp, fmt.Errorf("cluster: bad failpoint %q (want kill-task=N or fail-tasks=N)", s)
-	}
-	switch key {
-	case "kill-task":
-		fp.KillOnTask = n
-	case "fail-tasks":
-		fp.FailTasks = n
-	default:
-		return fp, fmt.Errorf("cluster: unknown failpoint %q", key)
-	}
-	return fp, nil
-}
+// Failpoints evaluated by a worker, armed through the shared
+// internal/fault registry (POL_FAILPOINTS or WorkerConfig.Faults). Kill
+// makes the worker vanish mid-task after one heartbeat; Execute replaces
+// a task execution with an injected error. The legacy flag syntaxes map
+// onto fault specs: "kill-task=N" ≈ "cluster.worker.kill=error*1@N-1",
+// "fail-tasks=N" ≈ "cluster.worker.execute=error*N".
+const (
+	FPWorkerKill    = "cluster.worker.kill"
+	FPWorkerExecute = "cluster.worker.execute"
+)
 
 // WorkerConfig parameterizes one worker process.
 type WorkerConfig struct {
@@ -77,8 +53,10 @@ type WorkerConfig struct {
 	DialRetryFor time.Duration
 	// MaxFrameBytes caps one protocol frame (default DefaultMaxFrameBytes).
 	MaxFrameBytes int
-	// Failpoint injects faults for tests.
-	Failpoint Failpoint
+	// Faults is the failpoint registry consulted at FPWorkerKill and
+	// FPWorkerExecute (default: the process-wide registry armed from
+	// POL_FAILPOINTS).
+	Faults *fault.Registry
 	// Obs receives worker metrics (default obs.Default()).
 	Obs *obs.Registry
 	// Logf, when non-nil, receives worker progress lines.
@@ -109,6 +87,9 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.MaxFrameBytes <= 0 {
 		c.MaxFrameBytes = DefaultMaxFrameBytes
 	}
+	if c.Faults == nil {
+		c.Faults = fault.Default()
+	}
 	return c
 }
 
@@ -123,9 +104,6 @@ type worker struct {
 
 	simSpec SimSpec        // cached fleet spec…
 	sim     *sim.Simulator // …and its simulator (lane graph reuse)
-
-	tasksSeen int
-	failsLeft int
 }
 
 // RunWorker connects to the coordinator and executes tasks until the
@@ -134,10 +112,9 @@ type worker struct {
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	cfg = cfg.withDefaults()
 	w := &worker{
-		cfg:       cfg,
-		metrics:   newWorkerMetrics(cfg.Obs),
-		portIdx:   ports.NewIndex(ports.Default(), ports.IndexResolution),
-		failsLeft: cfg.Failpoint.FailTasks,
+		cfg:     cfg,
+		metrics: newWorkerMetrics(cfg.Obs),
+		portIdx: ports.NewIndex(ports.Default(), ports.IndexResolution),
 	}
 	conn, err := w.dial(ctx)
 	if err != nil {
@@ -244,9 +221,8 @@ func (w *worker) send(env *envelope) error {
 // handleTask executes one task and reports its result; killed reports that
 // the kill failpoint fired and the worker must exit.
 func (w *worker) handleTask(ctx context.Context, t Task) (killed bool, fatal error) {
-	w.tasksSeen++
 	w.logf("task %d (%s) attempt %d", t.ID, t.Kind, t.Attempt)
-	if w.cfg.Failpoint.KillOnTask > 0 && w.tasksSeen >= w.cfg.Failpoint.KillOnTask {
+	if err := w.cfg.Faults.Hit(FPWorkerKill); err != nil {
 		// Die mid-task: prove liveness once, then vanish without a result.
 		w.send(&envelope{Type: msgHeartbeat, Heartbeat: &heartbeatMsg{TaskID: t.ID}})
 		w.conn.Close()
@@ -303,9 +279,8 @@ func (w *worker) handleTask(ctx context.Context, t Task) (killed bool, fatal err
 // execute runs one task, never panicking the worker loop on bad input.
 func (w *worker) execute(ctx context.Context, t Task) *TaskResult {
 	res := &TaskResult{ID: t.ID, Attempt: t.Attempt, Worker: w.cfg.Name}
-	if w.failsLeft > 0 {
-		w.failsLeft--
-		res.Err = "failpoint: injected task failure"
+	if err := w.cfg.Faults.Hit(FPWorkerExecute); err != nil {
+		res.Err = err.Error()
 		return res
 	}
 	var err error

@@ -1,0 +1,535 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/patternsoflife/pol/internal/fault"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/pipeline"
+)
+
+// Checkpoints are the engine's fast-recovery frontier: a generation is
+// the published inventory (the same POLINV1 serving artifact as before)
+// plus a POLSTAT1 state file carrying everything replay cannot re-derive
+// from the WAL suffix alone — the vessel static map, every vessel's
+// cleaner and trip-tracker state, and the engine counters. A small text
+// manifest (<base>.manifest) names the last two generations newest-first
+// with the WAL sequence each one covers and whole-file CRC32C checksums:
+//
+//	POLCKPT1
+//	gen 12 seq 89214 inv ckpt.g000012 crc 1f2e3d4c size 88231 state ckpt.g000012.state crc aabbccdd size 4096
+//	gen 11 seq 80112 inv ckpt.g000011 crc ...
+//
+// Every file is written atomically (temp + fsync + rename + dir fsync),
+// so cold start verifies the newest generation against its manifest
+// entry, falls back to the previous generation on any mismatch, and
+// replays only WAL records past the chosen generation's seq. A stable
+// copy of the newest inventory is kept at exactly <base> (hardlink swap)
+// so external read-only consumers keep loading the configured path.
+//
+// The WAL is pruned to the OLDEST retained generation's seq — pruning to
+// the newest would strand the fallback generation without the journal
+// suffix it needs.
+
+const (
+	ckptManifestMagic = "POLCKPT1"
+	ckptRetain        = 2
+)
+
+var stateMagic = []byte("POLSTAT1\n")
+
+// ckptGen is one manifest entry.
+type ckptGen struct {
+	Gen, Seq           uint64
+	Inv, State         string // basenames, sibling to the manifest
+	InvCRC, StateCRC   uint32
+	InvSize, StateSize int64
+}
+
+// checkpointer owns the generation files and manifest below one base
+// path. Save is serialized by the engine's ckptBusy guard; Load runs only
+// during single-threaded startup.
+type checkpointer struct {
+	base   string
+	faults *fault.Registry
+	logf   func(format string, args ...any)
+	gens   []ckptGen // newest first
+}
+
+func newCheckpointer(base string, faults *fault.Registry, logf func(string, ...any)) *checkpointer {
+	c := &checkpointer{base: base, faults: faults, logf: logf}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	if gens, err := readManifest(c.manifestPath()); err == nil {
+		c.gens = gens
+	} else if !os.IsNotExist(err) {
+		c.logf("checkpoint manifest unreadable, starting fresh: %v", err)
+	}
+	return c
+}
+
+func (c *checkpointer) manifestPath() string { return c.base + ".manifest" }
+
+func (c *checkpointer) genPath(name string) string {
+	return filepath.Join(filepath.Dir(c.base), name)
+}
+
+// engineState is the replay-independent engine state captured into (and
+// restored from) a checkpoint's POLSTAT1 file.
+type engineState struct {
+	counters stateCounters
+	statics  map[uint32]model.VesselInfo
+	vessels  map[uint32]vesselPersist
+}
+
+type stateCounters struct {
+	positionsSeen, staticsSeen, accepted, rejected,
+	rejectedUnknown, rejectedNonCommercial, rejectedRange,
+	rejectedDuplicate, rejectedOutOfOrder, rejectedInfeasible,
+	trips, tripRecords, observations int64
+}
+
+type vesselPersist struct {
+	cleaner pipeline.CleanerState
+	tracker pipeline.TrackerState
+}
+
+// Save writes one new generation covering WAL records up to seq, updates
+// the manifest and the stable serving artifact, and deletes generations
+// that fell out of retention. It returns the seq the WAL may safely be
+// pruned to: the oldest generation still named by the manifest.
+func (c *checkpointer) Save(snap *inventory.Inventory, st *engineState, seq uint64) (coveredSeq uint64, err error) {
+	gen := uint64(1)
+	if len(c.gens) > 0 {
+		gen = c.gens[0].Gen + 1
+	}
+	entry := ckptGen{Gen: gen, Seq: seq}
+	invPath := fmt.Sprintf("%s.g%06d", c.base, gen)
+	statePath := invPath + ".state"
+	entry.Inv = filepath.Base(invPath)
+	entry.State = filepath.Base(statePath)
+
+	if entry.InvCRC, entry.InvSize, err = inventory.WriteFileSum(snap, invPath); err != nil {
+		return 0, fmt.Errorf("ingest: checkpoint inventory: %w", err)
+	}
+	err = inventory.AtomicWrite(statePath, func(w io.Writer) error {
+		sw := &sumWriter{w: w}
+		if err := encodeState(sw, st); err != nil {
+			return err
+		}
+		entry.StateCRC, entry.StateSize = sw.sum, sw.n
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("ingest: checkpoint state: %w", err)
+	}
+
+	newGens := append([]ckptGen{entry}, c.gens...)
+	if len(newGens) > ckptRetain {
+		newGens = newGens[:ckptRetain]
+	}
+	if err := writeManifest(c.manifestPath(), newGens); err != nil {
+		return 0, fmt.Errorf("ingest: checkpoint manifest: %w", err)
+	}
+	dropped := c.gens[min(len(c.gens), ckptRetain-1):]
+	c.gens = newGens
+
+	if err := c.publishStable(invPath); err != nil {
+		return 0, fmt.Errorf("ingest: checkpoint stable artifact: %w", err)
+	}
+	for _, g := range dropped {
+		os.Remove(c.genPath(g.Inv))
+		os.Remove(c.genPath(g.State))
+	}
+	return c.gens[len(c.gens)-1].Seq, nil
+}
+
+// publishStable points <base> at the newest generation's inventory via a
+// hardlink rename (falling back to a copy on filesystems without links),
+// keeping the plain configured path a valid serving artifact.
+func (c *checkpointer) publishStable(invPath string) error {
+	tmp := c.base + ".tmp"
+	os.Remove(tmp)
+	if err := os.Link(invPath, tmp); err != nil {
+		src, err := os.Open(invPath)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		dst, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(dst, src); err != nil {
+			dst.Close()
+			return err
+		}
+		if err := dst.Sync(); err != nil {
+			dst.Close()
+			return err
+		}
+		if err := dst.Close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, c.base); err != nil {
+		return err
+	}
+	return syncDir(c.base)
+}
+
+// Load verifies and restores the newest intact generation. A generation
+// whose files are missing, the wrong length, or checksum-mismatched is
+// logged and skipped in favor of the previous one; (nil, nil, 0, nil)
+// means no usable checkpoint — recover from the WAL alone.
+func (c *checkpointer) Load(resolution int) (*inventory.Inventory, *engineState, uint64, error) {
+	for i, g := range c.gens {
+		inv, st, err := c.loadGen(g, resolution)
+		if err != nil {
+			c.logf("checkpoint generation %d unusable (%v); falling back", g.Gen, err)
+			continue
+		}
+		if i > 0 {
+			c.logf("checkpoint: recovered from fallback generation %d (seq %d)", g.Gen, g.Seq)
+		}
+		return inv, st, g.Seq, nil
+	}
+	return nil, nil, 0, nil
+}
+
+func (c *checkpointer) loadGen(g ckptGen, resolution int) (*inventory.Inventory, *engineState, error) {
+	invPath, statePath := c.genPath(g.Inv), c.genPath(g.State)
+	if sum, size, err := inventory.ChecksumFile(invPath); err != nil {
+		return nil, nil, err
+	} else if sum != g.InvCRC || size != g.InvSize {
+		return nil, nil, fmt.Errorf("inventory checksum mismatch (crc %08x/%d, want %08x/%d)", sum, size, g.InvCRC, g.InvSize)
+	}
+	if sum, size, err := inventory.ChecksumFile(statePath); err != nil {
+		return nil, nil, err
+	} else if sum != g.StateCRC || size != g.StateSize {
+		return nil, nil, fmt.Errorf("state checksum mismatch (crc %08x/%d, want %08x/%d)", sum, size, g.StateCRC, g.StateSize)
+	}
+	inv, err := inventory.LoadFile(invPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if inv.Info().Resolution != resolution {
+		return nil, nil, fmt.Errorf("checkpoint resolution %d != engine resolution %d", inv.Info().Resolution, resolution)
+	}
+	f, err := os.Open(statePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := decodeState(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, nil, fmt.Errorf("state decode: %w", err)
+	}
+	return inv, st, nil
+}
+
+// --- manifest ---
+
+func writeManifest(path string, gens []ckptGen) error {
+	return inventory.AtomicWrite(path, func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, ckptManifestMagic); err != nil {
+			return err
+		}
+		for _, g := range gens {
+			if _, err := fmt.Fprintf(w, "gen %d seq %d inv %s crc %08x size %d state %s crc %08x size %d\n",
+				g.Gen, g.Seq, g.Inv, g.InvCRC, g.InvSize, g.State, g.StateCRC, g.StateSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func readManifest(path string) ([]ckptGen, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != ckptManifestMagic {
+		return nil, fmt.Errorf("ingest: bad checkpoint manifest magic")
+	}
+	var gens []ckptGen
+	for _, line := range lines[1:] {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var g ckptGen
+		if _, err := fmt.Sscanf(line, "gen %d seq %d inv %s crc %x size %d state %s crc %x size %d",
+			&g.Gen, &g.Seq, &g.Inv, &g.InvCRC, &g.InvSize, &g.State, &g.StateCRC, &g.StateSize); err != nil {
+			return nil, fmt.Errorf("ingest: bad manifest line %q: %w", line, err)
+		}
+		gens = append(gens, g)
+	}
+	return gens, nil
+}
+
+// --- POLSTAT1 encoding ---
+
+// sumWriter folds a CRC32C and byte count over everything written.
+type sumWriter struct {
+	w   io.Writer
+	sum uint32
+	n   int64
+}
+
+func (s *sumWriter) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	s.sum = crc32.Update(s.sum, castagnoli, p[:n])
+	s.n += int64(n)
+	return n, err
+}
+
+const (
+	stFlagHasPrev = 1 << iota
+	stFlagHasLast
+	stFlagHasTrip
+)
+
+func encodeState(w io.Writer, st *engineState) error {
+	var buf []byte
+	buf = append(buf, stateMagic...)
+	c := st.counters
+	for _, v := range []int64{
+		c.positionsSeen, c.staticsSeen, c.accepted, c.rejected,
+		c.rejectedUnknown, c.rejectedNonCommercial, c.rejectedRange,
+		c.rejectedDuplicate, c.rejectedOutOfOrder, c.rejectedInfeasible,
+		c.trips, c.tripRecords, c.observations,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.statics)))
+	for _, v := range st.statics {
+		payload := appendStaticEntry(nil, v)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.vessels)))
+	for mmsi, vp := range st.vessels {
+		buf = binary.LittleEndian.AppendUint32(buf, mmsi)
+		cs := vp.cleaner
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(cs.PrevTime))
+		var flags byte
+		if cs.HasPrev {
+			flags |= stFlagHasPrev
+		}
+		if cs.HasLast {
+			flags |= stFlagHasLast
+		}
+		ts := vp.tracker
+		if ts.HasTrip {
+			flags |= stFlagHasTrip
+		}
+		buf = append(buf, flags)
+		buf = appendPositionEntry(buf, cs.Last)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ts.LastPort))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ts.VisitPort))
+		if ts.HasTrip {
+			buf = binary.LittleEndian.AppendUint64(buf, ts.Trip.ID)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(ts.Trip.Origin))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(ts.Trip.Dest))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(ts.Trip.DepartTime))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(ts.Trip.ArriveTime))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ts.Trip.Records)))
+			for _, r := range ts.Trip.Records {
+				buf = appendPositionEntry(buf, r)
+			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ts.Visit)))
+		for _, r := range ts.Visit {
+			buf = appendPositionEntry(buf, r)
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func decodeState(r io.Reader) (*engineState, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := data
+	take := func(n int) ([]byte, error) {
+		if len(p) < n {
+			return nil, fmt.Errorf("truncated state (need %d bytes, have %d)", n, len(p))
+		}
+		b := p[:n]
+		p = p[n:]
+		return b, nil
+	}
+	u32 := func() (uint32, error) {
+		b, err := take(4)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b), nil
+	}
+	u64 := func() (uint64, error) {
+		b, err := take(8)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	pos := func() (model.PositionRecord, error) {
+		b, err := take(53)
+		if err != nil {
+			return model.PositionRecord{}, err
+		}
+		rec, ok := decodePositionEntry(b)
+		if !ok {
+			return model.PositionRecord{}, fmt.Errorf("bad position record")
+		}
+		return rec, nil
+	}
+
+	if b, err := take(len(stateMagic)); err != nil || string(b) != string(stateMagic) {
+		return nil, fmt.Errorf("bad state magic")
+	}
+	st := &engineState{
+		statics: make(map[uint32]model.VesselInfo),
+		vessels: make(map[uint32]vesselPersist),
+	}
+	counters := []*int64{
+		&st.counters.positionsSeen, &st.counters.staticsSeen, &st.counters.accepted, &st.counters.rejected,
+		&st.counters.rejectedUnknown, &st.counters.rejectedNonCommercial, &st.counters.rejectedRange,
+		&st.counters.rejectedDuplicate, &st.counters.rejectedOutOfOrder, &st.counters.rejectedInfeasible,
+		&st.counters.trips, &st.counters.tripRecords, &st.counters.observations,
+	}
+	for _, c := range counters {
+		v, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		*c = int64(v)
+	}
+	nStatics, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nStatics; i++ {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		v, ok := decodeStaticEntry(b)
+		if !ok {
+			return nil, fmt.Errorf("bad static entry %d", i)
+		}
+		st.statics[v.MMSI] = v
+	}
+	nVessels, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nVessels; i++ {
+		mmsi, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		var vp vesselPersist
+		prev, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		vp.cleaner.PrevTime = int64(prev)
+		fb, err := take(1)
+		if err != nil {
+			return nil, err
+		}
+		flags := fb[0]
+		vp.cleaner.HasPrev = flags&stFlagHasPrev != 0
+		vp.cleaner.HasLast = flags&stFlagHasLast != 0
+		if vp.cleaner.Last, err = pos(); err != nil {
+			return nil, err
+		}
+		lp, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		vp.tracker.LastPort = model.PortID(lp)
+		vpPort, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		vp.tracker.VisitPort = model.PortID(vpPort)
+		if flags&stFlagHasTrip != 0 {
+			vp.tracker.HasTrip = true
+			if vp.tracker.Trip.ID, err = u64(); err != nil {
+				return nil, err
+			}
+			o, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			vp.tracker.Trip.Origin = model.PortID(o)
+			d, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			vp.tracker.Trip.Dest = model.PortID(d)
+			dep, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			vp.tracker.Trip.DepartTime = int64(dep)
+			arr, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			vp.tracker.Trip.ArriveTime = int64(arr)
+			nrec, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(nrec) > len(p)/53+1 {
+				return nil, fmt.Errorf("implausible trip record count %d", nrec)
+			}
+			vp.tracker.Trip.Records = make([]model.PositionRecord, nrec)
+			for j := range vp.tracker.Trip.Records {
+				if vp.tracker.Trip.Records[j], err = pos(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		nvisit, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(nvisit) > len(p)/53+1 {
+			return nil, fmt.Errorf("implausible visit record count %d", nvisit)
+		}
+		if nvisit > 0 {
+			vp.tracker.Visit = make([]model.PositionRecord, nvisit)
+			for j := range vp.tracker.Visit {
+				if vp.tracker.Visit[j], err = pos(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		st.vessels[mmsi] = vp
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("state has %d trailing bytes", len(p))
+	}
+	return st, nil
+}

@@ -35,10 +35,14 @@ package ingest
 
 import (
 	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/feed"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
@@ -84,6 +88,20 @@ type Options struct {
 	// merge/publish/journal-fsync durations into the shared pipeline
 	// stage histogram family.
 	Metrics *obs.Registry
+	// WALSegmentBytes is the journal segment rotation threshold
+	// (default 64 MiB).
+	WALSegmentBytes int64
+	// Faults is the failpoint registry threaded through the journal,
+	// checkpointer, and merge path (default: the process-wide registry
+	// armed from POL_FAILPOINTS).
+	Faults *fault.Registry
+	// RetryBase and RetryMax bound the jittered exponential backoff the
+	// degraded-mode prober uses between disk-recovery attempts
+	// (defaults 1s and 30s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Logf, when non-nil, receives recovery and degradation warnings.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -111,8 +129,24 @@ func (o Options) withDefaults() Options {
 	if o.PortIndex == nil {
 		o.PortIndex = ports.NewIndex(ports.Default(), ports.IndexResolution)
 	}
+	if o.WALSegmentBytes <= 0 {
+		o.WALSegmentBytes = 64 << 20
+	}
+	if o.Faults == nil {
+		o.Faults = fault.Default()
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = time.Second
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 30 * time.Second
+	}
 	return o
 }
+
+// FPEngineMerge defers one micro-batch merge when armed: the period is
+// kept and folded in on the next tick.
+const FPEngineMerge = "ingest.engine.merge"
 
 // envelope kinds.
 const (
@@ -120,6 +154,7 @@ const (
 	envStatic
 	envSync
 	envFinalize
+	envResume
 )
 
 // envelope is one unit of work on the engine queue.
@@ -164,9 +199,20 @@ type Engine struct {
 	feedsMu sync.Mutex
 	feeds   []*FeedStats
 
-	journal   *Journal
+	// journal is swapped by the loop on degraded-mode resume; readers
+	// (stats gauges) load it atomically. Journal methods lock internally.
+	journal   atomic.Pointer[Journal]
+	ckpt      *checkpointer
 	ckptBusy  atomic.Bool
+	ckptWG    sync.WaitGroup
 	replaying bool
+
+	// Degraded mode: the journal or checkpoint disk path is erroring, so
+	// new records are dropped (applying without journaling would diverge
+	// from replay) while serving continues from the last good snapshot.
+	degraded       atomic.Bool
+	degradedReason atomic.Pointer[string]
+	retrying       atomic.Bool
 
 	// Loop-owned state: touched only by the run goroutine (and by
 	// NewEngine during single-threaded journal replay).
@@ -175,6 +221,18 @@ type Engine struct {
 	vessels   map[uint32]*vesselState
 	statics   map[uint32]model.VesselInfo
 	sinceCkpt int
+	// lastSeq is the WAL sequence of the last record applied to loop
+	// state — the frontier a resume checkpoint must cover even when the
+	// broken journal lost its buffered tail.
+	lastSeq uint64
+}
+
+func (e *Engine) jrnl() *Journal { return e.journal.Load() }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.opt.Logf != nil {
+		e.opt.Logf(format, args...)
+	}
 }
 
 // NewEngine builds the engine, replays the journal when one exists, and
@@ -203,9 +261,35 @@ func NewEngine(opt Options) (*Engine, error) {
 	})
 	e.period = inventory.New(inventory.BuildInfo{Resolution: opt.Resolution})
 
+	// Cold-start recovery: restore the newest intact checkpoint
+	// generation (falling back on checksum mismatch), then replay only
+	// the WAL records past the generation's covered sequence.
+	var startSeq uint64
+	if opt.CheckpointPath != "" {
+		e.ckpt = newCheckpointer(opt.CheckpointPath, opt.Faults, opt.Logf)
+		master, st, seq, err := e.ckpt.Load(opt.Resolution)
+		if err != nil {
+			return nil, err
+		}
+		if master != nil {
+			e.master = master
+			e.restoreState(st)
+			startSeq = seq
+			e.lastSeq = seq
+		}
+	}
 	if opt.JournalPath != "" {
 		e.replaying = true
-		j, err := OpenJournal(opt.JournalPath, func(entry JournalEntry) error {
+		j, err := OpenJournal(opt.JournalPath, JournalOptions{
+			SegmentBytes: opt.WALSegmentBytes,
+			StartSeq:     startSeq,
+			// If a crash lost the WAL tail the checkpoint had already
+			// covered, new appends must not reuse the covered sequence
+			// range — replay skips everything at or below startSeq.
+			NextSeqAtLeast: startSeq + 1,
+			Faults:         opt.Faults,
+			Logf:           opt.Logf,
+		}, func(entry JournalEntry) error {
 			switch entry.Kind {
 			case entryStatic:
 				e.processStatic(entry.Info, nil)
@@ -218,8 +302,16 @@ func NewEngine(opt Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.journal = j
+		e.journal.Store(j)
+		rec := j.Recovery()
+		e.m.walCorruption.Add(rec.CorruptEvents)
+		e.m.walSegments.Store(int64(j.Segments()))
 		e.m.journalBytes.Store(j.Size())
+		e.lastSeq = j.LastSeq()
+		if rec.CorruptEvents > 0 {
+			e.logf("journal recovery: %d corruption event(s), %d bytes quarantined, replay stopped at seq %d",
+				rec.CorruptEvents, rec.QuarantinedBytes, rec.LastSeq)
+		}
 		// Fold replayed state into the master immediately so the first
 		// snapshot already reflects the journal.
 		e.mergePeriod(time.Now())
@@ -227,6 +319,73 @@ func NewEngine(opt Options) (*Engine, error) {
 	e.publish(time.Now())
 	go e.run()
 	return e, nil
+}
+
+// restoreState installs a decoded checkpoint state into the loop-owned
+// maps and the counter block (single-threaded: called before run starts).
+func (e *Engine) restoreState(st *engineState) {
+	c := st.counters
+	e.m.positionsSeen.Store(c.positionsSeen)
+	e.m.staticsSeen.Store(c.staticsSeen)
+	e.m.accepted.Store(c.accepted)
+	e.m.rejected.Store(c.rejected)
+	e.m.rejectedUnknown.Store(c.rejectedUnknown)
+	e.m.rejectedNonCommercial.Store(c.rejectedNonCommercial)
+	e.m.rejectedRange.Store(c.rejectedRange)
+	e.m.rejectedDuplicate.Store(c.rejectedDuplicate)
+	e.m.rejectedOutOfOrder.Store(c.rejectedOutOfOrder)
+	e.m.rejectedInfeasible.Store(c.rejectedInfeasible)
+	e.m.trips.Store(c.trips)
+	e.m.tripRecords.Store(c.tripRecords)
+	e.m.observations.Store(c.observations)
+	e.statics = st.statics
+	for mmsi, vp := range st.vessels {
+		vs := &vesselState{
+			cleaner: pipeline.NewOnlineCleaner(e.opt.MaxSpeedKnots),
+			tracker: pipeline.NewTripTracker(e.opt.PortIndex, e.opt.MinTripRecords),
+		}
+		vs.cleaner.SetState(vp.cleaner)
+		vs.tracker.SetState(vp.tracker)
+		e.vessels[mmsi] = vs
+	}
+	e.m.vessels.Store(int64(len(e.vessels)))
+}
+
+// captureState deep-copies the loop state for a checkpoint: the write
+// happens in the background while the loop keeps mutating the originals.
+func (e *Engine) captureState() *engineState {
+	st := &engineState{
+		statics: make(map[uint32]model.VesselInfo, len(e.statics)),
+		vessels: make(map[uint32]vesselPersist, len(e.vessels)),
+	}
+	st.counters = stateCounters{
+		positionsSeen:         e.m.positionsSeen.Load(),
+		staticsSeen:           e.m.staticsSeen.Load(),
+		accepted:              e.m.accepted.Load(),
+		rejected:              e.m.rejected.Load(),
+		rejectedUnknown:       e.m.rejectedUnknown.Load(),
+		rejectedNonCommercial: e.m.rejectedNonCommercial.Load(),
+		rejectedRange:         e.m.rejectedRange.Load(),
+		rejectedDuplicate:     e.m.rejectedDuplicate.Load(),
+		rejectedOutOfOrder:    e.m.rejectedOutOfOrder.Load(),
+		rejectedInfeasible:    e.m.rejectedInfeasible.Load(),
+		trips:                 e.m.trips.Load(),
+		tripRecords:           e.m.tripRecords.Load(),
+		observations:          e.m.observations.Load(),
+	}
+	for mmsi, v := range e.statics {
+		st.statics[mmsi] = v
+	}
+	for mmsi, vs := range e.vessels {
+		vp := vesselPersist{cleaner: vs.cleaner.State(), tracker: vs.tracker.State()}
+		// Tracker state aliases live buffers; snapshot them.
+		if vp.tracker.HasTrip {
+			vp.tracker.Trip.Records = append([]model.PositionRecord(nil), vp.tracker.Trip.Records...)
+		}
+		vp.tracker.Visit = append([]model.PositionRecord(nil), vp.tracker.Visit...)
+		st.vessels[mmsi] = vp
+	}
+	return st
 }
 
 // Snapshot returns the latest published inventory. The result is
@@ -304,8 +463,11 @@ func (e *Engine) Finalize() error {
 func (e *Engine) Close() error {
 	e.closed.Do(func() { close(e.quit) })
 	<-e.loopDone
-	if e.journal != nil {
-		return e.journal.Close()
+	// Join the in-flight background checkpoint before closing the journal
+	// it prunes.
+	e.ckptWG.Wait()
+	if j := e.jrnl(); j != nil {
+		return j.Close()
 	}
 	return nil
 }
@@ -353,28 +515,41 @@ func (e *Engine) process(env envelope) {
 		}
 		e.mergeAndPublish(time.Now())
 		env.reply <- e.syncJournal()
+	case envResume:
+		e.handleResume()
 	}
 }
 
 // processStatic updates the vessel static inventory, journaling new or
-// changed entries.
+// changed entries. While degraded the entry is dropped: applying state
+// the journal cannot make durable would diverge from replay.
 func (e *Engine) processStatic(v model.VesselInfo, fs *FeedStats) {
 	e.m.staticsSeen.Add(1)
+	if e.degraded.Load() {
+		e.m.degradedDrops.Add(1)
+		return
+	}
 	if cur, ok := e.statics[v.MMSI]; ok && cur == v {
 		return
 	}
-	e.statics[v.MMSI] = v
-	if e.journal != nil && !e.replaying {
-		if err := e.journal.AppendStatic(v); err != nil {
-			e.m.journalErrors.Add(1)
+	if j := e.jrnl(); j != nil && !e.replaying {
+		if err := j.AppendStatic(v); err != nil {
+			e.journalFailed(err)
+			return
 		}
-		e.m.journalBytes.Store(e.journal.Size())
+		e.lastSeq = j.LastSeq()
+		e.m.journalBytes.Store(j.Size())
 	}
+	e.statics[v.MMSI] = v
 }
 
 // processPosition runs one report through the online pipeline.
 func (e *Engine) processPosition(rec model.PositionRecord, fs *FeedStats) {
 	e.m.positionsSeen.Add(1)
+	if e.degraded.Load() {
+		e.m.degradedDrops.Add(1)
+		return
+	}
 	info, ok := e.statics[rec.MMSI]
 	if !ok {
 		e.reject(fs, &e.m.rejectedUnknown)
@@ -393,16 +568,24 @@ func (e *Engine) processPosition(rec model.PositionRecord, fs *FeedStats) {
 		e.vessels[rec.MMSI] = vs
 		e.m.vessels.Store(int64(len(e.vessels)))
 	}
+	// Snapshot the cleaner so a failed journal append can be rolled back:
+	// a dropped record must leave no trace in the dedup state, or the
+	// upstream's re-feed of it would be rejected as a duplicate.
+	undo := vs.cleaner.State()
 	reason := vs.cleaner.Accept(rec)
 	// Journal every record that survived range validation and dedup — the
 	// speed filter is deterministic, so replay re-derives its verdicts and
 	// the cleaner state stays bit-identical across restarts.
 	if reason == pipeline.RejectNone || reason == pipeline.RejectInfeasible {
-		if e.journal != nil && !e.replaying {
-			if err := e.journal.AppendPosition(rec); err != nil {
-				e.m.journalErrors.Add(1)
+		if j := e.jrnl(); j != nil && !e.replaying {
+			if err := j.AppendPosition(rec); err != nil {
+				vs.cleaner.SetState(undo)
+				e.journalFailed(err)
+				e.m.degradedDrops.Add(1)
+				return
 			}
-			e.m.journalBytes.Store(e.journal.Size())
+			e.lastSeq = j.LastSeq()
+			e.m.journalBytes.Store(j.Size())
 		}
 	}
 	switch reason {
@@ -450,17 +633,157 @@ func (e *Engine) emitTrip(trip pipeline.Trip) {
 }
 
 // syncJournal runs the journal durability barrier, recording its duration
-// in the journal_fsync stage histogram.
+// in the journal_fsync stage histogram. A failed fsync breaks the journal
+// permanently (the kernel may have dropped the dirty pages), so the
+// engine degrades rather than retrying the barrier.
 func (e *Engine) syncJournal() error {
-	if e.journal == nil {
+	j := e.jrnl()
+	if j == nil {
 		return nil
 	}
 	t0 := time.Now()
-	err := e.journal.Sync()
+	err := j.Sync()
 	if e.hJournal != nil {
 		e.hJournal.ObserveSince(t0)
 	}
+	if err != nil {
+		e.journalFailed(err)
+	}
 	return err
+}
+
+// journalFailed transitions into degraded mode on the first journal
+// error. Loop context only.
+func (e *Engine) journalFailed(err error) {
+	e.m.journalErrors.Add(1)
+	e.enterDegraded(fmt.Sprintf("journal: %v", err))
+}
+
+// enterDegraded flips the engine into read-only serving: the last good
+// snapshot keeps serving, new records are dropped, and a background
+// prober retries the disk with jittered exponential backoff. Without a
+// checkpoint path there is no way to re-base the WAL sequence safely, so
+// degradation is terminal until restart (documented in DESIGN.md).
+func (e *Engine) enterDegraded(reason string) {
+	if !e.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	e.degradedReason.Store(&reason)
+	e.logf("ingest degraded (serving last snapshot read-only): %s", reason)
+	if e.ckpt != nil && e.opt.JournalPath != "" {
+		e.armRetry()
+	}
+}
+
+// armRetry starts the disk prober unless one is already running.
+func (e *Engine) armRetry() {
+	if !e.retrying.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.retrying.Store(false)
+		delay := e.opt.RetryBase
+		for {
+			// Jitter ±50% so a fleet recovering from shared storage
+			// doesn't thundering-herd the disk.
+			d := delay/2 + time.Duration(rand.Int63n(int64(delay)))
+			select {
+			case <-time.After(d):
+			case <-e.quit:
+				return
+			}
+			if err := e.probeDisk(); err == nil {
+				// Clear the flag before handing off: handleResume may defer
+				// the resume (checkpoint in flight) and re-arm, and the loop
+				// can receive this envelope before this goroutine runs its
+				// deferred Store below.
+				e.retrying.Store(false)
+				select {
+				case e.in <- envelope{kind: envResume}:
+				case <-e.quit:
+				}
+				return
+			}
+			delay *= 2
+			if delay > e.opt.RetryMax {
+				delay = e.opt.RetryMax
+			}
+		}
+	}()
+}
+
+// probeDisk checks that the journal directory accepts a durable write
+// again.
+func (e *Engine) probeDisk() error {
+	probe := filepath.Join(filepath.Dir(e.opt.JournalPath), ".pol.probe")
+	f, err := os.Create(probe)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("probe\n"))
+	serr := f.Sync()
+	cerr := f.Close()
+	os.Remove(probe)
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// handleResume attempts to leave degraded mode: checkpoint the current
+// in-memory state synchronously (its frontier is lastSeq — the last
+// record applied, even if the broken journal lost the buffered tail),
+// then reopen the journal with the sequence forced past that frontier so
+// no sequence number is ever reused for a different record. Loop context.
+func (e *Engine) handleResume() {
+	if !e.degraded.Load() || e.ckpt == nil {
+		return
+	}
+	if !e.ckptBusy.CompareAndSwap(false, true) {
+		e.armRetry() // background checkpoint still writing; try later
+		return
+	}
+	defer e.ckptBusy.Store(false)
+	now := time.Now()
+	e.mergePeriod(now)
+	snap := e.publish(now)
+	covered, err := e.ckpt.Save(snap, e.captureState(), e.lastSeq)
+	if err != nil {
+		e.m.checkpointErrors.Add(1)
+		e.logf("degraded resume: checkpoint failed: %v", err)
+		e.armRetry()
+		return
+	}
+	e.m.checkpoints.Add(1)
+	if old := e.jrnl(); old != nil {
+		old.Close() // broken: returns the sticky error, descriptor freed
+	}
+	j, err := OpenJournal(e.opt.JournalPath, JournalOptions{
+		SegmentBytes:   e.opt.WALSegmentBytes,
+		StartSeq:       e.lastSeq,
+		NextSeqAtLeast: e.lastSeq + 1,
+		Faults:         e.opt.Faults,
+		Logf:           e.opt.Logf,
+	}, nil)
+	if err != nil {
+		e.journal.Store(nil)
+		e.logf("degraded resume: journal reopen failed: %v", err)
+		e.armRetry()
+		return
+	}
+	e.journal.Store(j)
+	e.m.walSegments.Store(int64(j.Segments()))
+	e.m.journalBytes.Store(j.Size())
+	if err := j.Prune(covered); err != nil {
+		e.logf("degraded resume: prune: %v", err)
+	}
+	e.degraded.Store(false)
+	e.degradedReason.Store(nil)
+	e.m.resumes.Add(1)
+	e.logf("ingest resumed after degraded mode (checkpoint seq %d)", e.lastSeq)
 }
 
 // mergeAndPublish folds the period inventory into the master, publishes a
@@ -471,15 +794,21 @@ func (e *Engine) mergeAndPublish(now time.Time) {
 		// last merge, which is what it reflects).
 		return
 	}
+	if err := e.opt.Faults.Hit(FPEngineMerge); err != nil {
+		// Keep the period: the merge is deferred to the next tick, not
+		// dropped.
+		e.m.mergeDeferred.Add(1)
+		return
+	}
 	e.mergePeriod(now)
 	snap := e.publish(now)
-	if e.journal != nil {
-		if err := e.journal.Flush(); err != nil {
-			e.m.journalErrors.Add(1)
+	if j := e.jrnl(); j != nil {
+		if err := j.Flush(); err != nil {
+			e.journalFailed(err)
 		}
 	}
 	e.sinceCkpt++
-	if e.opt.CheckpointPath != "" && e.sinceCkpt >= e.opt.CheckpointEvery {
+	if e.ckpt != nil && !e.degraded.Load() && e.sinceCkpt >= e.opt.CheckpointEvery {
 		e.sinceCkpt = 0
 		e.checkpoint(snap)
 	}
@@ -520,29 +849,50 @@ func (e *Engine) publish(now time.Time) *inventory.Inventory {
 	e.m.lastPublishNanos.Store(int64(d))
 	e.m.lastPublishUnix.Store(now.Unix())
 	e.m.groups.Store(int64(snap.Len()))
+	// Publish runs in the loop, so no observation can be emitted between
+	// the merge and this store: everything counted so far is now served.
+	e.m.mergedObservations.Store(e.m.observations.Load())
 	if e.hPublish != nil {
 		e.hPublish.Observe(d.Seconds())
 	}
 	return snap
 }
 
-// checkpoint writes the snapshot to the checkpoint path in the
-// background; at most one checkpoint runs at a time. Snapshots are
-// immutable, so serialization races with nothing.
+// checkpoint writes a new checkpoint generation in the background; at
+// most one checkpoint runs at a time. The snapshot is immutable and the
+// pipeline state is deep-copied in the loop before the goroutine starts,
+// so serialization races with nothing. A checkpoint failure does not
+// degrade the engine — the WAL is still making records durable — it is
+// counted and retried at the next cadence.
 func (e *Engine) checkpoint(snap *inventory.Inventory) {
 	if !e.ckptBusy.CompareAndSwap(false, true) {
 		return // previous checkpoint still writing; skip this cadence
 	}
+	st := e.captureState()
+	seq := e.lastSeq
+	j := e.jrnl()
+	e.ckptWG.Add(1)
 	go func() {
+		defer e.ckptWG.Done()
 		defer e.ckptBusy.Store(false)
 		t0 := time.Now()
-		if err := inventory.WriteFile(snap, e.opt.CheckpointPath); err != nil {
+		covered, err := e.ckpt.Save(snap, st, seq)
+		if err != nil {
 			e.m.checkpointErrors.Add(1)
+			e.logf("checkpoint failed: %v", err)
 			return
 		}
 		if e.hCheckpoint != nil {
 			e.hCheckpoint.ObserveSince(t0)
 		}
 		e.m.checkpoints.Add(1)
+		if j != nil {
+			if err := j.Prune(covered); err != nil {
+				e.logf("journal prune: %v", err)
+			} else {
+				e.m.walSegments.Store(int64(j.Segments()))
+				e.m.journalBytes.Store(j.Size())
+			}
+		}
 	}()
 }

@@ -169,8 +169,13 @@ func TestEngineJournalReplay(t *testing.T) {
 	}
 	e1Groups := e1.Snapshot().Len() // state at the moment of death
 
-	// Simulate a crash mid-append: garbage torn tail after the last entry.
-	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0)
+	// Simulate a crash mid-append: garbage torn tail after the last entry
+	// of the active segment.
+	idxs, err := scanSegments(journal)
+	if err != nil || len(idxs) == 0 {
+		t.Fatalf("no journal segments on disk: %v (%v)", idxs, err)
+	}
+	f, err := os.OpenFile(segmentPath(journal, idxs[len(idxs)-1]), os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,35 +5,118 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/patternsoflife/pol/internal/ais"
+	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/geo"
 	"github.com/patternsoflife/pol/internal/model"
 )
 
-// Journal is the ingestion write-ahead log: a length-prefixed,
-// append-only file of accepted records. Replaying the journal through the
-// engine's (deterministic) cleaning and trip state machines reconstructs
-// the exact in-memory state at the moment of the last flush, so a killed
-// daemon resumes where it stopped.
+// Journal is the ingestion write-ahead log: an append-only sequence of
+// accepted records across rotated segment files. Replaying the journal
+// through the engine's (deterministic) cleaning and trip state machines
+// reconstructs the exact in-memory state at the moment of the last flush,
+// so a killed daemon resumes where it stopped.
 //
-// File format (little-endian):
+// WAL v2 segment format (little-endian):
 //
-//	header:  magic "POLWAL1\n"
-//	entries: kind u8 ('P' position | 'S' static) | len u32 | payload
+//	file name: <base stripped of .wal>.NNNNNN.wal, NNNNNN monotonic
+//	header:    magic "POLWAL2\n" | firstSeq u64
+//	records:   kind u8 ('P' position | 'S' static) | len u32 | seq u64 |
+//	           payload | crc32c u32 (Castagnoli, over kind..payload)
 //
-// A torn final entry (crash mid-write) is detected on open and the file
-// is truncated back to the last complete entry before appending resumes.
+// Sequence numbers are monotonic across segments, so a checkpoint
+// manifest can name the exact durability frontier it covers and recovery
+// can skip whole covered segments. Recovery distinguishes a *torn tail*
+// (a crash mid-append: the bad bytes end at EOF of the final segment —
+// truncated with a warning) from *mid-file corruption* (a record that
+// fails its checksum with valid data after it — replay stops at the bad
+// record and the remainder is quarantined to a .corrupt sidecar so no
+// wrong state is ever reconstructed). Legacy v1 journals (single file at
+// the base path, no checksums) are still replayed for upgrade; new
+// records always go to v2 segments.
 type Journal struct {
-	f     *os.File
-	w     *bufio.Writer
-	bytes int64
+	base string
+	opts JournalOptions
+
+	// mu guards the file handles and segment list: appends come from the
+	// engine loop while Prune runs from the checkpoint goroutine.
+	mu       chan struct{} // 1-deep semaphore; avoids importing sync here
+	f        *os.File
+	w        *bufio.Writer
+	segIdx   int
+	segBytes int64
+	total    int64
+	nextSeq  uint64
+	// segs maps live segment index → first sequence number in it, for
+	// checkpoint-driven retention.
+	segs   map[int]uint64
+	v1Live bool
+	broken error
+
+	rec RecoveryInfo
 }
 
-var walMagic = []byte("POLWAL1\n")
+// JournalOptions tunes a Journal.
+type JournalOptions struct {
+	// SegmentBytes is the rotation threshold (default 64 MiB).
+	SegmentBytes int64
+	// StartSeq makes replay skip records with seq <= StartSeq — the
+	// checkpoint manifest's covered frontier. Whole segments below the
+	// frontier are skipped without being read.
+	StartSeq uint64
+	// NextSeqAtLeast forces the append sequence past a frontier the disk
+	// may have lost (degraded-mode resume re-bases on a checkpoint that
+	// covers records whose buffered appends never reached the disk).
+	NextSeqAtLeast uint64
+	// Faults is the failpoint registry (default fault.Default()).
+	Faults *fault.Registry
+	// Logf, when non-nil, receives recovery warnings.
+	Logf func(format string, args ...any)
+}
+
+func (o JournalOptions) withDefaults() JournalOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.Faults == nil {
+		o.Faults = fault.Default()
+	}
+	return o
+}
+
+// RecoveryInfo summarizes what OpenJournal found on disk.
+type RecoveryInfo struct {
+	Entries             int64  // records scanned (including ones below StartSeq)
+	V1Entries           int64  // of which came from a legacy v1 journal
+	LastSeq             uint64 // highest valid sequence number on disk
+	TornBytes           int64  // bytes truncated from a torn final-segment tail
+	CorruptEvents       int64  // distinct corruption incidents (checksum/framing/seq)
+	QuarantinedBytes    int64  // bytes preserved in .corrupt sidecars
+	QuarantinedSegments int    // whole later segments set aside after a corrupt one
+}
+
+// Failpoint names threaded through the journal.
+const (
+	FPJournalAppend = "ingest.journal.append"
+	FPJournalSync   = "ingest.journal.sync"
+	FPJournalRotate = "ingest.journal.rotate"
+)
+
+var (
+	walMagicV1 = []byte("POLWAL1\n")
+	walMagicV2 = []byte("POLWAL2\n")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Journal entry kinds.
 const (
@@ -41,107 +124,458 @@ const (
 	entryStatic   byte = 'S'
 )
 
+const (
+	recHeaderLen  = 1 + 4 + 8 // kind | len | seq
+	recTrailerLen = 4         // crc32c
+	segHeaderLen  = 8 + 8     // magic | firstSeq
+	maxRecordLen  = 1 << 20
+)
+
+// ErrJournalBroken is wrapped by every operation after a write or fsync
+// failure: a failed fsync may have silently dropped dirty pages, so the
+// journal never retries on the same descriptor (fsyncgate semantics) —
+// the engine must enter degraded mode and re-base on a checkpoint.
+var ErrJournalBroken = fmt.Errorf("ingest: journal broken")
+
 // JournalEntry is one replayed element.
 type JournalEntry struct {
+	Seq  uint64
 	Kind byte
 	Pos  model.PositionRecord // Kind == 'P'
 	Info model.VesselInfo     // Kind == 'S'
 }
 
-// OpenJournal opens (or creates) the journal at path. For an existing
-// journal every complete entry is passed to replay in order before the
-// file is positioned for appending; a corrupt or torn tail is truncated.
-func OpenJournal(path string, replay func(JournalEntry) error) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// segmentPath names segment idx for a journal base: "live.wal" →
+// "live.000001.wal"; "journal" → "journal.000001.wal".
+func segmentPath(base string, idx int) string {
+	stem := strings.TrimSuffix(base, ".wal")
+	return fmt.Sprintf("%s.%06d.wal", stem, idx)
+}
+
+// scanSegments lists existing segment indexes for base, sorted ascending.
+func scanSegments(base string) ([]int, error) {
+	stem := strings.TrimSuffix(filepath.Base(base), ".wal")
+	dir := filepath.Dir(base)
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: open journal %s: %w", path, err)
+		return nil, fmt.Errorf("ingest: scan journal dir: %w", err)
 	}
-	j := &Journal{f: f}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("ingest: stat journal: %w", err)
-	}
-	if st.Size() == 0 {
-		if _, err := f.Write(walMagic); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("ingest: journal header: %w", err)
+	var idxs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, stem+".") || !strings.HasSuffix(name, ".wal") {
+			continue
 		}
-		j.bytes = int64(len(walMagic))
-	} else {
-		good, err := j.replayAll(replay)
+		num := strings.TrimSuffix(strings.TrimPrefix(name, stem+"."), ".wal")
+		if len(num) != 6 {
+			continue
+		}
+		n, err := strconv.Atoi(num)
+		if err != nil || n < 1 {
+			continue
+		}
+		idxs = append(idxs, n)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// syncDir fsyncs the directory containing path, making renames and
+// creations within it durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenJournal opens (or creates) the journal rooted at base. Every valid
+// record with seq > opts.StartSeq is passed to replay in order (replay may
+// be nil to scan without applying); then the journal is positioned for
+// appending. Torn tails are truncated; corrupt middles stop replay and
+// quarantine the remainder — see RecoveryInfo for what happened.
+func OpenJournal(base string, opts JournalOptions, replay func(JournalEntry) error) (*Journal, error) {
+	opts = opts.withDefaults()
+	j := &Journal{
+		base: base,
+		opts: opts,
+		mu:   make(chan struct{}, 1),
+		segs: make(map[int]uint64),
+	}
+
+	// Legacy v1 journal at the base path: replay for upgrade, never append.
+	v1Count, err := j.replayV1(replay)
+	if err != nil {
+		return nil, err
+	}
+	j.rec.V1Entries = v1Count
+	j.rec.Entries = v1Count
+	j.nextSeq = uint64(v1Count) + 1
+	j.rec.LastSeq = uint64(v1Count)
+
+	idxs, err := scanSegments(base)
+	if err != nil {
+		return nil, err
+	}
+	lastIdx := 0
+	if err := j.replaySegments(idxs, replay); err != nil {
+		return nil, err
+	}
+	if len(idxs) > 0 {
+		lastIdx = idxs[len(idxs)-1]
+	}
+	j.nextSeq = j.rec.LastSeq + 1
+
+	if opts.NextSeqAtLeast > j.nextSeq {
+		j.nextSeq = opts.NextSeqAtLeast
+	}
+
+	// Position for appending: reuse the final live segment when it is
+	// intact and its sequence run reaches nextSeq-1; otherwise start a
+	// fresh one (quarantined or seq-gapped tails must not be extended).
+	if first, ok := j.segs[lastIdx]; ok && j.appendableTail(lastIdx, first) {
+		f, err := os.OpenFile(segmentPath(base, lastIdx), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: reopen segment: %w", err)
+		}
+		st, err := f.Stat()
 		if err != nil {
 			f.Close()
+			return nil, fmt.Errorf("ingest: stat segment: %w", err)
+		}
+		if _, err := f.Seek(st.Size(), io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: seek segment end: %w", err)
+		}
+		j.f = f
+		j.segIdx = lastIdx
+		j.segBytes = st.Size()
+	} else {
+		if err := j.createSegment(lastIdx + 1); err != nil {
 			return nil, err
 		}
-		// Truncate a torn tail so appends resume from a clean boundary.
-		if good < st.Size() {
-			if err := f.Truncate(good); err != nil {
-				f.Close()
-				return nil, fmt.Errorf("ingest: truncate torn journal tail: %w", err)
-			}
-		}
-		if _, err := f.Seek(good, io.SeekStart); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("ingest: seek journal end: %w", err)
-		}
-		j.bytes = good
 	}
-	j.w = bufio.NewWriterSize(f, 1<<18)
+	j.w = bufio.NewWriterSize(j.f, 1<<18)
 	return j, nil
 }
 
-// replayAll streams every complete entry to replay and returns the byte
-// offset of the last complete entry.
-func (j *Journal) replayAll(replay func(JournalEntry) error) (int64, error) {
-	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("ingest: rewind journal: %w", err)
+// appendableTail reports whether the last scanned segment may take new
+// appends: its records form an unbroken run ending exactly at nextSeq-1
+// and it was not quarantined.
+func (j *Journal) appendableTail(idx int, firstSeq uint64) bool {
+	if j.broken != nil {
+		return false
 	}
-	r := bufio.NewReaderSize(j.f, 1<<18)
-	head := make([]byte, len(walMagic))
-	if _, err := io.ReadFull(r, head); err != nil || !bytes.Equal(head, walMagic) {
-		return 0, fmt.Errorf("ingest: bad journal magic")
+	// A segment whose firstSeq is beyond the last valid seq+1 (because a
+	// resume re-based past lost records) or that ended in quarantine is
+	// closed by replaySegments removing it from segs; reaching here with
+	// the index still live means its run ended at rec.LastSeq.
+	return j.nextSeq == j.rec.LastSeq+1 || j.nextSeq == firstSeq
+}
+
+// replayV1 streams a legacy single-file journal, assigning sequence
+// numbers 1..n. Parsing stops silently at the first bad record (the v1
+// format cannot distinguish torn from corrupt); the file is left intact
+// and retired by Prune once a checkpoint covers it.
+func (j *Journal) replayV1(replay func(JournalEntry) error) (int64, error) {
+	f, err := os.Open(j.base)
+	if os.IsNotExist(err) {
+		return 0, nil
 	}
-	good := int64(len(walMagic))
+	if err != nil {
+		return 0, fmt.Errorf("ingest: open v1 journal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<18)
+	head := make([]byte, len(walMagicV1))
+	if _, err := io.ReadFull(r, head); err != nil || !bytes.Equal(head, walMagicV1) {
+		return 0, fmt.Errorf("ingest: %s exists but is not a v1 journal", j.base)
+	}
+	j.v1Live = true
+	var count int64
 	var hdr [5]byte
 	buf := make([]byte, 0, 256)
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return good, nil // clean EOF or torn header
+			return count, nil
 		}
 		kind := hdr[0]
 		n := binary.LittleEndian.Uint32(hdr[1:])
-		if n > 1<<20 || (kind != entryPosition && kind != entryStatic) {
-			return good, nil // corrupt tail
+		if n > maxRecordLen || (kind != entryPosition && kind != entryStatic) {
+			return count, nil
 		}
 		if cap(buf) < int(n) {
 			buf = make([]byte, n)
 		}
 		buf = buf[:n]
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return good, nil // torn payload
+			return count, nil
 		}
-		var e JournalEntry
-		var ok bool
-		switch kind {
-		case entryPosition:
-			e.Kind = kind
-			e.Pos, ok = decodePositionEntry(buf)
-		case entryStatic:
-			e.Kind = kind
-			e.Info, ok = decodeStaticEntry(buf)
-		}
+		e, ok := decodeEntry(kind, buf)
 		if !ok {
-			return good, nil // undecodable tail
+			return count, nil
 		}
-		if replay != nil {
+		count++
+		e.Seq = uint64(count)
+		if replay != nil && e.Seq > j.opts.StartSeq {
 			if err := replay(e); err != nil {
-				return good, fmt.Errorf("ingest: journal replay: %w", err)
+				return count, fmt.Errorf("ingest: journal replay: %w", err)
 			}
 		}
-		good += int64(len(hdr)) + int64(n)
 	}
 }
+
+// replaySegments scans the v2 segments in order, validating checksums and
+// sequence continuity, truncating torn tails and quarantining corruption.
+func (j *Journal) replaySegments(idxs []int, replay func(JournalEntry) error) error {
+	expect := j.nextSeq // seq the next segment should start at
+	for pos, idx := range idxs {
+		path := segmentPath(j.base, idx)
+		first, err := readSegmentHeader(path)
+		if err != nil {
+			// Unreadable header: this segment and everything after it are
+			// unreplayable — quarantine them whole.
+			j.warnf("journal segment %s: %v; quarantining it and %d later segments",
+				path, err, len(idxs)-pos-1)
+			return j.quarantineSegments(idxs[pos:])
+		}
+		// Pruned predecessors may open a gap, but only below the
+		// checkpoint-covered frontier; an uncovered gap means lost records
+		// and the segments past it must not be replayed.
+		if first != expect && first > j.opts.StartSeq+1 {
+			j.warnf("journal segment %s starts at seq %d, want %d: uncovered gap; quarantining remainder",
+				path, first, expect)
+			return j.quarantineSegments(idxs[pos:])
+		}
+		j.segs[idx] = first
+
+		// Whole segment below the covered frontier: skip the scan, its
+		// extent is implied by the next segment's header.
+		if pos+1 < len(idxs) {
+			if next, err := readSegmentHeader(segmentPath(j.base, idxs[pos+1])); err == nil && next <= j.opts.StartSeq+1 && next > first {
+				if st, err := os.Stat(path); err == nil {
+					j.total += st.Size()
+				}
+				j.rec.Entries += int64(next - first)
+				j.rec.LastSeq = next - 1
+				expect = next
+				continue
+			}
+		}
+
+		last, cont, err := j.scanSegment(path, idx, first, pos == len(idxs)-1, replay)
+		if err != nil {
+			return err
+		}
+		j.rec.LastSeq = last
+		expect = last + 1
+		if !cont {
+			// Corruption stopped replay; set aside the later segments.
+			return j.quarantineSegments(idxs[pos+1:])
+		}
+	}
+	return nil
+}
+
+// scanSegment replays one segment's records. It returns the last valid
+// seq and whether replay may continue into later segments.
+func (j *Journal) scanSegment(path string, idx int, firstSeq uint64, final bool, replay func(JournalEntry) error) (uint64, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, false, fmt.Errorf("ingest: open segment %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, false, fmt.Errorf("ingest: stat segment: %w", err)
+	}
+	size := st.Size()
+	r := bufio.NewReaderSize(io.NewSectionReader(f, segHeaderLen, size-segHeaderLen), 1<<18)
+
+	good := int64(segHeaderLen)
+	seq := firstSeq - 1
+	hdr := make([]byte, recHeaderLen)
+	buf := make([]byte, 0, 256)
+
+	fail := func(reason string, short bool, recEnd int64) (uint64, bool, error) {
+		// Torn tail: the bad bytes end at EOF of the final segment — the
+		// classic crash-mid-append shape. Anything else is corruption.
+		torn := final && (short || recEnd >= size)
+		if torn {
+			j.rec.TornBytes += size - good
+			j.warnf("journal segment %s: torn tail at offset %d (%s): truncating %d bytes",
+				path, good, reason, size-good)
+			if err := f.Truncate(good); err != nil {
+				return 0, false, fmt.Errorf("ingest: truncate torn tail: %w", err)
+			}
+			j.total += good
+			return seq, true, nil
+		}
+		j.rec.CorruptEvents++
+		j.warnf("journal segment %s: corrupt record at offset %d (%s): quarantining %d bytes",
+			path, good, reason, size-good)
+		if err := quarantineTail(f, path, good, size); err != nil {
+			return 0, false, err
+		}
+		j.rec.QuarantinedBytes += size - good
+		j.total += good
+		return seq, false, nil
+	}
+
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				j.total += good
+				j.rec.Entries += int64(seq - (firstSeq - 1))
+				return seq, true, nil
+			}
+			return fail("short header", true, 0)
+		}
+		kind := hdr[0]
+		n := binary.LittleEndian.Uint32(hdr[1:5])
+		rseq := binary.LittleEndian.Uint64(hdr[5:])
+		recEnd := good + recHeaderLen + int64(n) + recTrailerLen
+		if n > maxRecordLen || (kind != entryPosition && kind != entryStatic) {
+			return fail("bad framing", false, recEnd)
+		}
+		if rseq != seq+1 {
+			return fail(fmt.Sprintf("seq %d, want %d", rseq, seq+1), false, recEnd)
+		}
+		if cap(buf) < int(n)+recTrailerLen {
+			buf = make([]byte, int(n)+recTrailerLen)
+		}
+		buf = buf[:int(n)+recTrailerLen]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fail("short payload", true, recEnd)
+		}
+		payload := buf[:n]
+		wantCRC := binary.LittleEndian.Uint32(buf[n:])
+		crc := crc32.Update(crc32.Checksum(hdr, castagnoli), castagnoli, payload)
+		if crc != wantCRC {
+			return fail("checksum mismatch", false, recEnd)
+		}
+		e, ok := decodeEntry(kind, payload)
+		if !ok {
+			return fail("undecodable payload", false, recEnd)
+		}
+		e.Seq = rseq
+		if replay != nil && rseq > j.opts.StartSeq {
+			if err := replay(e); err != nil {
+				return 0, false, fmt.Errorf("ingest: journal replay: %w", err)
+			}
+		}
+		seq = rseq
+		good = recEnd
+	}
+}
+
+// quarantineTail copies bytes [from, size) of the open segment into a
+// .corrupt sidecar and truncates the segment, preserving the bad bytes
+// for forensics while guaranteeing they are never replayed.
+func quarantineTail(f *os.File, path string, from, size int64) error {
+	side, err := os.Create(path + ".corrupt")
+	if err != nil {
+		return fmt.Errorf("ingest: create quarantine sidecar: %w", err)
+	}
+	_, cpErr := io.Copy(side, io.NewSectionReader(f, from, size-from))
+	if err := side.Sync(); cpErr == nil {
+		cpErr = err
+	}
+	if err := side.Close(); cpErr == nil {
+		cpErr = err
+	}
+	if cpErr != nil {
+		return fmt.Errorf("ingest: quarantine tail: %w", cpErr)
+	}
+	if err := f.Truncate(from); err != nil {
+		return fmt.Errorf("ingest: truncate corrupt segment: %w", err)
+	}
+	return nil
+}
+
+// quarantineSegments renames whole segments to .corrupt so they are kept
+// but never rescanned.
+func (j *Journal) quarantineSegments(idxs []int) error {
+	for _, idx := range idxs {
+		path := segmentPath(j.base, idx)
+		if st, err := os.Stat(path); err == nil {
+			j.rec.QuarantinedBytes += st.Size()
+		}
+		if err := os.Rename(path, path+".corrupt"); err != nil {
+			return fmt.Errorf("ingest: quarantine segment: %w", err)
+		}
+		j.rec.QuarantinedSegments++
+		delete(j.segs, idx)
+	}
+	if len(idxs) > 0 {
+		j.rec.CorruptEvents++
+	}
+	return nil
+}
+
+func readSegmentHeader(path string) (firstSeq uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var head [segHeaderLen]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, fmt.Errorf("short header: %w", err)
+	}
+	if !bytes.Equal(head[:8], walMagicV2) {
+		return 0, fmt.Errorf("bad segment magic")
+	}
+	return binary.LittleEndian.Uint64(head[8:]), nil
+}
+
+// createSegment starts segment idx with firstSeq = nextSeq and makes its
+// directory entry durable.
+func (j *Journal) createSegment(idx int) error {
+	path := segmentPath(j.base, idx)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: create segment %s: %w", path, err)
+	}
+	var head []byte
+	head = append(head, walMagicV2...)
+	head = binary.LittleEndian.AppendUint64(head, j.nextSeq)
+	if _, err := f.Write(head); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: segment header sync: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: segment dir sync: %w", err)
+	}
+	j.f = f
+	j.segIdx = idx
+	j.segBytes = segHeaderLen
+	j.total += segHeaderLen
+	j.segs[idx] = j.nextSeq
+	return nil
+}
+
+func (j *Journal) warnf(format string, args ...any) {
+	if j.opts.Logf != nil {
+		j.opts.Logf(format, args...)
+	}
+}
+
+// Recovery returns what OpenJournal found on disk.
+func (j *Journal) Recovery() RecoveryInfo { return j.rec }
+
+func (j *Journal) lock()   { j.mu <- struct{}{} }
+func (j *Journal) unlock() { <-j.mu }
 
 // AppendPosition journals one accepted position record.
 func (j *Journal) AppendPosition(r model.PositionRecord) error {
@@ -154,49 +588,197 @@ func (j *Journal) AppendStatic(v model.VesselInfo) error {
 }
 
 func (j *Journal) append(kind byte, payload []byte) error {
-	var hdr [5]byte
-	hdr[0] = kind
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := j.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("ingest: journal append: %w", err)
+	j.lock()
+	defer j.unlock()
+	if j.broken != nil {
+		return j.broken
 	}
-	if _, err := j.w.Write(payload); err != nil {
-		return fmt.Errorf("ingest: journal append: %w", err)
+	if err := j.opts.Faults.Hit(FPJournalAppend); err != nil {
+		return j.markBroken(err)
 	}
-	j.bytes += int64(len(hdr)) + int64(len(payload))
+	recLen := int64(recHeaderLen + len(payload) + recTrailerLen)
+	if j.segBytes+recLen > j.opts.SegmentBytes && j.segBytes > segHeaderLen {
+		if err := j.rotate(); err != nil {
+			return j.markBroken(err)
+		}
+	}
+	var rec []byte
+	rec = append(rec, kind)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint64(rec, j.nextSeq)
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(rec, castagnoli))
+	if _, err := j.w.Write(rec); err != nil {
+		return j.markBroken(fmt.Errorf("ingest: journal append: %w", err))
+	}
+	j.nextSeq++
+	j.segBytes += recLen
+	j.total += recLen
 	return nil
+}
+
+// rotate closes the active segment behind a durability barrier and opens
+// the next one. Called with the lock held.
+func (j *Journal) rotate() error {
+	if err := j.opts.Faults.Hit(FPJournalRotate); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("ingest: journal rotate flush: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: journal rotate sync: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("ingest: journal rotate close: %w", err)
+	}
+	if err := j.createSegment(j.segIdx + 1); err != nil {
+		return err
+	}
+	j.w.Reset(j.f)
+	return nil
+}
+
+// markBroken records the first fatal error; every later operation returns
+// it without touching the file again (fsyncgate: a failed fsync must not
+// be retried on the same descriptor).
+func (j *Journal) markBroken(err error) error {
+	if j.broken == nil {
+		j.broken = fmt.Errorf("%w: %w", ErrJournalBroken, err)
+	}
+	return j.broken
 }
 
 // Flush pushes buffered entries to the operating system.
 func (j *Journal) Flush() error {
+	j.lock()
+	defer j.unlock()
+	return j.flushLocked()
+}
+
+func (j *Journal) flushLocked() error {
+	if j.broken != nil {
+		return j.broken
+	}
 	if err := j.w.Flush(); err != nil {
-		return fmt.Errorf("ingest: journal flush: %w", err)
+		return j.markBroken(fmt.Errorf("ingest: journal flush: %w", err))
 	}
 	return nil
 }
 
 // Sync flushes and fsyncs the journal — the durability barrier used at
-// merge boundaries and on shutdown.
+// merge boundaries and on shutdown. After a failed fsync the journal is
+// permanently broken: the kernel may have dropped the dirty pages, so
+// retrying could report durability that does not exist.
 func (j *Journal) Sync() error {
-	if err := j.Flush(); err != nil {
+	j.lock()
+	defer j.unlock()
+	if err := j.flushLocked(); err != nil {
 		return err
 	}
+	if err := j.opts.Faults.Hit(FPJournalSync); err != nil {
+		return j.markBroken(err)
+	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("ingest: journal sync: %w", err)
+		return j.markBroken(fmt.Errorf("ingest: journal sync: %w", err))
 	}
 	return nil
 }
 
-// Size returns the journal length in bytes including buffered entries.
-func (j *Journal) Size() int64 { return j.bytes }
+// Size returns the live journal length in bytes including buffered
+// entries, across all segments.
+func (j *Journal) Size() int64 {
+	j.lock()
+	defer j.unlock()
+	return j.total
+}
 
-// Close syncs and closes the journal file.
+// LastSeq returns the sequence number of the most recently appended
+// record (0 before any append on a fresh journal).
+func (j *Journal) LastSeq() uint64 {
+	j.lock()
+	defer j.unlock()
+	return j.nextSeq - 1
+}
+
+// Segments returns the number of live segment files.
+func (j *Journal) Segments() int {
+	j.lock()
+	defer j.unlock()
+	return len(j.segs)
+}
+
+// Prune removes closed segments (and a legacy v1 file) whose records are
+// all covered by a durable checkpoint at coveredSeq. The active segment
+// is never removed. Safe to call concurrently with appends.
+func (j *Journal) Prune(coveredSeq uint64) error {
+	j.lock()
+	defer j.unlock()
+	if j.v1Live && uint64(j.rec.V1Entries) <= coveredSeq {
+		if err := os.Remove(j.base); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("ingest: prune v1 journal: %w", err)
+		}
+		j.v1Live = false
+	}
+	idxs := make([]int, 0, len(j.segs))
+	for idx := range j.segs {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for i, idx := range idxs {
+		if idx == j.segIdx || i+1 >= len(idxs) {
+			break // never the active (= last) segment
+		}
+		lastSeq := j.segs[idxs[i+1]] - 1
+		if lastSeq > coveredSeq {
+			break
+		}
+		path := segmentPath(j.base, idx)
+		st, err := os.Stat(path)
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("ingest: prune segment: %w", err)
+		}
+		if err == nil {
+			j.total -= st.Size()
+		}
+		delete(j.segs, idx)
+	}
+	return syncDir(j.base)
+}
+
+// Close syncs and closes the journal file. A broken journal's descriptor
+// is closed without further writes and the sticky error is returned.
 func (j *Journal) Close() error {
-	if err := j.Sync(); err != nil {
+	j.lock()
+	defer j.unlock()
+	if j.broken != nil {
+		j.f.Close()
+		return j.broken
+	}
+	if err := j.flushLocked(); err != nil {
+		j.f.Close()
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		err = j.markBroken(fmt.Errorf("ingest: journal sync: %w", err))
 		j.f.Close()
 		return err
 	}
 	return j.f.Close()
+}
+
+func decodeEntry(kind byte, payload []byte) (JournalEntry, bool) {
+	var e JournalEntry
+	var ok bool
+	switch kind {
+	case entryPosition:
+		e.Kind = kind
+		e.Pos, ok = decodePositionEntry(payload)
+	case entryStatic:
+		e.Kind = kind
+		e.Info, ok = decodeStaticEntry(payload)
+	}
+	return e, ok
 }
 
 // appendPositionEntry encodes a position record (fixed 53 bytes).

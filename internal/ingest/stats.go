@@ -26,6 +26,7 @@ type metrics struct {
 	trips                 atomic.Int64
 	tripRecords           atomic.Int64
 	observations          atomic.Int64
+	mergedObservations    atomic.Int64
 	vessels               atomic.Int64
 	groups                atomic.Int64
 	merges                atomic.Int64
@@ -37,6 +38,11 @@ type metrics struct {
 	journalErrors         atomic.Int64
 	checkpoints           atomic.Int64
 	checkpointErrors      atomic.Int64
+	walCorruption         atomic.Int64
+	walSegments           atomic.Int64
+	degradedDrops         atomic.Int64
+	mergeDeferred         atomic.Int64
+	resumes               atomic.Int64
 }
 
 // FeedStats tracks one feed connection. The TCP server registers one per
@@ -110,6 +116,32 @@ func (e *Engine) Ready() bool {
 	return snap != nil && snap.Len() > 0
 }
 
+// Degraded reports whether the engine is in degraded (read-only) mode and
+// why.
+func (e *Engine) Degraded() (bool, string) {
+	if !e.degraded.Load() {
+		return false, ""
+	}
+	reason := ""
+	if p := e.degradedReason.Load(); p != nil {
+		reason = *p
+	}
+	return true, reason
+}
+
+// ReadyDetail implements the obs.ReadyzDetailHandler contract: a degraded
+// engine stays ready (it is still serving the last good snapshot) but the
+// detail surfaces the condition to operators and probes.
+func (e *Engine) ReadyDetail() (bool, string) {
+	if !e.Ready() {
+		return false, "no data snapshot yet"
+	}
+	if deg, reason := e.Degraded(); deg {
+		return true, "degraded: " + reason
+	}
+	return true, ""
+}
+
 // registerMetrics re-registers the engine counter block in the telemetry
 // registry as sampled functions over the same atomics the JSON stats
 // endpoint reads — no double counting, one source of truth.
@@ -128,6 +160,10 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	counter("pol_ingest_checkpoints_total", &e.m.checkpoints)
 	counter("pol_ingest_checkpoint_errors_total", &e.m.checkpointErrors)
 	counter("pol_ingest_journal_errors_total", &e.m.journalErrors)
+	counter("pol_ingest_wal_corruption_total", &e.m.walCorruption)
+	counter("pol_ingest_degraded_dropped_total", &e.m.degradedDrops)
+	counter("pol_ingest_merge_deferred_total", &e.m.mergeDeferred)
+	counter("pol_ingest_resumes_total", &e.m.resumes)
 	for reason, v := range map[string]*atomic.Int64{
 		"unknown_vessel": &e.m.rejectedUnknown,
 		"non_commercial": &e.m.rejectedNonCommercial,
@@ -144,6 +180,13 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	gauge("pol_ingest_vessels", func() float64 { return float64(e.m.vessels.Load()) })
 	gauge("pol_ingest_groups", func() float64 { return float64(e.m.groups.Load()) })
 	gauge("pol_ingest_journal_bytes", func() float64 { return float64(e.m.journalBytes.Load()) })
+	gauge("pol_ingest_wal_segments", func() float64 { return float64(e.m.walSegments.Load()) })
+	gauge("pol_ingest_degraded", func() float64 {
+		if e.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
 	gauge("pol_ingest_uptime_seconds", func() float64 { return e.Uptime().Seconds() })
 	gauge("pol_ingest_snapshot_age_seconds", func() float64 { return e.SnapshotAge().Seconds() })
 	gauge("pol_ingest_queue_depth", func() float64 { return float64(len(e.in)) })
@@ -201,20 +244,33 @@ type Stats struct {
 		OutOfOrder    int64 `json:"out_of_order"`
 		Infeasible    int64 `json:"infeasible"`
 	} `json:"rejected_by"`
-	Trips            int64          `json:"trips"`
-	TripRecords      int64          `json:"trip_records"`
-	Observations     int64          `json:"observations"`
-	Vessels          int64          `json:"vessels"`
-	Groups           int64          `json:"groups"`
-	Merges           int64          `json:"merges"`
-	LastMergeMicros  int64          `json:"last_merge_us"`
-	AvgMergeMicros   int64          `json:"avg_merge_us"`
-	LastPublishUnix  int64          `json:"last_publish_unix"`
-	JournalBytes     int64          `json:"journal_bytes"`
-	JournalErrors    int64          `json:"journal_errors"`
-	Checkpoints      int64          `json:"checkpoints"`
-	CheckpointErrors int64          `json:"checkpoint_errors"`
-	Feeds            []FeedSnapshot `json:"feeds"`
+	Trips        int64 `json:"trips"`
+	TripRecords  int64 `json:"trip_records"`
+	Observations int64 `json:"observations"`
+	// MergedObservations trails Observations until every emitted
+	// observation has been folded into a published snapshot; equality
+	// means the serving inventory reflects all completed trips.
+	MergedObservations int64          `json:"merged_observations"`
+	Vessels            int64          `json:"vessels"`
+	Groups             int64          `json:"groups"`
+	Merges             int64          `json:"merges"`
+	LastMergeMicros    int64          `json:"last_merge_us"`
+	AvgMergeMicros     int64          `json:"avg_merge_us"`
+	LastPublishUnix    int64          `json:"last_publish_unix"`
+	JournalBytes       int64          `json:"journal_bytes"`
+	JournalErrors      int64          `json:"journal_errors"`
+	JournalSeq         uint64         `json:"journal_seq"`
+	WALSegments        int64          `json:"wal_segments"`
+	WALCorruption      int64          `json:"wal_corruption"`
+	Checkpoints        int64          `json:"checkpoints"`
+	CheckpointErrors   int64          `json:"checkpoint_errors"`
+	Degraded           bool           `json:"degraded"`
+	DegradedReason     string         `json:"degraded_reason,omitempty"`
+	DegradedDropped    int64          `json:"degraded_dropped"`
+	MergeDeferred      int64          `json:"merge_deferred"`
+	Resumes            int64          `json:"resumes"`
+	QueueDepth         int            `json:"queue_depth"`
+	Feeds              []FeedSnapshot `json:"feeds"`
 }
 
 // StatsSnapshot collects the current counters.
@@ -235,6 +291,7 @@ func (e *Engine) StatsSnapshot() Stats {
 	s.Trips = e.m.trips.Load()
 	s.TripRecords = e.m.tripRecords.Load()
 	s.Observations = e.m.observations.Load()
+	s.MergedObservations = e.m.mergedObservations.Load()
 	s.Vessels = e.m.vessels.Load()
 	s.Groups = e.m.groups.Load()
 	s.Merges = e.m.merges.Load()
@@ -245,8 +302,18 @@ func (e *Engine) StatsSnapshot() Stats {
 	s.LastPublishUnix = e.m.lastPublishUnix.Load()
 	s.JournalBytes = e.m.journalBytes.Load()
 	s.JournalErrors = e.m.journalErrors.Load()
+	if j := e.jrnl(); j != nil {
+		s.JournalSeq = j.LastSeq()
+	}
+	s.WALSegments = e.m.walSegments.Load()
+	s.WALCorruption = e.m.walCorruption.Load()
 	s.Checkpoints = e.m.checkpoints.Load()
 	s.CheckpointErrors = e.m.checkpointErrors.Load()
+	s.Degraded, s.DegradedReason = e.Degraded()
+	s.DegradedDropped = e.m.degradedDrops.Load()
+	s.MergeDeferred = e.m.mergeDeferred.Load()
+	s.Resumes = e.m.resumes.Load()
+	s.QueueDepth = len(e.in)
 
 	e.feedsMu.Lock()
 	feeds := make([]*FeedStats, len(e.feeds))

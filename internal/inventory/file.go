@@ -5,9 +5,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+
+	"github.com/patternsoflife/pol/internal/fault"
 )
 
 // File format (little-endian, except keys which are big-endian for sort
@@ -32,9 +36,20 @@ var (
 
 const fileVersion = 1
 
-// WriteFile persists the inventory to path atomically (write to temp, then
-// rename).
-func WriteFile(inv *Inventory, path string) (err error) {
+// Failpoint names for crash-consistency testing of atomic writes.
+const (
+	FPWriteSync   = "inventory.writefile.sync"
+	FPWriteRename = "inventory.writefile.rename"
+)
+
+var fileCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AtomicWrite streams content produced by write into path with full
+// crash-safety: the bytes go to a sibling temp file, the file is fsynced,
+// renamed over path, and the directory entry is fsynced — so a crash at
+// any instant leaves either the old complete file or the new complete
+// file at path, never a truncated hybrid.
+func AtomicWrite(path string, write func(w io.Writer) error) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -47,13 +62,14 @@ func WriteFile(inv *Inventory, path string) (err error) {
 		}
 	}()
 	w := bufio.NewWriterSize(f, 1<<20)
-	n, err := writeTo(inv, w)
-	if err != nil {
+	if err = write(w); err != nil {
 		return err
 	}
-	_ = n
 	if err = w.Flush(); err != nil {
 		return fmt.Errorf("inventory: flush: %w", err)
+	}
+	if err = fault.Hit(FPWriteSync); err != nil {
+		return fmt.Errorf("inventory: sync: %w", err)
 	}
 	if err = f.Sync(); err != nil {
 		return fmt.Errorf("inventory: sync: %w", err)
@@ -61,10 +77,83 @@ func WriteFile(inv *Inventory, path string) (err error) {
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("inventory: close: %w", err)
 	}
+	if err = fault.Hit(FPWriteRename); err != nil {
+		return fmt.Errorf("inventory: rename: %w", err)
+	}
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("inventory: rename: %w", err)
 	}
+	if err = syncDir(path); err != nil {
+		return fmt.Errorf("inventory: dir sync: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs the directory containing path so a completed rename
+// survives a crash.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFile persists the inventory to path atomically (temp + fsync +
+// rename + directory fsync).
+func WriteFile(inv *Inventory, path string) error {
+	_, _, err := WriteFileSum(inv, path)
+	return err
+}
+
+// WriteFileSum is WriteFile plus the CRC32C (Castagnoli) checksum and
+// length of the bytes written, computed while streaming — checkpoint
+// manifests record them so cold start can verify the artifact without a
+// second read.
+func WriteFileSum(inv *Inventory, path string) (sum uint32, size int64, err error) {
+	err = AtomicWrite(path, func(w io.Writer) error {
+		cw := &crcWriter{w: w}
+		if _, err := writeTo(inv, cw); err != nil {
+			return err
+		}
+		sum, size = cw.sum, cw.n
+		return nil
+	})
+	return sum, size, err
+}
+
+// crcWriter folds a CRC32C over everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, fileCRCTable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// ChecksumFile returns the CRC32C and length of a file's contents, for
+// verifying a checkpoint against its manifest entry.
+func ChecksumFile(path string) (sum uint32, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	h := crc32.New(fileCRCTable)
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return 0, 0, err
+	}
+	return h.Sum32(), n, nil
 }
 
 // writeTo streams the encoded inventory and returns the bytes written.

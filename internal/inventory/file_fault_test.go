@@ -1,0 +1,109 @@
+package inventory
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/fault"
+)
+
+func mustWrite(t *testing.T, inv *Inventory, path string) {
+	t.Helper()
+	if err := WriteFile(inv, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicWriteFaultLeavesOldFile(t *testing.T) {
+	inv, _ := buildTestInventory(t, 6)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inv.polinv")
+	mustWrite(t, inv, path)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fp := range []string{FPWriteSync, FPWriteRename} {
+		t.Run(fp, func(t *testing.T) {
+			if err := fault.Default().Enable(fp, "error(disk gone)*1"); err != nil {
+				t.Fatal(err)
+			}
+			defer fault.Default().Disable(fp)
+
+			err := WriteFile(inv, path)
+			if err == nil {
+				t.Fatal("write succeeded despite injected fault")
+			}
+			if !fault.IsInjected(err) {
+				t.Fatalf("error lost injection marker: %v", err)
+			}
+			// Old artifact must be untouched and no temp debris left.
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(after) != string(before) {
+				t.Fatal("failed write mutated the existing artifact")
+			}
+			if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("temp file left behind: %v", err)
+			}
+			// The artifact still loads.
+			got, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != inv.Len() {
+				t.Fatalf("groups %d, want %d", got.Len(), inv.Len())
+			}
+		})
+	}
+
+	// With faults cleared the write goes through again.
+	if err := WriteFile(inv, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFileSumMatchesChecksumFile(t *testing.T) {
+	inv, _ := buildTestInventory(t, 6)
+	path := filepath.Join(t.TempDir(), "inv.polinv")
+	sum, size, err := WriteFileSum(inv, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != size {
+		t.Fatalf("reported size %d, on disk %d", size, st.Size())
+	}
+	gotSum, gotSize, err := ChecksumFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSum != sum || gotSize != size {
+		t.Fatalf("ChecksumFile = (%08x, %d), WriteFileSum reported (%08x, %d)",
+			gotSum, gotSize, sum, size)
+	}
+	// Any byte flip must change the checksum.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipSum, _, err := ChecksumFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipSum == sum {
+		t.Fatal("checksum unchanged after byte flip")
+	}
+}

@@ -11,6 +11,7 @@ const (
 	MetricHTTPRequests       = "pol_http_requests_total"
 	MetricHTTPRequestSeconds = "pol_http_request_seconds"
 	MetricHTTPInFlight       = "pol_http_in_flight_requests"
+	MetricHTTPShed           = "pol_http_shed_total"
 )
 
 // statusWriter captures the response status code and byte count.
@@ -133,5 +134,63 @@ func ReadyzHandler(ready func() bool) http.Handler {
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("not ready\n"))
+	})
+}
+
+// ReadyzDetailHandler is ReadyzHandler with an operator-facing detail
+// string: a ready-but-degraded daemon answers 200 "ready (degraded: …)"
+// so probes keep routing to it while dashboards and humans see the
+// condition at a glance.
+func ReadyzDetailHandler(ready func() (bool, string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ok, detail := true, ""
+		if ready != nil {
+			ok, detail = ready()
+		}
+		if ok {
+			w.WriteHeader(http.StatusOK)
+			if detail != "" {
+				_, _ = w.Write([]byte("ready (" + detail + ")\n"))
+			} else {
+				_, _ = w.Write([]byte("ready\n"))
+			}
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if detail != "" {
+			_, _ = w.Write([]byte("not ready: " + detail + "\n"))
+			return
+		}
+		_, _ = w.Write([]byte("not ready\n"))
+	})
+}
+
+// Shed bounds the requests concurrently inside next: request number
+// maxInFlight+1 is answered immediately with 429 and a Retry-After hint
+// instead of queueing, so overload degrades into fast rejections rather
+// than a latency pile-up. Shed requests are counted in
+// pol_http_shed_total.
+func Shed(reg *Registry, maxInFlight int, next http.Handler) http.Handler {
+	if maxInFlight <= 0 {
+		return next
+	}
+	var shed *Counter
+	if reg != nil {
+		shed = reg.Counter(MetricHTTPShed, nil)
+	}
+	slots := make(chan struct{}, maxInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
+		default:
+			if shed != nil {
+				shed.Inc()
+			}
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+		}
 	})
 }

@@ -81,6 +81,27 @@ func NewOnlineCleaner(maxSpeedKnots float64) *OnlineCleaner {
 	return &OnlineCleaner{maxSpeedKnots: maxSpeedKnots}
 }
 
+// CleanerState is the complete serializable state of an OnlineCleaner —
+// checkpoints persist it so a restarted engine resumes dedup and speed
+// filtering exactly where the crashed process stopped.
+type CleanerState struct {
+	PrevTime int64
+	HasPrev  bool
+	Last     model.PositionRecord
+	HasLast  bool
+}
+
+// State exports the cleaner's mutable state (the threshold is configured,
+// not state).
+func (c *OnlineCleaner) State() CleanerState {
+	return CleanerState{PrevTime: c.prevTime, HasPrev: c.hasPrev, Last: c.last, HasLast: c.hasLast}
+}
+
+// SetState restores previously exported state.
+func (c *OnlineCleaner) SetState(s CleanerState) {
+	c.prevTime, c.hasPrev, c.last, c.hasLast = s.PrevTime, s.HasPrev, s.Last, s.HasLast
+}
+
 // Accept runs one record through the cleaning checks and returns
 // RejectNone when it survives all of them. State advances exactly as the
 // batch stage does: a speed-infeasible record still advances the dedup
@@ -132,6 +153,42 @@ func NewTripTracker(portIdx *ports.Index, minRecords int) *TripTracker {
 		minRecords = 2
 	}
 	return &TripTracker{portIdx: portIdx, minRecords: minRecords, lastPort: model.NoPort, visitPort: model.NoPort}
+}
+
+// TrackerState is the complete serializable state of a TripTracker: the
+// last confirmed port call, the open trip (if any), and the buffered
+// geofence visit. Checkpoints persist it so trips that straddle a restart
+// still complete with their full record span.
+type TrackerState struct {
+	LastPort  model.PortID
+	HasTrip   bool
+	Trip      Trip // valid when HasTrip
+	Visit     []model.PositionRecord
+	VisitPort model.PortID
+}
+
+// State exports the tracker's mutable state. The returned slices alias
+// the tracker's buffers; serialize before pushing more records.
+func (t *TripTracker) State() TrackerState {
+	s := TrackerState{LastPort: t.lastPort, Visit: t.visit, VisitPort: t.visitPort}
+	if t.cur != nil {
+		s.HasTrip = true
+		s.Trip = *t.cur
+	}
+	return s
+}
+
+// SetState restores previously exported state.
+func (t *TripTracker) SetState(s TrackerState) {
+	t.lastPort = s.LastPort
+	t.visit = s.Visit
+	t.visitPort = s.VisitPort
+	if s.HasTrip {
+		trip := s.Trip
+		t.cur = &trip
+	} else {
+		t.cur = nil
+	}
 }
 
 // Buffered returns the number of records currently held by open trip and

@@ -29,4 +29,7 @@ go test -run='^$' -bench=Publish -benchtime=1x ./internal/inventory/
 echo "== cluster e2e smoke (loopback coordinator + 2 workers, 1 killed) =="
 ./scripts/cluster_e2e.sh
 
+echo "== chaos e2e (crash mid-checkpoint, dead journal disk, recovery) =="
+./scripts/chaos_e2e.sh
+
 echo "all checks passed"

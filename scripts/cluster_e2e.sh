@@ -27,7 +27,7 @@ addr="127.0.0.1:$((7900 + $$ % 100))"
 
 "$tmp/polworker" -coordinator "$addr" >"$tmp/w1.log" 2>&1 &
 w1=$!
-"$tmp/polworker" -coordinator "$addr" -failpoint kill-task=1 >"$tmp/w2.log" 2>&1 &
+"$tmp/polworker" -coordinator "$addr" -failpoint 'cluster.worker.kill=error*1' >"$tmp/w2.log" 2>&1 &
 w2=$!
 
 "$tmp/polbuild" -synthetic -vessels 16 -days 4 -res 6 \
