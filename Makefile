@@ -25,7 +25,7 @@ fmt:
 # snapshot-serving inventory, the observability middleware and the stream
 # monitor.
 race:
-	$(GO) test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/stream/
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/replica/ ./internal/stream/
 
 # One-iteration smoke of the snapshot-publish benchmark: catches publish-path
 # regressions that compile but break at run time, without benchmark noise.
@@ -33,11 +33,14 @@ benchsmoke:
 	$(GO) test -run='^$$' -bench=Publish -benchtime=1x ./internal/inventory/
 
 # End-to-end smokes: the loopback cluster (coordinator + two workers, one
-# killed mid-task) and the durability chaos drill (crash mid-checkpoint
-# rename, permanently failing journal disk, recovery convergence).
+# killed mid-task), the durability chaos drill (crash mid-checkpoint
+# rename, permanently failing journal disk, recovery convergence), and the
+# replicated-serving drill (primary + two read replicas, one killed and
+# re-bootstrapped mid-feed, bit-exact convergence).
 e2e:
 	./scripts/cluster_e2e.sh
 	./scripts/chaos_e2e.sh
+	./scripts/replica_e2e.sh
 
 # Full benchmark suite: regenerates BENCH_PR4.json and prints the headline
 # publish/shuffle/distributed benchmarks (see scripts/bench.sh).

@@ -221,6 +221,15 @@ func (l *lab) runBenchJSON(path string) error {
 		}
 	})
 
+	// Replica catch-up: a fresh read replica bootstrapping from the
+	// primary's mid-stream checkpoint generation and tailing the WAL
+	// suffix over the replication HTTP surface, measured to the
+	// caught-up barrier (applied == primary WAL frontier, snapshot
+	// published). One op processes the whole dataset.
+	if err := l.benchReplicaCatchup(run, records); err != nil {
+		return err
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err

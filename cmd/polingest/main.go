@@ -27,6 +27,10 @@
 //	                        answers 200 "ready (degraded: ...)"
 //	GET /debug/pprof/       profiling handlers (behind -pprof)
 //	GET /v1/info, /v1/cell, /v1/eta, ...
+//	GET /v1/repl/...        read-only replication surface (checkpoint
+//	                        manifest + files, WAL long-poll, snapshot)
+//	                        consumed by polserve -replica; see
+//	                        internal/ingest's ReplHandler
 //
 // Under overload, -max-inflight bounds concurrent HTTP requests; excess
 // requests are shed immediately with 429 + Retry-After rather than
@@ -132,6 +136,7 @@ func main() {
 	mux.Handle("/", api.NewLiveServer(eng, ports.Default()).WithMetrics(reg).Handler())
 	mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
 	mux.Handle("GET /v1/ops/anomalies", wd.Handler())
+	mux.Handle("GET /v1/repl/", eng.ReplHandler())
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /healthz", obs.HealthzHandler())
 	mux.Handle("GET /readyz", obs.ReadyzDetailHandler(eng.ReadyDetail))

@@ -9,12 +9,14 @@
 //	polquery -inv fleet.polinv -cell 0c4000000012345
 //	polquery -inv fleet.polinv -od-cells 1:63:container
 //	polquery -inv fleet.polinv -info
+//	polquery -inv primary.polinv -equal replica.polinv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +39,7 @@ func main() {
 		vtype   = flag.String("type", "", "vessel type filter (cargo|container|bulk|tanker|passenger)")
 		odCells = flag.String("od-cells", "", "list cells for key ORIGIN:DEST:TYPE (route forecasting input)")
 		info    = flag.Bool("info", false, "print inventory build info and exit")
+		equal   = flag.String("equal", "", "compare -inv against this second inventory file; exit 0 when equal, 1 when not")
 	)
 	flag.Parse()
 
@@ -45,6 +48,20 @@ func main() {
 		log.Fatal(err)
 	}
 	gaz := ports.Default()
+
+	if *equal != "" {
+		other, err := inventory.LoadFile(*equal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !inventory.Equal(inv, other) {
+			fmt.Printf("NOT EQUAL: %s (%d groups) vs %s (%d groups)\n",
+				*invPath, inv.Len(), *equal, other.Len())
+			os.Exit(1)
+		}
+		fmt.Printf("EQUAL: %d groups at resolution %d\n", inv.Len(), inv.Info().Resolution)
+		return
+	}
 
 	if *info {
 		bi := inv.Info()

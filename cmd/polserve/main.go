@@ -5,8 +5,14 @@
 // Batch mode serves a prebuilt inventory file. Live mode (-live) embeds
 // the ingestion engine: it accepts timestamped NMEA feeds on -listen and
 // serves the continuously updated inventory, so queries reflect traffic
-// seen moments ago. Either way the process shuts down cleanly on
-// SIGINT/SIGTERM, draining in-flight requests.
+// seen moments ago. Replica mode (-replica <primary-url>) serves a
+// read-only copy of a primary's live inventory: it bootstraps from the
+// primary's newest checkpoint generation over /v1/repl and tails the
+// primary's WAL, so N stateless replicas scale out the query tier while
+// one primary owns ingestion and durability. A replica lagging more than
+// -max-lag answers /readyz with 200 "ready (degraded: replication lag
+// ...)". Either way the process shuts down cleanly on SIGINT/SIGTERM,
+// draining in-flight requests.
 //
 // Operational endpoints:
 //
@@ -25,6 +31,7 @@
 //
 //	polserve -inv fleet.polinv -addr :8080
 //	polserve -live -listen :10110 -addr :8080 -journal live.wal -pprof
+//	polserve -replica http://primary:8080 -addr :8081 -max-lag 10s
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/obs"
 	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/replica"
 )
 
 func main() {
@@ -63,6 +71,10 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 16, "merges between checkpoints (live mode)")
 		walSeg    = flag.Int64("wal-segment-bytes", 0, "journal segment rotation threshold (live mode, 0 = default 64 MiB)")
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop feeds silent for this long (live mode)")
+
+		replicaOf  = flag.String("replica", "", "primary base URL to replicate from (replica mode, e.g. http://primary:8080)")
+		maxLag     = flag.Duration("max-lag", 15*time.Second, "replication lag before /readyz reports degraded (replica mode)")
+		maxSnapAge = flag.Duration("max-snapshot-age", 0, "snapshot age before /readyz reports degraded (live/replica mode, 0 disables)")
 
 		inflight  = flag.Int("max-inflight", 0, "max concurrent HTTP requests before shedding with 429 (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -85,7 +97,36 @@ func main() {
 	ready := func() (bool, string) { return true, "" }
 	var cleanup func()
 
-	if *live {
+	if *live && *replicaOf != "" {
+		fatal(logger, "flags", errors.New("-live and -replica are mutually exclusive"))
+	}
+
+	replicaErr := make(chan error, 1)
+	if *replicaOf != "" {
+		rep, err := replica.New(replica.Options{
+			Primary:    *replicaOf,
+			Resolution: *res,
+			MergeEvery: *tick,
+			MaxLag:     *maxLag,
+			Metrics:    reg,
+			Logf:       logf(logger.With("sub", "replica")),
+		})
+		if err != nil {
+			fatal(logger, "replica start", err)
+		}
+		go func() { replicaErr <- rep.Run(ctx) }()
+		logger.Info("replica mode", "primary", *replicaOf, "maxLag", *maxLag)
+
+		mux.Handle("/", api.NewLiveServer(rep, gaz).WithMetrics(reg).Handler())
+		mux.Handle("GET /v1/replica/status", rep.StatusHandler())
+		mux.Handle("GET /v1/repl/snapshot", rep.SnapshotHandler())
+		ready = obs.StaleReady(rep.ReadyDetail, rep.SnapshotAge, *maxSnapAge)
+		cleanup = func() {
+			if err := rep.Close(); err != nil {
+				logger.Error("replica close", "err", err)
+			}
+		}
+	} else if *live {
 		eng, err := ingest.NewEngine(ingest.Options{
 			Resolution:      *res,
 			MergeEvery:      *tick,
@@ -117,7 +158,8 @@ func main() {
 		mux.Handle("/", api.NewLiveServer(eng, gaz).WithMetrics(reg).Handler())
 		mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
 		mux.Handle("GET /v1/ops/anomalies", wd.Handler())
-		ready = eng.ReadyDetail
+		mux.Handle("GET /v1/repl/", eng.ReplHandler())
+		ready = obs.StaleReady(eng.ReadyDetail, eng.SnapshotAge, *maxSnapAge)
 		cleanup = func() {
 			wd.Stop()
 			if err := feeds.Close(); err != nil {
@@ -165,6 +207,10 @@ func main() {
 	select {
 	case err := <-errc:
 		fatal(logger, "http serve", err)
+	case err := <-replicaErr:
+		if ctx.Err() == nil {
+			fatal(logger, "replica run", err)
+		}
 	case <-ctx.Done():
 	}
 	logger.Info("shutting down")

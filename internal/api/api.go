@@ -58,6 +58,22 @@ type LiveStatus interface {
 	SnapshotAge() time.Duration
 }
 
+// WALStatus is implemented by sources that replicate (the ingestion
+// engine with checkpoints enabled): the newest checkpoint generation,
+// the WAL sequence it covers, and the latest appended sequence. /v1/info
+// includes them in a "wal" block so replica lag is computable from
+// either side of the replication link.
+type WALStatus interface {
+	WALStatus() (ckptGen, ckptSeq, walSeq uint64)
+}
+
+// ReplicaStatus is implemented by replica sources: the applied and
+// primary WAL frontiers plus the current replication lag, surfaced as a
+// "replica" block in /v1/info.
+type ReplicaStatus interface {
+	ReplicaStatus() (appliedSeq, primarySeq uint64, lag time.Duration)
+}
+
 // Server answers inventory queries over HTTP.
 type Server struct {
 	src         Source
@@ -213,6 +229,22 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		out["live"] = map[string]any{
 			"uptimeSeconds":      int64(ls.Uptime().Seconds()),
 			"snapshotAgeSeconds": int64(ls.SnapshotAge().Seconds()),
+		}
+	}
+	if ws, ok := s.src.(WALStatus); ok {
+		gen, cseq, wseq := ws.WALStatus()
+		out["wal"] = map[string]any{
+			"ckptGen": gen,
+			"ckptSeq": cseq,
+			"walSeq":  wseq,
+		}
+	}
+	if rs, ok := s.src.(ReplicaStatus); ok {
+		applied, primary, lag := rs.ReplicaStatus()
+		out["replica"] = map[string]any{
+			"appliedSeq": applied,
+			"primarySeq": primary,
+			"lagSeconds": lag.Seconds(),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

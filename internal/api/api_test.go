@@ -8,6 +8,8 @@ import (
 	"net/url"
 	"testing"
 
+	"time"
+
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/obs"
@@ -69,6 +71,58 @@ func TestInfoEndpoint(t *testing.T) {
 	}
 	if info.Utilization <= 0 || info.Utilization >= 1 {
 		t.Errorf("utilization %v", info.Utilization)
+	}
+}
+
+// statusSource decorates a plain inventory source with the replication
+// status interfaces the live daemons implement.
+type statusSource struct {
+	inv *inventory.Inventory
+}
+
+func (s statusSource) Inventory() *inventory.Inventory { return s.inv }
+func (s statusSource) WALStatus() (uint64, uint64, uint64) {
+	return 3, 1200, 1234
+}
+func (s statusSource) ReplicaStatus() (uint64, uint64, time.Duration) {
+	return 1230, 1234, 250 * time.Millisecond
+}
+
+// TestInfoReplicationBlocks verifies /v1/info surfaces the WAL and
+// replica frontiers when the source implements the optional status
+// interfaces — the numbers a lag monitor scrapes — and omits the blocks
+// for a plain batch inventory.
+func TestInfoReplicationBlocks(t *testing.T) {
+	f, plain := setup(t)
+	var bare map[string]json.RawMessage
+	get(t, plain, "/v1/info", http.StatusOK, &bare)
+	if _, ok := bare["wal"]; ok {
+		t.Error("plain source should have no wal block")
+	}
+	if _, ok := bare["replica"]; ok {
+		t.Error("plain source should have no replica block")
+	}
+
+	srv := httptest.NewServer(NewLiveServer(statusSource{inv: f.Inventory}, ports.Default()).Handler())
+	defer srv.Close()
+	var info struct {
+		WAL struct {
+			CkptGen uint64 `json:"ckptGen"`
+			CkptSeq uint64 `json:"ckptSeq"`
+			WALSeq  uint64 `json:"walSeq"`
+		} `json:"wal"`
+		Replica struct {
+			AppliedSeq uint64  `json:"appliedSeq"`
+			PrimarySeq uint64  `json:"primarySeq"`
+			LagSeconds float64 `json:"lagSeconds"`
+		} `json:"replica"`
+	}
+	get(t, srv, "/v1/info", http.StatusOK, &info)
+	if info.WAL.CkptGen != 3 || info.WAL.CkptSeq != 1200 || info.WAL.WALSeq != 1234 {
+		t.Errorf("wal block %+v", info.WAL)
+	}
+	if info.Replica.AppliedSeq != 1230 || info.Replica.PrimarySeq != 1234 || info.Replica.LagSeconds != 0.25 {
+		t.Errorf("replica block %+v", info.Replica)
 	}
 }
 

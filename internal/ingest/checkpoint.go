@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/inventory"
@@ -56,12 +57,22 @@ type ckptGen struct {
 
 // checkpointer owns the generation files and manifest below one base
 // path. Save is serialized by the engine's ckptBusy guard; Load runs only
-// during single-threaded startup.
+// during single-threaded startup. The replication handlers read the
+// generation list from their own goroutines, so gens is mutex-guarded.
 type checkpointer struct {
 	base   string
 	faults *fault.Registry
 	logf   func(format string, args ...any)
-	gens   []ckptGen // newest first
+
+	mu   sync.Mutex
+	gens []ckptGen // newest first
+}
+
+// generations returns a copy of the manifest entries, newest first.
+func (c *checkpointer) generations() []ckptGen {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ckptGen(nil), c.gens...)
 }
 
 func newCheckpointer(base string, faults *fault.Registry, logf func(string, ...any)) *checkpointer {
@@ -108,9 +119,10 @@ type vesselPersist struct {
 // that fell out of retention. It returns the seq the WAL may safely be
 // pruned to: the oldest generation still named by the manifest.
 func (c *checkpointer) Save(snap *inventory.Inventory, st *engineState, seq uint64) (coveredSeq uint64, err error) {
+	gens := c.generations()
 	gen := uint64(1)
-	if len(c.gens) > 0 {
-		gen = c.gens[0].Gen + 1
+	if len(gens) > 0 {
+		gen = gens[0].Gen + 1
 	}
 	entry := ckptGen{Gen: gen, Seq: seq}
 	invPath := fmt.Sprintf("%s.g%06d", c.base, gen)
@@ -133,15 +145,17 @@ func (c *checkpointer) Save(snap *inventory.Inventory, st *engineState, seq uint
 		return 0, fmt.Errorf("ingest: checkpoint state: %w", err)
 	}
 
-	newGens := append([]ckptGen{entry}, c.gens...)
+	newGens := append([]ckptGen{entry}, gens...)
 	if len(newGens) > ckptRetain {
 		newGens = newGens[:ckptRetain]
 	}
 	if err := writeManifest(c.manifestPath(), newGens); err != nil {
 		return 0, fmt.Errorf("ingest: checkpoint manifest: %w", err)
 	}
-	dropped := c.gens[min(len(c.gens), ckptRetain-1):]
+	dropped := gens[min(len(gens), ckptRetain-1):]
+	c.mu.Lock()
 	c.gens = newGens
+	c.mu.Unlock()
 
 	if err := c.publishStable(invPath); err != nil {
 		return 0, fmt.Errorf("ingest: checkpoint stable artifact: %w", err)
@@ -150,7 +164,7 @@ func (c *checkpointer) Save(snap *inventory.Inventory, st *engineState, seq uint
 		os.Remove(c.genPath(g.Inv))
 		os.Remove(c.genPath(g.State))
 	}
-	return c.gens[len(c.gens)-1].Seq, nil
+	return newGens[len(newGens)-1].Seq, nil
 }
 
 // publishStable points <base> at the newest generation's inventory via a

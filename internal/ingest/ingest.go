@@ -34,6 +34,7 @@
 package ingest
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"os"
@@ -102,6 +103,11 @@ type Options struct {
 	RetryMax  time.Duration
 	// Logf, when non-nil, receives recovery and degradation warnings.
 	Logf func(format string, args ...any)
+	// ReplicaDriven marks an engine fed exclusively by SubmitReplicated:
+	// period→master merges happen only when a replicated merge marker
+	// arrives, never on the local tick, so float summation order matches
+	// the primary's and snapshots stay bit-identical (inventory.Equal).
+	ReplicaDriven bool
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +161,9 @@ const (
 	envSync
 	envFinalize
 	envResume
+	envInstall
+	envPublish
+	envReplMerge
 )
 
 // envelope is one unit of work on the engine queue.
@@ -164,6 +173,12 @@ type envelope struct {
 	info  model.VesselInfo
 	feed  *FeedStats
 	reply chan error
+	// seq carries the primary's WAL sequence number on a replicated
+	// record (Engine.SubmitReplicated); zero on direct submissions.
+	seq uint64
+	// inv and state carry a checkpoint install (envInstall).
+	inv   *inventory.Inventory
+	state []byte
 }
 
 // vesselState is the per-vessel online pipeline state.
@@ -223,8 +238,16 @@ type Engine struct {
 	sinceCkpt int
 	// lastSeq is the WAL sequence of the last record applied to loop
 	// state — the frontier a resume checkpoint must cover even when the
-	// broken journal lost its buffered tail.
-	lastSeq uint64
+	// broken journal lost its buffered tail. appliedSeq mirrors it
+	// atomically for lock-free readers (replica lag, stats).
+	lastSeq    uint64
+	appliedSeq atomic.Uint64
+}
+
+// setLastSeq advances the loop-owned frontier and its atomic mirror.
+func (e *Engine) setLastSeq(seq uint64) {
+	e.lastSeq = seq
+	e.appliedSeq.Store(seq)
 }
 
 func (e *Engine) jrnl() *Journal { return e.journal.Load() }
@@ -275,7 +298,7 @@ func NewEngine(opt Options) (*Engine, error) {
 			e.master = master
 			e.restoreState(st)
 			startSeq = seq
-			e.lastSeq = seq
+			e.setLastSeq(seq)
 		}
 	}
 	if opt.JournalPath != "" {
@@ -295,6 +318,11 @@ func NewEngine(opt Options) (*Engine, error) {
 				e.processStatic(entry.Info, nil)
 			case entryPosition:
 				e.processPosition(entry.Pos, nil)
+			case entryMerge:
+				// Fold exactly where the pre-crash engine folded: float
+				// summation is grouping-dependent, so merge boundaries
+				// are part of the replayed state machine.
+				e.mergePeriod(time.Now())
 			}
 			return nil
 		})
@@ -307,14 +335,21 @@ func NewEngine(opt Options) (*Engine, error) {
 		e.m.walCorruption.Add(rec.CorruptEvents)
 		e.m.walSegments.Store(int64(j.Segments()))
 		e.m.journalBytes.Store(j.Size())
-		e.lastSeq = j.LastSeq()
 		if rec.CorruptEvents > 0 {
 			e.logf("journal recovery: %d corruption event(s), %d bytes quarantined, replay stopped at seq %d",
 				rec.CorruptEvents, rec.QuarantinedBytes, rec.LastSeq)
 		}
-		// Fold replayed state into the master immediately so the first
-		// snapshot already reflects the journal.
-		e.mergePeriod(time.Now())
+		// Fold any replayed tail past the last marker into the master so
+		// the first snapshot already reflects the journal. The fold is
+		// itself a merge boundary: journal a marker first so a tailing
+		// replica (or the next replay) folds at the same frontier.
+		if e.period.Len() > 0 {
+			if err := j.AppendMerge(); err != nil {
+				return nil, err
+			}
+			e.mergePeriod(time.Now())
+		}
+		e.setLastSeq(j.LastSeq())
 	}
 	e.publish(time.Now())
 	go e.run()
@@ -457,6 +492,89 @@ func (e *Engine) Finalize() error {
 	return <-reply
 }
 
+// ErrHasDurability is returned by the replica apply surface on engines
+// that own a journal or checkpoint path: swapping their state out from
+// under the WAL would break the replay invariant.
+var ErrHasDurability = fmt.Errorf("ingest: engine with journal/checkpoint cannot apply replicated state")
+
+// SubmitReplicated enqueues one WAL entry fetched from a primary,
+// tagged with the primary's sequence number so AppliedSeq tracks the
+// replication frontier. The record flows through the same cleaner and
+// trip-tracker path as a direct submission, so a replica that applies
+// the primary's WAL in order converges to an inventory.Equal snapshot.
+// Only journal-free engines may apply replicated records.
+func (e *Engine) SubmitReplicated(entry JournalEntry) error {
+	if e.opt.JournalPath != "" || e.opt.CheckpointPath != "" {
+		return ErrHasDurability
+	}
+	switch entry.Kind {
+	case entryPosition:
+		return e.submit(envelope{kind: envPosition, rec: entry.Pos, seq: entry.Seq})
+	case entryStatic:
+		return e.submit(envelope{kind: envStatic, info: entry.Info, seq: entry.Seq})
+	case entryMerge:
+		return e.submit(envelope{kind: envReplMerge, seq: entry.Seq})
+	default:
+		return fmt.Errorf("ingest: unknown journal entry kind %q", entry.Kind)
+	}
+}
+
+// InstallReplicaState atomically replaces the engine's entire state with
+// a checkpoint generation downloaded from a primary: inv becomes the
+// master inventory, the POLSTAT1 state bytes restore the static map and
+// every vessel's cleaner/tracker state, and the applied frontier becomes
+// seq. The swap runs in the engine loop so no submission interleaves
+// with it; a fresh snapshot is published before it returns. The caller
+// must have verified inv and state against the manifest checksums.
+func (e *Engine) InstallReplicaState(inv *inventory.Inventory, state []byte, seq uint64) error {
+	if e.opt.JournalPath != "" || e.opt.CheckpointPath != "" {
+		return ErrHasDurability
+	}
+	if inv.Info().Resolution != e.opt.Resolution {
+		return fmt.Errorf("ingest: checkpoint resolution %d != engine resolution %d",
+			inv.Info().Resolution, e.opt.Resolution)
+	}
+	reply := make(chan error, 1)
+	if err := e.submit(envelope{kind: envInstall, inv: inv, state: state, seq: seq, reply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
+// handleInstall swaps in a downloaded checkpoint generation. Loop
+// context. A state decode failure leaves the engine untouched.
+func (e *Engine) handleInstall(env envelope) error {
+	st, err := decodeState(bytes.NewReader(env.state))
+	if err != nil {
+		return fmt.Errorf("ingest: replica state: %w", err)
+	}
+	e.master = env.inv
+	e.period = inventory.New(inventory.BuildInfo{Resolution: e.opt.Resolution})
+	e.vessels = make(map[uint32]*vesselState)
+	e.statics = make(map[uint32]model.VesselInfo)
+	e.restoreState(st)
+	e.setLastSeq(env.seq)
+	e.publish(time.Now())
+	return nil
+}
+
+// PublishNow forces a merge of any accumulated period data and publishes
+// a fresh snapshot regardless of the tick. Replication uses it as a
+// barrier: once it returns, every record submitted before the call is
+// applied and visible to readers.
+func (e *Engine) PublishNow() error {
+	reply := make(chan error, 1)
+	if err := e.submit(envelope{kind: envPublish, reply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
+// AppliedSeq returns the WAL sequence of the last record applied to
+// engine state — the journal frontier on a primary, the replication
+// frontier on a replica.
+func (e *Engine) AppliedSeq() uint64 { return e.appliedSeq.Load() }
+
 // Close stops the engine: the queue is drained, a final merge publishes
 // the last snapshot, and the journal is synced and closed. Safe to call
 // more than once.
@@ -482,7 +600,12 @@ func (e *Engine) run() {
 		case env := <-e.in:
 			e.process(env)
 		case now := <-ticker.C:
-			e.mergeAndPublish(now)
+			// A replica-driven engine merges only at replicated markers:
+			// a local tick merge would fold at a different boundary than
+			// the primary and break bit-exact convergence.
+			if !e.opt.ReplicaDriven {
+				e.mergeAndPublish(now)
+			}
 		case <-e.quit:
 			// Drain whatever is already queued, then publish a final
 			// snapshot. In-flight submitters get ErrClosed.
@@ -491,7 +614,11 @@ func (e *Engine) run() {
 				case env := <-e.in:
 					e.process(env)
 				default:
-					e.mergeAndPublish(time.Now())
+					if e.opt.ReplicaDriven {
+						e.publish(time.Now())
+					} else {
+						e.mergeAndPublish(time.Now())
+					}
 					return
 				}
 			}
@@ -503,8 +630,40 @@ func (e *Engine) process(env envelope) {
 	switch env.kind {
 	case envPosition:
 		e.processPosition(env.rec, env.feed)
+		if env.seq > e.lastSeq {
+			e.setLastSeq(env.seq)
+		}
 	case envStatic:
 		e.processStatic(env.info, env.feed)
+		if env.seq > e.lastSeq {
+			e.setLastSeq(env.seq)
+		}
+	case envInstall:
+		env.reply <- e.handleInstall(env)
+	case envPublish:
+		now := time.Now()
+		switch {
+		case e.opt.ReplicaDriven:
+			// Publish only: the period folds in when the primary's merge
+			// marker arrives, not on a local whim.
+		case e.jrnl() != nil:
+			// A journaled merge must record its boundary marker; reuse
+			// the tick path so checkpoint cadence stays consistent.
+			e.mergeAndPublish(now)
+		default:
+			e.mergePeriod(now)
+		}
+		e.publish(now)
+		env.reply <- nil
+	case envReplMerge:
+		// The primary folded period→master after the record with this
+		// sequence number; do the same, at the same boundary.
+		now := time.Now()
+		e.mergePeriod(now)
+		e.publish(now)
+		if env.seq > e.lastSeq {
+			e.setLastSeq(env.seq)
+		}
 	case envSync:
 		env.reply <- e.syncJournal()
 	case envFinalize:
@@ -584,7 +743,7 @@ func (e *Engine) processPosition(rec model.PositionRecord, fs *FeedStats) {
 				e.m.degradedDrops.Add(1)
 				return
 			}
-			e.lastSeq = j.LastSeq()
+			e.setLastSeq(j.LastSeq())
 			e.m.journalBytes.Store(j.Size())
 		}
 	}
@@ -799,6 +958,18 @@ func (e *Engine) mergeAndPublish(now time.Time) {
 		// dropped.
 		e.m.mergeDeferred.Add(1)
 		return
+	}
+	// Journal the merge boundary before folding. Float summation is not
+	// associative, so a replica tailing this WAL (and a replay after a
+	// crash) must fold period→master at exactly this record frontier to
+	// reproduce the published snapshot bit-for-bit.
+	if j := e.jrnl(); j != nil && !e.degraded.Load() {
+		if err := j.AppendMerge(); err != nil {
+			e.m.mergeDeferred.Add(1)
+			e.journalFailed(err)
+			return
+		}
+		e.setLastSeq(j.LastSeq())
 	}
 	e.mergePeriod(now)
 	snap := e.publish(now)

@@ -118,11 +118,21 @@ var (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Journal entry kinds.
+// Journal entry kinds. entryMerge is an empty-payload marker recording
+// that the engine folded its period inventory into the master at this
+// point in the record sequence: float summation is not associative, so
+// replicas and crash recovery must merge at exactly the same boundaries
+// to reproduce the primary's snapshot bit-for-bit.
 const (
 	entryPosition byte = 'P'
 	entryStatic   byte = 'S'
+	entryMerge    byte = 'M'
 )
+
+// validEntryKind reports whether a framed record kind is known.
+func validEntryKind(kind byte) bool {
+	return kind == entryPosition || kind == entryStatic || kind == entryMerge
+}
 
 const (
 	recHeaderLen  = 1 + 4 + 8 // kind | len | seq
@@ -306,7 +316,7 @@ func (j *Journal) replayV1(replay func(JournalEntry) error) (int64, error) {
 		}
 		kind := hdr[0]
 		n := binary.LittleEndian.Uint32(hdr[1:])
-		if n > maxRecordLen || (kind != entryPosition && kind != entryStatic) {
+		if n > maxRecordLen || !validEntryKind(kind) {
 			return count, nil
 		}
 		if cap(buf) < int(n) {
@@ -440,7 +450,7 @@ func (j *Journal) scanSegment(path string, idx int, firstSeq uint64, final bool,
 		n := binary.LittleEndian.Uint32(hdr[1:5])
 		rseq := binary.LittleEndian.Uint64(hdr[5:])
 		recEnd := good + recHeaderLen + int64(n) + recTrailerLen
-		if n > maxRecordLen || (kind != entryPosition && kind != entryStatic) {
+		if n > maxRecordLen || !validEntryKind(kind) {
 			return fail("bad framing", false, recEnd)
 		}
 		if rseq != seq+1 {
@@ -455,8 +465,7 @@ func (j *Journal) scanSegment(path string, idx int, firstSeq uint64, final bool,
 		}
 		payload := buf[:n]
 		wantCRC := binary.LittleEndian.Uint32(buf[n:])
-		crc := crc32.Update(crc32.Checksum(hdr, castagnoli), castagnoli, payload)
-		if crc != wantCRC {
+		if recordCRC(hdr, payload) != wantCRC {
 			return fail("checksum mismatch", false, recEnd)
 		}
 		e, ok := decodeEntry(kind, payload)
@@ -587,6 +596,11 @@ func (j *Journal) AppendStatic(v model.VesselInfo) error {
 	return j.append(entryStatic, appendStaticEntry(nil, v))
 }
 
+// AppendMerge journals a period→master merge boundary marker.
+func (j *Journal) AppendMerge() error {
+	return j.append(entryMerge, nil)
+}
+
 func (j *Journal) append(kind byte, payload []byte) error {
 	j.lock()
 	defer j.unlock()
@@ -602,12 +616,7 @@ func (j *Journal) append(kind byte, payload []byte) error {
 			return j.markBroken(err)
 		}
 	}
-	var rec []byte
-	rec = append(rec, kind)
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
-	rec = binary.LittleEndian.AppendUint64(rec, j.nextSeq)
-	rec = append(rec, payload...)
-	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(rec, castagnoli))
+	rec := appendRecord(nil, kind, j.nextSeq, payload)
 	if _, err := j.w.Write(rec); err != nil {
 		return j.markBroken(fmt.Errorf("ingest: journal append: %w", err))
 	}
@@ -767,6 +776,152 @@ func (j *Journal) Close() error {
 	return j.f.Close()
 }
 
+// recordCRC computes a record's checksum over its header and payload —
+// the trailer value both the disk scan and the replication stream check.
+func recordCRC(hdr, payload []byte) uint32 {
+	return crc32.Update(crc32.Checksum(hdr, castagnoli), castagnoli, payload)
+}
+
+// appendRecord appends one WAL-framed record — kind | len | seq |
+// payload | crc32c — to buf. The same framing is used on disk and on the
+// replication wire, so a tailing replica validates exactly what a
+// restarting primary would.
+func appendRecord(buf []byte, kind byte, seq uint64, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], castagnoli))
+}
+
+// entryPayload re-encodes a decoded entry's payload. Entry encoding is
+// deterministic, so the bytes match what was originally journaled.
+func entryPayload(e JournalEntry) []byte {
+	switch e.Kind {
+	case entryStatic:
+		return appendStaticEntry(nil, e.Info)
+	case entryMerge:
+		return nil
+	}
+	return appendPositionEntry(nil, e.Pos)
+}
+
+// ErrSeqPruned reports that a requested replication start point lies
+// below the oldest record still on disk: a checkpoint covered it and
+// Prune removed the segment. The reader must re-bootstrap from a
+// checkpoint generation instead of tailing.
+var ErrSeqPruned = fmt.Errorf("ingest: requested WAL sequence already pruned")
+
+// maxReadEntries bounds one ReadEntries batch so the journal lock is
+// never held for an unbounded scan.
+const maxReadEntries = 8192
+
+// ReadEntries returns up to max committed entries with sequence numbers
+// strictly greater than fromSeq, in order, plus the last sequence number
+// appended so far. It flushes buffered appends first so the files
+// reflect every acknowledged record, and holds the journal lock for the
+// duration of the scan so Prune cannot remove a segment mid-read.
+// fromSeq below the retained frontier returns ErrSeqPruned.
+func (j *Journal) ReadEntries(fromSeq uint64, max int) ([]JournalEntry, uint64, error) {
+	if max <= 0 || max > maxReadEntries {
+		max = maxReadEntries
+	}
+	j.lock()
+	defer j.unlock()
+	last := j.nextSeq - 1
+	if fromSeq >= last {
+		return nil, last, nil
+	}
+	if err := j.flushLocked(); err != nil {
+		return nil, last, err
+	}
+	// Legacy v1 records have no checksummed framing to serve; a reader
+	// that far behind re-bases on a checkpoint, same as a pruned range.
+	if j.v1Live && fromSeq < uint64(j.rec.V1Entries) {
+		return nil, last, ErrSeqPruned
+	}
+	idxs := make([]int, 0, len(j.segs))
+	for idx := range j.segs {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	if len(idxs) == 0 || fromSeq+1 < j.segs[idxs[0]] {
+		return nil, last, ErrSeqPruned
+	}
+	var out []JournalEntry
+	for pos, idx := range idxs {
+		// Skip whole segments entirely below the requested start.
+		if pos+1 < len(idxs) && j.segs[idxs[pos+1]] <= fromSeq+1 {
+			continue
+		}
+		var err error
+		out, err = j.readSegmentEntries(idx, fromSeq, max, out)
+		if err != nil {
+			return nil, last, err
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out, last, nil
+}
+
+// readSegmentEntries scans one live segment, appending decoded entries
+// with seq > fromSeq to out until max is reached. Called with the lock
+// held, after a flush, on segments the open-time scan already validated
+// — a framing or checksum failure here means the disk mutated under us.
+func (j *Journal) readSegmentEntries(idx int, fromSeq uint64, max int, out []JournalEntry) ([]JournalEntry, error) {
+	path := segmentPath(j.base, idx)
+	f, err := os.Open(path)
+	if err != nil {
+		return out, fmt.Errorf("ingest: read segment %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(segHeaderLen, io.SeekStart); err != nil {
+		return out, fmt.Errorf("ingest: seek segment %s: %w", path, err)
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, recHeaderLen)
+	buf := make([]byte, 0, 256)
+	for len(out) < max {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return out, nil // end of what has been flushed so far
+			}
+			return out, fmt.Errorf("ingest: read segment %s: %w", path, err)
+		}
+		kind := hdr[0]
+		n := binary.LittleEndian.Uint32(hdr[1:5])
+		seq := binary.LittleEndian.Uint64(hdr[5:])
+		if n > maxRecordLen || !validEntryKind(kind) {
+			return out, fmt.Errorf("ingest: read segment %s: bad framing at seq %d", path, seq)
+		}
+		if cap(buf) < int(n)+recTrailerLen {
+			buf = make([]byte, int(n)+recTrailerLen)
+		}
+		buf = buf[:int(n)+recTrailerLen]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return out, nil // flushed frontier mid-record; next read resumes
+		}
+		payload := buf[:n]
+		wantCRC := binary.LittleEndian.Uint32(buf[n:])
+		if recordCRC(hdr, payload) != wantCRC {
+			return out, fmt.Errorf("ingest: read segment %s: checksum mismatch at seq %d", path, seq)
+		}
+		if seq <= fromSeq {
+			continue
+		}
+		e, ok := decodeEntry(kind, payload)
+		if !ok {
+			return out, fmt.Errorf("ingest: read segment %s: undecodable payload at seq %d", path, seq)
+		}
+		e.Seq = seq
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 func decodeEntry(kind byte, payload []byte) (JournalEntry, bool) {
 	var e JournalEntry
 	var ok bool
@@ -777,6 +932,9 @@ func decodeEntry(kind byte, payload []byte) (JournalEntry, bool) {
 	case entryStatic:
 		e.Kind = kind
 		e.Info, ok = decodeStaticEntry(payload)
+	case entryMerge:
+		e.Kind = kind
+		ok = len(payload) == 0
 	}
 	return e, ok
 }

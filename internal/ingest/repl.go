@@ -1,0 +1,311 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/inventory"
+)
+
+// Replication surface: a primary engine with a checkpoint path and a
+// journal exposes its durability artifacts read-only over HTTP so
+// stateless replicas can bootstrap and tail it.
+//
+//	GET /v1/repl/manifest                   checkpoint generations + WAL frontier (JSON)
+//	GET /v1/repl/checkpoint/{gen}/{file}    one generation file, verbatim bytes
+//	GET /v1/repl/wal?from_seq=N[&max=M][&wait=D]  WAL suffix past seq N (POLREPL1)
+//	GET /v1/repl/snapshot                   current published inventory (POLINV1)
+//
+// The WAL endpoint long-polls: with wait set and no records past
+// from_seq, the handler holds the request until a record arrives or the
+// wait elapses, so an idle primary costs a tailing replica one request
+// per wait rather than a busy loop. A from_seq below the pruned frontier
+// answers 410 Gone — the replica must re-bootstrap from a checkpoint.
+
+// ReplManifest is the JSON document served by /v1/repl/manifest.
+type ReplManifest struct {
+	Resolution  int           `json:"resolution"`
+	WALSeq      uint64        `json:"wal_seq"`
+	Generations []ReplGenInfo `json:"generations"` // newest first
+}
+
+// ReplGenInfo names one checkpoint generation's files with the
+// whole-file checksums a replica must verify before install.
+type ReplGenInfo struct {
+	Gen       uint64 `json:"gen"`
+	Seq       uint64 `json:"seq"`
+	Inv       string `json:"inv"`
+	InvCRC    uint32 `json:"inv_crc"`
+	InvSize   int64  `json:"inv_size"`
+	State     string `json:"state"`
+	StateCRC  uint32 `json:"state_crc"`
+	StateSize int64  `json:"state_size"`
+}
+
+// replMagic heads every /v1/repl/wal response body:
+// magic | lastSeq u64 | count u32 | count WAL-framed records.
+var replMagic = []byte("POLREPL1")
+
+const (
+	// replPollEvery is the internal re-check cadence while long-polling.
+	replPollEvery = 100 * time.Millisecond
+	// replMaxWait caps the long-poll hold below the daemons' HTTP write
+	// timeout so a held request never trips it.
+	replMaxWait = 25 * time.Second
+)
+
+// WALSeq returns the latest appended WAL sequence — the journal frontier
+// on a primary; the applied replication frontier on a journal-free
+// engine.
+func (e *Engine) WALSeq() uint64 {
+	if j := e.jrnl(); j != nil {
+		return j.LastSeq()
+	}
+	return e.AppliedSeq()
+}
+
+// WALRead returns up to max journal entries past fromSeq plus the
+// current WAL frontier. ErrSeqPruned means the range was checkpointed
+// away; callers re-bootstrap.
+func (e *Engine) WALRead(fromSeq uint64, max int) ([]JournalEntry, uint64, error) {
+	j := e.jrnl()
+	if j == nil {
+		return nil, 0, fmt.Errorf("ingest: engine has no journal to replicate from")
+	}
+	return j.ReadEntries(fromSeq, max)
+}
+
+// CheckpointStatus returns the newest checkpoint generation number and
+// the WAL sequence it covers; zeros before the first checkpoint or when
+// checkpointing is disabled.
+func (e *Engine) CheckpointStatus() (gen, seq uint64) {
+	if e.ckpt == nil {
+		return 0, 0
+	}
+	gens := e.ckpt.generations()
+	if len(gens) == 0 {
+		return 0, 0
+	}
+	return gens[0].Gen, gens[0].Seq
+}
+
+// WALStatus reports the replication frontier triple exposed in /v1/info:
+// newest checkpoint generation, the WAL seq it covers, and the latest
+// appended seq.
+func (e *Engine) WALStatus() (ckptGen, ckptSeq, walSeq uint64) {
+	gen, seq := e.CheckpointStatus()
+	return gen, seq, e.WALSeq()
+}
+
+// ReplManifestSnapshot collects the current manifest document.
+func (e *Engine) ReplManifestSnapshot() ReplManifest {
+	m := ReplManifest{Resolution: e.opt.Resolution, WALSeq: e.WALSeq()}
+	if e.ckpt != nil {
+		for _, g := range e.ckpt.generations() {
+			m.Generations = append(m.Generations, ReplGenInfo{
+				Gen: g.Gen, Seq: g.Seq,
+				Inv: g.Inv, InvCRC: g.InvCRC, InvSize: g.InvSize,
+				State: g.State, StateCRC: g.StateCRC, StateSize: g.StateSize,
+			})
+		}
+	}
+	return m
+}
+
+// ReplHandler returns the read-only replication surface. Mount it at the
+// daemon root ("GET /v1/repl/"); the returned mux routes the full paths.
+func (e *Engine) ReplHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/repl/manifest", e.handleReplManifest)
+	mux.HandleFunc("GET /v1/repl/checkpoint/{gen}/{file}", e.handleReplCheckpoint)
+	mux.HandleFunc("GET /v1/repl/wal", e.handleReplWAL)
+	mux.HandleFunc("GET /v1/repl/snapshot", e.handleReplSnapshot)
+	return mux
+}
+
+func (e *Engine) handleReplManifest(w http.ResponseWriter, _ *http.Request) {
+	m := e.ReplManifestSnapshot()
+	if e.ckpt == nil {
+		http.Error(w, "replication requires a checkpoint path on the primary", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(m)
+}
+
+// handleReplCheckpoint serves one generation file. The file name must
+// match the manifest entry for that generation exactly — clients never
+// control paths, so there is nothing to traverse.
+func (e *Engine) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if e.ckpt == nil {
+		http.Error(w, "no checkpoints on this engine", http.StatusServiceUnavailable)
+		return
+	}
+	gen, err := strconv.ParseUint(r.PathValue("gen"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad generation", http.StatusBadRequest)
+		return
+	}
+	name := r.PathValue("file")
+	for _, g := range e.ckpt.generations() {
+		if g.Gen != gen || (name != g.Inv && name != g.State) {
+			continue
+		}
+		f, err := os.Open(e.ckpt.genPath(name))
+		if err != nil {
+			// Rotated away between manifest fetch and download: the
+			// replica re-fetches the manifest and restarts bootstrap.
+			http.Error(w, "generation no longer on disk", http.StatusNotFound)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if st, err := f.Stat(); err == nil {
+			w.Header().Set("Content-Length", strconv.FormatInt(st.Size(), 10))
+		}
+		_, _ = io.Copy(w, f)
+		return
+	}
+	http.Error(w, "unknown generation or file", http.StatusNotFound)
+}
+
+// handleReplWAL streams the WAL suffix past from_seq, long-polling up to
+// wait when the replica is already caught up.
+func (e *Engine) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	fromSeq, err := strconv.ParseUint(q.Get("from_seq"), 10, 64)
+	if err != nil {
+		http.Error(w, "from_seq is a required integer", http.StatusBadRequest)
+		return
+	}
+	max := 0
+	if v := q.Get("max"); v != "" {
+		if max, err = strconv.Atoi(v); err != nil || max < 0 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		if wait, err = time.ParseDuration(v); err != nil || wait < 0 {
+			http.Error(w, "bad wait", http.StatusBadRequest)
+			return
+		}
+		if wait > replMaxWait {
+			wait = replMaxWait
+		}
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		entries, lastSeq, err := e.WALRead(fromSeq, max)
+		switch {
+		case errors.Is(err, ErrSeqPruned):
+			http.Error(w, "sequence pruned; re-bootstrap from a checkpoint", http.StatusGone)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if len(entries) > 0 || wait == 0 || !time.Now().Before(deadline) {
+			writeReplChunk(w, entries, lastSeq)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(replPollEvery):
+		}
+	}
+}
+
+// handleReplSnapshot serves the current published inventory in POLINV1
+// wire form — the artifact e2e checks compare against replica snapshots.
+func (e *Engine) handleReplSnapshot(w http.ResponseWriter, _ *http.Request) {
+	snap := e.Snapshot()
+	if snap == nil {
+		http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
+		return
+	}
+	data, err := inventory.Marshal(snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// writeReplChunk encodes one /v1/repl/wal response body.
+func writeReplChunk(w http.ResponseWriter, entries []JournalEntry, lastSeq uint64) {
+	buf := append([]byte(nil), replMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, lastSeq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = appendRecord(buf, e.Kind, e.Seq, entryPayload(e))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	_, _ = w.Write(buf)
+}
+
+// ReadReplChunk decodes a /v1/repl/wal response body: the primary's WAL
+// frontier at answer time and the checksum-verified entries. Records are
+// framed exactly as on disk, so a bit flip in transit fails the same
+// CRC32C that catches it at rest.
+func ReadReplChunk(r io.Reader) ([]JournalEntry, uint64, error) {
+	head := make([]byte, len(replMagic)+8+4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, 0, fmt.Errorf("ingest: repl chunk header: %w", err)
+	}
+	if string(head[:len(replMagic)]) != string(replMagic) {
+		return nil, 0, fmt.Errorf("ingest: bad repl chunk magic")
+	}
+	lastSeq := binary.LittleEndian.Uint64(head[len(replMagic):])
+	count := binary.LittleEndian.Uint32(head[len(replMagic)+8:])
+	if count > maxReadEntries {
+		return nil, 0, fmt.Errorf("ingest: implausible repl chunk count %d", count)
+	}
+	entries := make([]JournalEntry, 0, count)
+	hdr := make([]byte, recHeaderLen)
+	var buf []byte
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return nil, 0, fmt.Errorf("ingest: repl record header: %w", err)
+		}
+		kind := hdr[0]
+		n := binary.LittleEndian.Uint32(hdr[1:5])
+		seq := binary.LittleEndian.Uint64(hdr[5:])
+		if n > maxRecordLen || !validEntryKind(kind) {
+			return nil, 0, fmt.Errorf("ingest: repl record %d: bad framing", i)
+		}
+		if cap(buf) < int(n)+recTrailerLen {
+			buf = make([]byte, int(n)+recTrailerLen)
+		}
+		buf = buf[:int(n)+recTrailerLen]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, 0, fmt.Errorf("ingest: repl record %d payload: %w", i, err)
+		}
+		payload := buf[:n]
+		wantCRC := binary.LittleEndian.Uint32(buf[n:])
+		if recordCRC(hdr, payload) != wantCRC {
+			return nil, 0, fmt.Errorf("ingest: repl record %d (seq %d): checksum mismatch", i, seq)
+		}
+		e, ok := decodeEntry(kind, payload)
+		if !ok {
+			return nil, 0, fmt.Errorf("ingest: repl record %d (seq %d): undecodable payload", i, seq)
+		}
+		e.Seq = seq
+		entries = append(entries, e)
+	}
+	return entries, lastSeq, nil
+}

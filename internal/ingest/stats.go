@@ -181,6 +181,9 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	gauge("pol_ingest_groups", func() float64 { return float64(e.m.groups.Load()) })
 	gauge("pol_ingest_journal_bytes", func() float64 { return float64(e.m.journalBytes.Load()) })
 	gauge("pol_ingest_wal_segments", func() float64 { return float64(e.m.walSegments.Load()) })
+	gauge("pol_ingest_wal_seq", func() float64 { return float64(e.WALSeq()) })
+	gauge("pol_ingest_ckpt_gen", func() float64 { g, _ := e.CheckpointStatus(); return float64(g) })
+	gauge("pol_ingest_ckpt_seq", func() float64 { _, s := e.CheckpointStatus(); return float64(s) })
 	gauge("pol_ingest_degraded", func() float64 {
 		if e.degraded.Load() {
 			return 1
@@ -264,6 +267,8 @@ type Stats struct {
 	WALCorruption      int64          `json:"wal_corruption"`
 	Checkpoints        int64          `json:"checkpoints"`
 	CheckpointErrors   int64          `json:"checkpoint_errors"`
+	CkptGen            uint64         `json:"ckpt_gen"`
+	CkptSeq            uint64         `json:"ckpt_seq"`
 	Degraded           bool           `json:"degraded"`
 	DegradedReason     string         `json:"degraded_reason,omitempty"`
 	DegradedDropped    int64          `json:"degraded_dropped"`
@@ -309,6 +314,7 @@ func (e *Engine) StatsSnapshot() Stats {
 	s.WALCorruption = e.m.walCorruption.Load()
 	s.Checkpoints = e.m.checkpoints.Load()
 	s.CheckpointErrors = e.m.checkpointErrors.Load()
+	s.CkptGen, s.CkptSeq = e.CheckpointStatus()
 	s.Degraded, s.DegradedReason = e.Degraded()
 	s.DegradedDropped = e.m.degradedDrops.Load()
 	s.MergeDeferred = e.m.mergeDeferred.Load()

@@ -166,6 +166,37 @@ func ReadyzDetailHandler(ready func() (bool, string)) http.Handler {
 	})
 }
 
+// StaleReady layers snapshot-staleness detection over a readiness
+// function: when the served snapshot's age exceeds maxAge the daemon
+// stays ready (probes keep routing to it — stale answers beat none) but
+// the detail reports the age so operators see the stall. maxAge <= 0
+// disables the check; an inner degraded detail is preserved alongside
+// the staleness note.
+func StaleReady(inner func() (bool, string), age func() time.Duration, maxAge time.Duration) func() (bool, string) {
+	if maxAge <= 0 || age == nil {
+		return inner
+	}
+	return func() (bool, string) {
+		ok, detail := true, ""
+		if inner != nil {
+			ok, detail = inner()
+		}
+		if !ok {
+			return ok, detail
+		}
+		if a := age(); a > maxAge {
+			stale := "degraded: snapshot stale for " + a.Round(time.Millisecond).String() +
+				" (threshold " + maxAge.String() + ")"
+			if detail != "" {
+				detail += "; " + stale
+			} else {
+				detail = stale
+			}
+		}
+		return true, detail
+	}
+}
+
 // Shed bounds the requests concurrently inside next: request number
 // maxInFlight+1 is answered immediately with 429 and a Retry-After hint
 // instead of queueing, so overload degrades into fast rejections rather

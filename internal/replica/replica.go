@@ -1,0 +1,572 @@
+// Package replica implements the read-replica side of the scale-out
+// serving tier: a stateless process that bootstraps its inventory from a
+// primary's generational checkpoints and tails the primary's write-ahead
+// log over the /v1/repl HTTP surface (see internal/ingest's ReplHandler).
+//
+// The replica applies fetched WAL records through a journal-free
+// ingestion engine — the exact OnlineCleaner/TripTracker merge path the
+// primary runs — so a caught-up replica's snapshot is inventory.Equal to
+// the primary's. Correctness relies on three checks, all client-side:
+//
+//   - whole-file CRC32C and size verification of every checkpoint
+//     download against the manifest before anything is installed
+//     (truncated or bit-flipped downloads are rejected, never applied);
+//   - per-record CRC32C on the WAL stream (the same framing as on disk);
+//   - strict sequence contiguity: a record that is not exactly
+//     appliedSeq+1 is never applied — duplicates are skipped, gaps force
+//     a clean re-bootstrap from the newest checkpoint generation.
+//
+// Failure handling: connection errors reconnect with jittered
+// exponential backoff; a 404 mid-bootstrap (generation rotated away
+// between manifest fetch and download) re-fetches the manifest; a 410 on
+// the WAL (suffix pruned past the replica's frontier) re-bootstraps.
+// Replication lag is exported as the pol_replica_lag_seconds and
+// pol_replica_lag_seq gauges and folded into ReadyDetail once it exceeds
+// Options.MaxLag.
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/fault"
+	"github.com/patternsoflife/pol/internal/ingest"
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/obs"
+)
+
+// Failpoints armed via POL_FAILPOINTS to drill the fetch path.
+const (
+	FPFetchManifest   = "replica.fetch.manifest"
+	FPFetchCheckpoint = "replica.fetch.checkpoint"
+	FPFetchWAL        = "replica.fetch.wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Replica.
+type Options struct {
+	// Primary is the primary's base HTTP URL (e.g. http://host:8080).
+	Primary string
+	// Resolution must match the primary's hexgrid resolution; a manifest
+	// reporting a different one is a configuration error and terminal.
+	Resolution int
+	// MergeEvery is the applier engine's micro-batch tick (default 200ms
+	// — replicas favor freshness over merge batching).
+	MergeEvery time.Duration
+	// MaxLag marks the replica degraded in ReadyDetail once the
+	// replication lag exceeds it (default 15s; <= 0 disables).
+	MaxLag time.Duration
+	// BatchMax bounds the entries requested per WAL poll (default 4096).
+	BatchMax int
+	// PollWait is the server-side long-poll hold while caught up
+	// (default 5s).
+	PollWait time.Duration
+	// RetryBase and RetryMax bound the jittered exponential reconnect
+	// backoff (defaults 250ms and 10s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Client is the HTTP client (default: one without a global timeout;
+	// every request carries a context deadline derived from PollWait).
+	Client *http.Client
+	// Metrics, when non-nil, registers the pol_replica_* gauges and
+	// counters (and the applier engine's pol_ingest_* series).
+	Metrics *obs.Registry
+	// Faults is the failpoint registry for fetch-path drills (default:
+	// the process-wide registry armed from POL_FAILPOINTS).
+	Faults *fault.Registry
+	// Description is stored in the applier engine's build info.
+	Description string
+	// Logf, when non-nil, receives reconnect/re-bootstrap warnings.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	o.Primary = strings.TrimRight(o.Primary, "/")
+	if o.Resolution <= 0 {
+		o.Resolution = 6
+	}
+	if o.MergeEvery <= 0 {
+		o.MergeEvery = 200 * time.Millisecond
+	}
+	if o.MaxLag == 0 {
+		o.MaxLag = 15 * time.Second
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 4096
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 5 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 250 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 10 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Faults == nil {
+		o.Faults = fault.Default()
+	}
+	if o.Description == "" {
+		o.Description = "replica of " + o.Primary
+	}
+	return o
+}
+
+// Control-flow sentinels inside Run.
+var (
+	errRebootstrap = errors.New("replica: re-bootstrap required")
+	errGenRotated  = errors.New("replica: generation rotated away mid-bootstrap")
+	errTerminal    = errors.New("replica: terminal configuration error")
+)
+
+// Replica tails one primary. Construct with New, drive with Run, serve
+// queries from it as an api.Source. All exported methods are safe for
+// concurrent use.
+type Replica struct {
+	opt Options
+	eng *ingest.Engine
+
+	applied      atomic.Uint64 // last WAL seq applied to the engine
+	primarySeq   atomic.Uint64 // primary's frontier as of the last poll
+	generation   atomic.Uint64 // checkpoint generation bootstrapped from
+	bootstrapped atomic.Bool
+	lastCaughtUp atomic.Int64 // unix nanos of the last applied==primary poll
+
+	bootstraps   atomic.Int64
+	rebootstraps atomic.Int64
+	reconnects   atomic.Int64
+	crcRejects   atomic.Int64
+}
+
+// New builds the replica and its journal-free applier engine.
+func New(opt Options) (*Replica, error) {
+	opt = opt.withDefaults()
+	if opt.Primary == "" {
+		return nil, fmt.Errorf("replica: primary URL required")
+	}
+	if _, err := url.Parse(opt.Primary); err != nil {
+		return nil, fmt.Errorf("replica: bad primary URL: %w", err)
+	}
+	eng, err := ingest.NewEngine(ingest.Options{
+		Resolution:    opt.Resolution,
+		MergeEvery:    opt.MergeEvery,
+		Description:   opt.Description,
+		Metrics:       opt.Metrics,
+		Logf:          opt.Logf,
+		ReplicaDriven: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{opt: opt, eng: eng}
+	r.lastCaughtUp.Store(time.Now().UnixNano())
+	if reg := opt.Metrics; reg != nil {
+		reg.GaugeFunc("pol_replica_lag_seconds", nil, func() float64 { return r.Lag().Seconds() })
+		reg.GaugeFunc("pol_replica_lag_seq", nil, func() float64 { return float64(r.LagSeq()) })
+		reg.GaugeFunc("pol_replica_applied_seq", nil, func() float64 { return float64(r.applied.Load()) })
+		reg.GaugeFunc("pol_replica_primary_seq", nil, func() float64 { return float64(r.primarySeq.Load()) })
+		reg.GaugeFunc("pol_replica_bootstrapped", nil, func() float64 {
+			if r.bootstrapped.Load() {
+				return 1
+			}
+			return 0
+		})
+		reg.CounterFunc("pol_replica_bootstraps_total", nil, func() float64 { return float64(r.bootstraps.Load()) })
+		reg.CounterFunc("pol_replica_rebootstraps_total", nil, func() float64 { return float64(r.rebootstraps.Load()) })
+		reg.CounterFunc("pol_replica_reconnects_total", nil, func() float64 { return float64(r.reconnects.Load()) })
+		reg.CounterFunc("pol_replica_crc_rejects_total", nil, func() float64 { return float64(r.crcRejects.Load()) })
+	}
+	return r, nil
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.opt.Logf != nil {
+		r.opt.Logf(format, args...)
+	}
+}
+
+// Run drives the replication loop until ctx is cancelled or a terminal
+// configuration error (resolution mismatch) is hit. Connection errors
+// reconnect with jittered exponential backoff; pruned WAL suffixes and
+// sequence gaps re-bootstrap from the newest checkpoint generation.
+func (r *Replica) Run(ctx context.Context) error {
+	delay := r.opt.RetryBase
+	needBootstrap := true
+	for ctx.Err() == nil {
+		if needBootstrap {
+			if err := r.bootstrap(ctx); err != nil {
+				if errors.Is(err, errTerminal) || ctx.Err() != nil {
+					return err
+				}
+				r.logf("replica bootstrap: %v", err)
+				if errors.Is(err, errGenRotated) {
+					continue // manifest already stale; refetch immediately
+				}
+				if !r.sleep(ctx, &delay) {
+					break
+				}
+				continue
+			}
+			needBootstrap = false
+			delay = r.opt.RetryBase
+		}
+		err := r.tail(ctx)
+		if ctx.Err() != nil {
+			break
+		}
+		if errors.Is(err, errRebootstrap) {
+			r.rebootstraps.Add(1)
+			r.logf("replica: %v", err)
+			needBootstrap = true
+			continue
+		}
+		r.reconnects.Add(1)
+		r.logf("replica tail: %v; reconnecting", err)
+		if !r.sleep(ctx, &delay) {
+			break
+		}
+	}
+	return ctx.Err()
+}
+
+// sleep waits one jittered backoff step (±50%), doubling delay up to
+// RetryMax. False means the context ended first.
+func (r *Replica) sleep(ctx context.Context, delay *time.Duration) bool {
+	d := *delay/2 + time.Duration(rand.Int63n(int64(*delay)))
+	*delay *= 2
+	if *delay > r.opt.RetryMax {
+		*delay = r.opt.RetryMax
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// bootstrap fetches the manifest and installs the newest generation that
+// downloads and verifies cleanly, falling back to the older one on a
+// checksum mismatch. A 404 mid-download means the primary rotated
+// generations under us: errGenRotated asks Run for an immediate retry
+// with a fresh manifest.
+func (r *Replica) bootstrap(ctx context.Context) error {
+	man, err := r.fetchManifest(ctx)
+	if err != nil {
+		return err
+	}
+	if man.Resolution != r.opt.Resolution {
+		return fmt.Errorf("%w: primary resolution %d != replica resolution %d",
+			errTerminal, man.Resolution, r.opt.Resolution)
+	}
+	if len(man.Generations) == 0 {
+		return fmt.Errorf("primary has no checkpoint generation yet")
+	}
+	for _, g := range man.Generations {
+		invData, err := r.fetchCheckpointFile(ctx, g.Gen, g.Inv, g.InvCRC, g.InvSize)
+		if err != nil {
+			if errors.Is(err, errGenRotated) {
+				return err
+			}
+			r.logf("replica bootstrap gen %d: %v; trying older generation", g.Gen, err)
+			continue
+		}
+		stateData, err := r.fetchCheckpointFile(ctx, g.Gen, g.State, g.StateCRC, g.StateSize)
+		if err != nil {
+			if errors.Is(err, errGenRotated) {
+				return err
+			}
+			r.logf("replica bootstrap gen %d: %v; trying older generation", g.Gen, err)
+			continue
+		}
+		inv, err := inventory.Unmarshal(invData)
+		if err != nil {
+			r.logf("replica bootstrap gen %d: inventory decode: %v", g.Gen, err)
+			continue
+		}
+		if err := r.eng.InstallReplicaState(inv, stateData, g.Seq); err != nil {
+			return err
+		}
+		r.applied.Store(g.Seq)
+		r.primarySeq.Store(max(man.WALSeq, g.Seq))
+		r.generation.Store(g.Gen)
+		r.bootstrapped.Store(true)
+		r.bootstraps.Add(1)
+		r.logf("replica bootstrapped from generation %d (seq %d, primary at %d)",
+			g.Gen, g.Seq, man.WALSeq)
+		return nil
+	}
+	return fmt.Errorf("no checkpoint generation downloaded and verified cleanly")
+}
+
+// tail polls the WAL suffix past the applied frontier, applying verified
+// records in strict sequence order. Returns errRebootstrap when the
+// suffix is gone (pruned or gapped); any other error is a connection
+// problem Run retries against the same frontier.
+func (r *Replica) tail(ctx context.Context) error {
+	for ctx.Err() == nil {
+		entries, lastSeq, err := r.fetchWAL(ctx, r.applied.Load())
+		if err != nil {
+			return err
+		}
+		applied := r.applied.Load()
+		for _, e := range entries {
+			if e.Seq <= applied {
+				continue // duplicate delivery; never applied twice
+			}
+			if e.Seq != applied+1 {
+				return fmt.Errorf("%w: WAL gap (got seq %d, want %d)", errRebootstrap, e.Seq, applied+1)
+			}
+			if err := r.eng.SubmitReplicated(e); err != nil {
+				return err
+			}
+			applied = e.Seq
+		}
+		if len(entries) > 0 {
+			// Barrier: everything submitted above is applied and visible
+			// before the frontier advances, so applied never claims a
+			// record a concurrent reader cannot see.
+			if err := r.eng.PublishNow(); err != nil {
+				return err
+			}
+			r.applied.Store(applied)
+		}
+		r.primarySeq.Store(max(lastSeq, applied))
+		if applied >= lastSeq {
+			r.lastCaughtUp.Store(time.Now().UnixNano())
+		}
+	}
+	return ctx.Err()
+}
+
+func (r *Replica) fetchManifest(ctx context.Context) (ingest.ReplManifest, error) {
+	var man ingest.ReplManifest
+	if err := r.opt.Faults.Hit(FPFetchManifest); err != nil {
+		return man, err
+	}
+	body, _, err := r.get(ctx, r.opt.Primary+"/v1/repl/manifest", 30*time.Second)
+	if err != nil {
+		return man, err
+	}
+	if err := json.Unmarshal(body, &man); err != nil {
+		return man, fmt.Errorf("replica: manifest decode: %w", err)
+	}
+	return man, nil
+}
+
+// fetchCheckpointFile downloads one generation file and verifies the
+// whole-file CRC32C and size against the manifest before returning it —
+// a truncated or corrupted download is rejected here, before any byte
+// reaches the engine.
+func (r *Replica) fetchCheckpointFile(ctx context.Context, gen uint64, name string, wantCRC uint32, wantSize int64) ([]byte, error) {
+	if err := r.opt.Faults.Hit(FPFetchCheckpoint); err != nil {
+		return nil, err
+	}
+	u := fmt.Sprintf("%s/v1/repl/checkpoint/%d/%s", r.opt.Primary, gen, url.PathEscape(name))
+	body, status, err := r.get(ctx, u, 2*time.Minute)
+	if status == http.StatusNotFound {
+		return nil, errGenRotated
+	}
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) != wantSize {
+		r.crcRejects.Add(1)
+		return nil, fmt.Errorf("replica: %s: truncated download (%d bytes, want %d)", name, len(body), wantSize)
+	}
+	if sum := crc32.Checksum(body, castagnoli); sum != wantCRC {
+		r.crcRejects.Add(1)
+		return nil, fmt.Errorf("replica: %s: checksum mismatch (crc %08x, want %08x)", name, sum, wantCRC)
+	}
+	return body, nil
+}
+
+func (r *Replica) fetchWAL(ctx context.Context, fromSeq uint64) ([]ingest.JournalEntry, uint64, error) {
+	if err := r.opt.Faults.Hit(FPFetchWAL); err != nil {
+		return nil, 0, err
+	}
+	u := fmt.Sprintf("%s/v1/repl/wal?from_seq=%d&max=%d&wait=%s",
+		r.opt.Primary, fromSeq, r.opt.BatchMax, r.opt.PollWait)
+	body, status, err := r.get(ctx, u, r.opt.PollWait+15*time.Second)
+	if status == http.StatusGone {
+		return nil, 0, fmt.Errorf("%w: WAL suffix past seq %d pruned", errRebootstrap, fromSeq)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	entries, lastSeq, err := ingest.ReadReplChunk(strings.NewReader(string(body)))
+	if err != nil {
+		r.crcRejects.Add(1)
+		return nil, 0, err
+	}
+	return entries, lastSeq, nil
+}
+
+// get performs one GET with a per-request deadline, returning the body
+// and status. Non-2xx statuses return an error alongside the status so
+// callers can branch on 404/410.
+func (r *Replica) get(ctx context.Context, u string, timeout time.Duration) ([]byte, int, error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := r.opt.Client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, fmt.Errorf("replica: GET %s: %s: %s",
+			u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, resp.StatusCode, nil
+}
+
+// Inventory implements api.Source: queries resolve against the applier
+// engine's current snapshot.
+func (r *Replica) Inventory() *inventory.Inventory { return r.eng.Snapshot() }
+
+// Uptime implements api.LiveStatus.
+func (r *Replica) Uptime() time.Duration { return r.eng.Uptime() }
+
+// SnapshotAge implements api.LiveStatus.
+func (r *Replica) SnapshotAge() time.Duration { return r.eng.SnapshotAge() }
+
+// AppliedSeq returns the replication frontier: the last WAL sequence
+// applied to the local engine.
+func (r *Replica) AppliedSeq() uint64 { return r.applied.Load() }
+
+// PrimarySeq returns the primary's WAL frontier as of the last
+// successful poll.
+func (r *Replica) PrimarySeq() uint64 { return r.primarySeq.Load() }
+
+// LagSeq returns how many WAL records the replica trails the primary by.
+func (r *Replica) LagSeq() uint64 {
+	p, a := r.primarySeq.Load(), r.applied.Load()
+	if p <= a {
+		return 0
+	}
+	return p - a
+}
+
+// Lag returns the time since the replica last observed itself caught up
+// with the primary — near zero while tailing an idle or keeping pace
+// with a busy primary, growing monotonically while disconnected or
+// behind.
+func (r *Replica) Lag() time.Duration {
+	d := time.Since(time.Unix(0, r.lastCaughtUp.Load()))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ReplicaStatus implements api.ReplicaStatus for the /v1/info block.
+func (r *Replica) ReplicaStatus() (appliedSeq, primarySeq uint64, lag time.Duration) {
+	return r.applied.Load(), r.primarySeq.Load(), r.Lag()
+}
+
+// ReadyDetail implements the obs.ReadyzDetailHandler contract: not ready
+// until the first bootstrap installs a snapshot; ready-but-degraded with
+// the lag in the detail once replication falls more than MaxLag behind.
+func (r *Replica) ReadyDetail() (bool, string) {
+	if !r.bootstrapped.Load() {
+		return false, "replica: not bootstrapped yet"
+	}
+	if lag := r.Lag(); r.opt.MaxLag > 0 && lag > r.opt.MaxLag {
+		return true, fmt.Sprintf("degraded: replication lag %s (%d seqs behind)",
+			lag.Round(time.Millisecond), r.LagSeq())
+	}
+	return true, ""
+}
+
+// Status is the JSON document served by StatusHandler.
+type Status struct {
+	Primary      string  `json:"primary"`
+	Bootstrapped bool    `json:"bootstrapped"`
+	Generation   uint64  `json:"generation"`
+	AppliedSeq   uint64  `json:"applied_seq"`
+	PrimarySeq   uint64  `json:"primary_seq"`
+	LagSeq       uint64  `json:"lag_seq"`
+	LagSeconds   float64 `json:"lag_seconds"`
+	Bootstraps   int64   `json:"bootstraps"`
+	Rebootstraps int64   `json:"rebootstraps"`
+	Reconnects   int64   `json:"reconnects"`
+	CRCRejects   int64   `json:"crc_rejects"`
+	Groups       int64   `json:"groups"`
+}
+
+// StatusSnapshot collects the current replication counters.
+func (r *Replica) StatusSnapshot() Status {
+	s := Status{
+		Primary:      r.opt.Primary,
+		Bootstrapped: r.bootstrapped.Load(),
+		Generation:   r.generation.Load(),
+		AppliedSeq:   r.applied.Load(),
+		PrimarySeq:   r.primarySeq.Load(),
+		LagSeq:       r.LagSeq(),
+		LagSeconds:   r.Lag().Seconds(),
+		Bootstraps:   r.bootstraps.Load(),
+		Rebootstraps: r.rebootstraps.Load(),
+		Reconnects:   r.reconnects.Load(),
+		CRCRejects:   r.crcRejects.Load(),
+	}
+	if snap := r.eng.Snapshot(); snap != nil {
+		s.Groups = int64(snap.Len())
+	}
+	return s
+}
+
+// StatusHandler serves the replication counters as JSON
+// (/v1/replica/status on a replica daemon).
+func (r *Replica) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.StatusSnapshot())
+	})
+}
+
+// SnapshotHandler serves the replica's current inventory in POLINV1 wire
+// form — the artifact convergence checks compare against the primary's
+// /v1/repl/snapshot.
+func (r *Replica) SnapshotHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		snap := r.eng.Snapshot()
+		if snap == nil {
+			http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
+			return
+		}
+		data, err := inventory.Marshal(snap)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	})
+}
+
+// Close shuts down the applier engine. Cancel Run's context first.
+func (r *Replica) Close() error { return r.eng.Close() }

@@ -21,7 +21,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/stream/
+go test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/replica/ ./internal/stream/
 
 echo "== benchmark smoke (snapshot publish) =="
 go test -run='^$' -bench=Publish -benchtime=1x ./internal/inventory/
@@ -31,5 +31,8 @@ echo "== cluster e2e smoke (loopback coordinator + 2 workers, 1 killed) =="
 
 echo "== chaos e2e (crash mid-checkpoint, dead journal disk, recovery) =="
 ./scripts/chaos_e2e.sh
+
+echo "== replica e2e (2 replicas, 1 killed mid-feed, bit-exact convergence) =="
+./scripts/replica_e2e.sh
 
 echo "all checks passed"

@@ -1,0 +1,162 @@
+#!/bin/sh
+# Replicated-serving end-to-end drill: one polingest primary journaling
+# with an aggressive checkpoint cadence, two polserve read replicas
+# bootstrapping from its checkpoint generations and tailing its WAL.
+#
+#   1. feed the first half of a synthetic fleet archive, wait for both
+#      replicas to bootstrap and catch up;
+#   2. kill replica B mid-stream, feed the second half (replica A tails
+#      it live, exercising segment rotation + prune on the primary);
+#   3. restart replica B — it must re-bootstrap from a newer generation
+#      and converge;
+#   4. assert both replicas reach lag 0 and that their snapshots are
+#      bit-for-bit inventory.Equal to the primary's (polquery -equal).
+#
+# Run from the repository root:
+#
+#   ./scripts/replica_e2e.sh
+set -e
+
+tmp="$(mktemp -d)"
+ppid=""
+r1pid=""
+r2pid=""
+cleanup() {
+	for p in $ppid $r1pid $r2pid; do
+		kill "$p" 2>/dev/null || true
+	done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp" ./cmd/polingest ./cmd/polgen ./cmd/polfeed ./cmd/polserve ./cmd/polquery
+
+feed="127.0.0.1:$((10300 + $$ % 100))"
+phttp="127.0.0.1:$((18300 + $$ % 100))"
+r1http="127.0.0.1:$((18400 + $$ % 100))"
+r2http="127.0.0.1:$((18500 + $$ % 100))"
+
+"$tmp/polgen" -vessels 8 -days 30 -seed 7 -out "$tmp/fleet.nmea"
+lines="$(wc -l <"$tmp/fleet.nmea")"
+half=$((lines / 2))
+head -n "$half" "$tmp/fleet.nmea" >"$tmp/first.nmea"
+tail -n +"$((half + 1))" "$tmp/fleet.nmea" >"$tmp/second.nmea"
+
+# Primary: tiny WAL segments + checkpoint-every-merge so rotation,
+# generation turnover, and prune all fire during a short drill.
+mkdir -p "$tmp/primary"
+"$tmp/polingest" \
+	-listen "$feed" -http "$phttp" -res 6 -tick 100ms \
+	-journal "$tmp/primary/live.wal" -checkpoint "$tmp/primary/live.polinv" \
+	-checkpoint-every 1 -wal-segment-bytes 262144 \
+	>"$tmp/primary.log" 2>&1 &
+ppid=$!
+
+start_replica() {
+	"$tmp/polserve" -replica "http://$phttp" -addr "$1" -res 6 \
+		-tick 100ms -max-lag 10s >"$2" 2>&1 &
+}
+
+start_replica "$r1http" "$tmp/replica1.log"
+r1pid=$!
+start_replica "$r2http" "$tmp/replica2.log"
+r2pid=$!
+
+status_field() { # status_field <http> <json-field>
+	"$tmp/polfeed" -get "http://$1/v1/replica/status" 2>/dev/null |
+		sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p'
+}
+
+primary_wal_seq() {
+	"$tmp/polfeed" -get "http://$phttp/v1/info" 2>/dev/null |
+		sed -n 's/.*"walSeq": *\([0-9][0-9]*\).*/\1/p'
+}
+
+# wait_caught_up <http> <seq> <label> — polls until the replica has
+# applied at least <seq>; bounded, so a stuck replica fails the drill
+# instead of hanging it.
+wait_caught_up() {
+	i=0
+	while :; do
+		applied="$(status_field "$1" applied_seq)"
+		[ -n "$applied" ] && [ "$applied" -ge "$2" ] && return 0
+		i=$((i + 1))
+		if [ "$i" -gt 600 ]; then
+			echo "$3 never caught up to seq $2 (applied=${applied:-none}):"
+			tail -5 "$tmp/primary.log"
+			tail -20 "$4"
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+### Phase 1: first half of the archive; both replicas catch up.
+"$tmp/polfeed" -addr "$feed" -stats "http://$phttp/v1/ingest/stats" \
+	"$tmp/first.nmea" >"$tmp/first.stats" 2>"$tmp/first.feed.log"
+sleep 1 # let the trailing merge tick land so walSeq is stable
+seq1="$(primary_wal_seq)"
+if [ -z "$seq1" ] || [ "$seq1" -lt 1 ]; then
+	echo "primary produced no WAL records:"
+	cat "$tmp/primary.log"
+	exit 1
+fi
+wait_caught_up "$r1http" "$seq1" "replica 1" "$tmp/replica1.log"
+wait_caught_up "$r2http" "$seq1" "replica 2" "$tmp/replica2.log"
+
+# A caught-up replica answers readiness probes without a lag complaint.
+"$tmp/polfeed" -get "http://$r1http/readyz" >"$tmp/r1.readyz"
+grep -q 'ready' "$tmp/r1.readyz" || {
+	echo "replica 1 not ready after catch-up:"
+	cat "$tmp/r1.readyz"
+	exit 1
+}
+
+### Phase 2: kill replica 2 mid-stream, feed the rest into replica 1.
+kill -TERM "$r2pid"
+wait "$r2pid" 2>/dev/null || true
+r2pid=""
+"$tmp/polfeed" -addr "$feed" -stats "http://$phttp/v1/ingest/stats" \
+	"$tmp/second.nmea" >"$tmp/second.stats" 2>"$tmp/second.feed.log"
+sleep 1
+seq2="$(primary_wal_seq)"
+if [ "$seq2" -le "$seq1" ]; then
+	echo "second feed advanced no WAL records ($seq1 -> $seq2)"
+	exit 1
+fi
+wait_caught_up "$r1http" "$seq2" "replica 1" "$tmp/replica1.log"
+
+### Phase 3: restart replica 2 — re-bootstrap from a newer generation.
+start_replica "$r2http" "$tmp/replica2.restart.log"
+r2pid=$!
+wait_caught_up "$r2http" "$seq2" "restarted replica 2" "$tmp/replica2.restart.log"
+boots="$(status_field "$r2http" bootstraps)"
+if [ -z "$boots" ] || [ "$boots" -lt 1 ]; then
+	echo "restarted replica 2 never bootstrapped"
+	exit 1
+fi
+
+### Phase 4: bounded lag + bit-exact convergence.
+for r in "$r1http|replica1" "$r2http|replica2"; do
+	http="${r%|*}"
+	name="${r#*|}"
+	lag="$(status_field "$http" lag_seq)"
+	if [ -z "$lag" ] || [ "$lag" -ne 0 ]; then
+		echo "$name finished with lag_seq=${lag:-none}, want 0"
+		exit 1
+	fi
+done
+
+"$tmp/polfeed" -get "http://$phttp/v1/repl/snapshot" >"$tmp/primary.polinv"
+"$tmp/polfeed" -get "http://$r1http/v1/repl/snapshot" >"$tmp/replica1.polinv"
+"$tmp/polfeed" -get "http://$r2http/v1/repl/snapshot" >"$tmp/replica2.polinv"
+"$tmp/polquery" -inv "$tmp/primary.polinv" -equal "$tmp/replica1.polinv" || {
+	echo "replica 1 snapshot diverged from primary"
+	exit 1
+}
+"$tmp/polquery" -inv "$tmp/primary.polinv" -equal "$tmp/replica2.polinv" || {
+	echo "replica 2 snapshot diverged from primary"
+	exit 1
+}
+
+echo "replica e2e passed: 2 replicas converged bit-exact at seq $seq2 (one killed and re-bootstrapped mid-feed)"
