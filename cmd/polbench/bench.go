@@ -4,7 +4,7 @@ package main
 // micro-benchmark suite — inventory build, snapshot publish (COW vs clone
 // baseline), point and OD queries, and the dataflow shuffle — over the lab
 // dataset via testing.Benchmark, and writes the results as JSON. The
-// committed BENCH_PR4.json is one run of this suite; `make bench`
+// committed BENCH_PR8.json is one run of this suite; `make bench`
 // regenerates it.
 
 import (
@@ -227,6 +227,12 @@ func (l *lab) runBenchJSON(path string) error {
 	// caught-up barrier (applied == primary WAL frontier, snapshot
 	// published). One op processes the whole dataset.
 	if err := l.benchReplicaCatchup(run, records); err != nil {
+		return err
+	}
+
+	// Tracing overhead: the ingest hot path with and without a live
+	// tracer; the delta gates the <5% tracing-cost budget.
+	if err := l.benchTraceOverhead(run, records); err != nil {
 		return err
 	}
 

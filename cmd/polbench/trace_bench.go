@@ -1,0 +1,91 @@
+package main
+
+// Tracing-overhead benchmark: the live-ingest hot path (submit → WAL →
+// merge → publish) run twice over the lab fleet, once with the nil no-op
+// tracer and once with a live tracer recording merge-cycle spans and
+// histogram exemplars. The per-record path is deliberately untraced —
+// only merge cycles root spans — so the delta between the two entries is
+// the total tracing cost on ingestion and the acceptance gate is that it
+// stays under 5%.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/patternsoflife/pol/internal/ingest"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
+)
+
+func (l *lab) benchTraceOverhead(run func(string, int64, func(*testing.B)), records int64) error {
+	statics := l.sim.Fleet().StaticIndex()
+	var stream []model.PositionRecord
+	for _, tr := range l.tracks {
+		stream = append(stream, tr...)
+	}
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Time < stream[j].Time })
+
+	dir, err := os.MkdirTemp("", "polbench-trace")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	quiet := func(string, ...any) {}
+	var iter int
+	bench := func(name string, tr *trace.Tracer) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				iter++
+				sub := filepath.Join(dir, fmt.Sprintf("%s-%d", name, iter))
+				if err := os.MkdirAll(sub, 0o755); err != nil {
+					b.Fatal(err)
+				}
+				wal := filepath.Join(sub, "live.wal")
+				eng, err := ingest.NewEngine(ingest.Options{
+					Resolution: 6,
+					// Merges fire only at the Finalize barrier, so every
+					// iteration runs the same submit burst + one merge cycle.
+					MergeEvery:  time.Hour,
+					JournalPath: wal,
+					Metrics:     obs.NewRegistry(),
+					Tracer:      tr,
+					Logf:        quiet,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range statics {
+					if err := eng.SubmitStatic(v, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, r := range stream {
+					if err := eng.SubmitPosition(r, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := eng.Finalize(); err != nil {
+					b.Fatal(err)
+				}
+				if eng.Snapshot().Len() == 0 {
+					b.Fatal("empty snapshot after finalize")
+				}
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+				os.RemoveAll(sub)
+			}
+		}
+	}
+	run("ingest-hotpath-notrace", records, bench("notrace", nil))
+	run("ingest-hotpath-traced", records, bench("traced",
+		trace.New(trace.Options{Service: "polbench"})))
+	return nil
+}

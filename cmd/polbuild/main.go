@@ -27,6 +27,7 @@ import (
 	"github.com/patternsoflife/pol/internal/feed"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/pipeline"
 	"github.com/patternsoflife/pol/internal/ports"
 	"github.com/patternsoflife/pol/internal/sim"
@@ -149,7 +150,8 @@ func runDistributed(o distOpts) {
 		log.Fatal("need -in FILE or -synthetic (see -h)")
 	}
 
-	cfg := cluster.Config{Addr: o.addr, MinWorkers: o.workers}
+	tr := trace.New(trace.Options{Service: "polbuild"})
+	cfg := cluster.Config{Addr: o.addr, MinWorkers: o.workers, Tracer: tr}
 	if o.verbose {
 		cfg.Logf = log.Printf
 	}
@@ -158,7 +160,14 @@ func runDistributed(o distOpts) {
 		log.Fatal(err)
 	}
 	log.Printf("coordinating on %s, waiting for %d worker(s)", co.Addr(), o.workers)
-	result, err := co.Run(context.Background(), job)
+	// Root the build's trace here so the coordinator's job span — and,
+	// through the traceparent stamped into every task frame, the workers'
+	// execution spans — all join one trace, greppable across process logs.
+	span := tr.StartRoot("polbuild.distributed")
+	log.Printf("trace %s", span.Trace)
+	result, err := co.Run(trace.ContextWith(context.Background(), span), job)
+	span.SetError(err)
+	span.Finish()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,9 @@
 //	GET /v1/ingest/stats    live per-feed and engine counters (JSON),
 //	                        including uptime and snapshot age
 //	GET /v1/ops/anomalies   watchdog baselines and anomaly history
+//	GET /v1/traces          recent distributed traces (tail-sampled);
+//	                        /v1/traces/{id} returns one trace as a span
+//	                        tree
 //	GET /metrics            Prometheus-style telemetry
 //	GET /healthz            liveness probe
 //	GET /readyz             readiness: 503 until the first data snapshot;
@@ -50,6 +53,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -57,6 +61,7 @@ import (
 	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/ingest"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/ports"
 )
 
@@ -76,6 +81,7 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
 		wdTick    = flag.Duration("watchdog-tick", 10*time.Second, "anomaly watchdog sampling interval")
+		flightDir = flag.String("flight-dir", "", "flight-recorder dump directory (default: the journal directory)")
 	)
 	flag.Parse()
 
@@ -89,6 +95,16 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	fdir := *flightDir
+	if fdir == "" {
+		switch {
+		case *journal != "":
+			fdir = filepath.Dir(*journal)
+		case *ckpt != "":
+			fdir = filepath.Dir(*ckpt)
+		}
+	}
+	tr := trace.New(trace.Options{Service: "polingest", FlightDir: fdir})
 	t0 := time.Now()
 	eng, err := ingest.NewEngine(ingest.Options{
 		Resolution:      *res,
@@ -100,6 +116,7 @@ func main() {
 		QueueSize:       *queue,
 		Description:     "polingest live inventory",
 		Metrics:         reg,
+		Tracer:          tr,
 		Logf: func(format string, args ...any) {
 			logger.With("sub", "engine").Warn(fmt.Sprintf(format, args...))
 		},
@@ -128,12 +145,18 @@ func main() {
 	wd := obs.NewWatchdog(reg, obs.WatchdogOptions{
 		Interval: *wdTick,
 		Logger:   logger.With("sub", "watchdog"),
+		OnAnomaly: func(a obs.Anomaly) {
+			if path, err := tr.RecordFlight("watchdog-" + a.Series); err == nil && path != "" {
+				logger.Warn("flight recorder dump", "reason", a.Series, "path", path)
+			}
+		},
 	})
 	eng.AttachWatchdog(wd)
 	wd.Start()
 
 	mux := http.NewServeMux()
-	mux.Handle("/", api.NewLiveServer(eng, ports.Default()).WithMetrics(reg).Handler())
+	tr.Mount(mux)
+	mux.Handle("/", api.NewLiveServer(eng, ports.Default()).WithMetrics(reg).WithTracing(tr).Handler())
 	mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
 	mux.Handle("GET /v1/ops/anomalies", wd.Handler())
 	mux.Handle("GET /v1/repl/", eng.ReplHandler())

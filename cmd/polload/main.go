@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 )
 
 // sloBuckets are finer than obs.DefLatencyBuckets at the fast end so
@@ -117,6 +118,11 @@ func main() {
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
+	// Every request roots a fresh trace and carries its W3C traceparent,
+	// so any latency outlier in the server's histograms has an exemplar
+	// pointing at a queryable /v1/traces entry.
+	tr := trace.New(trace.Options{Service: "polload"})
+
 	stats := make(map[string]*endpointStats, len(picker.names()))
 	for _, name := range picker.names() {
 		stats[name] = &endpointStats{hist: obs.NewHistogram(sloBuckets...)}
@@ -155,14 +161,19 @@ func main() {
 			defer func() { <-slots }()
 			es := stats[name]
 			es.requests.Add(1)
+			span := tr.StartRoot("polload." + strings.TrimPrefix(name, "/v1/"))
+			span.SetAttr("url", u)
 			t0 := time.Now()
-			ok := fire(client, u)
+			ok := fire(client, u, span)
 			el := time.Since(t0).Seconds()
 			if !ok {
+				span.MarkError()
+				span.Finish()
 				es.errors.Add(1)
 				overall.errors.Add(1)
 				return
 			}
+			span.Finish()
 			es.hist.Observe(el)
 			overall.hist.Observe(el)
 		}(name, u)
@@ -211,8 +222,13 @@ func main() {
 // status below 500 counts (a 404 for an empty ocean cell is a correctly
 // served request whose latency belongs in the SLO); transport failures
 // and 5xx are errors. The body is drained so connections can be reused.
-func fire(client *http.Client, u string) bool {
-	resp, err := client.Get(u)
+func fire(client *http.Client, u string, span *trace.Span) bool {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return false
+	}
+	trace.Inject(req, span)
+	resp, err := client.Do(req)
 	if err != nil {
 		return false
 	}

@@ -10,12 +10,23 @@
 //	polquery -inv fleet.polinv -od-cells 1:63:container
 //	polquery -inv fleet.polinv -info
 //	polquery -inv primary.polinv -equal replica.polinv
+//
+// With -server the query goes to a running polserve/polingest daemon over
+// HTTP instead of reading a file, and -trace additionally fetches and
+// prints the server-side distributed trace of the query it just ran (the
+// client injects a W3C traceparent and reads it back from /v1/traces/{id}):
+//
+//	polquery -server http://localhost:8080 -at 51.9,3.2 -trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -25,6 +36,7 @@ import (
 	"github.com/patternsoflife/pol/internal/hexgrid"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/ports"
 )
 
@@ -40,8 +52,18 @@ func main() {
 		odCells = flag.String("od-cells", "", "list cells for key ORIGIN:DEST:TYPE (route forecasting input)")
 		info    = flag.Bool("info", false, "print inventory build info and exit")
 		equal   = flag.String("equal", "", "compare -inv against this second inventory file; exit 0 when equal, 1 when not")
+		server  = flag.String("server", "", "query a running daemon at this base URL instead of reading -inv")
+		showTr  = flag.Bool("trace", false, "with -server: print the server-side trace tree of the query just run")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		runRemote(*server, *at, *vtype, *info, *showTr)
+		return
+	}
+	if *showTr {
+		log.Fatal("-trace needs -server (traces live on the daemon)")
+	}
 
 	inv, err := inventory.LoadFile(*invPath)
 	if err != nil {
@@ -122,6 +144,119 @@ func main() {
 		log.Fatalf("no data for cell %v (no historical traffic)", cell)
 	}
 	printSummary(gaz, cell, s)
+}
+
+// runRemote answers the query over a daemon's HTTP API. The request
+// carries a client-rooted W3C traceparent; with -trace the same trace ID
+// is then read back from the daemon's /v1/traces/{id} endpoint and the
+// server-side span tree is printed, so one invocation demonstrates
+// end-to-end trace continuity from a terminal.
+func runRemote(base, at, vtype string, info, showTrace bool) {
+	var path string
+	q := url.Values{}
+	switch {
+	case info:
+		path = "/v1/info"
+	case at != "":
+		var lat, lng float64
+		if _, err := fmt.Sscanf(at, "%f,%f", &lat, &lng); err != nil {
+			log.Fatalf("bad -at %q: %v", at, err)
+		}
+		q.Set("lat", fmt.Sprintf("%f", lat))
+		q.Set("lng", fmt.Sprintf("%f", lng))
+		if vtype != "" {
+			q.Set("type", strings.ToLower(vtype))
+		}
+		path = "/v1/cell"
+	default:
+		log.Fatal("-server mode wants -at LAT,LNG or -info")
+	}
+	u := strings.TrimRight(base, "/") + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+
+	tr := trace.New(trace.Options{Service: "polquery"})
+	span := tr.StartRoot("polquery.query")
+	span.SetAttr("url", u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace.Inject(req, span)
+	client := &http.Client{Timeout: 15 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	span.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	os.Stdout.Write(body)
+
+	if showTrace {
+		fmt.Printf("\ntrace %s (%s in %s)\n", span.Trace, span.Name, span.Duration().Round(time.Microsecond))
+		printServerTrace(client, strings.TrimRight(base, "/"), span.Trace.String())
+	}
+}
+
+// printServerTrace fetches /v1/traces/{id} and prints the span tree. The
+// server records its span when the middleware returns — effectively
+// concurrent with the client reading the response — so a short retry
+// absorbs that race.
+func printServerTrace(client *http.Client, base, traceID string) {
+	var payload struct {
+		Service string            `json:"service"`
+		Spans   []*trace.SpanJSON `json:"spans"`
+	}
+	u := base + "/v1/traces/" + traceID
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &payload); err != nil {
+				log.Fatalf("decode %s: %v", u, err)
+			}
+			break
+		}
+		if resp.StatusCode == http.StatusNotFound && attempt < 20 {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		log.Fatalf("GET %s: status %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	for _, s := range payload.Spans {
+		printSpanTree(s, 0)
+	}
+}
+
+func printSpanTree(s *trace.SpanJSON, depth int) {
+	indent := strings.Repeat("  ", depth)
+	mark := ""
+	if s.Err {
+		mark = "  ERROR"
+	}
+	fmt.Printf("%s%s [%s] %s%s\n", indent, s.Name, s.Service,
+		(time.Duration(s.DurationUs) * time.Microsecond).Round(time.Microsecond), mark)
+	for _, a := range s.Attrs {
+		fmt.Printf("%s  · %s=%s\n", indent, a.Key, a.Value)
+	}
+	for _, c := range s.Children {
+		printSpanTree(c, depth+1)
+	}
 }
 
 func resolvePort(gaz *ports.Gazetteer, s string) model.PortID {

@@ -25,6 +25,9 @@
 //	                        serving answers 200 "ready (degraded: ...)")
 //	GET /v1/ops/anomalies   watchdog baselines and anomaly history
 //	                        (live mode)
+//	GET /v1/traces          recent distributed traces (tail-sampled);
+//	                        /v1/traces/{id} returns one trace as a span
+//	                        tree
 //	GET /debug/pprof/       profiling handlers (behind -pprof)
 //
 // Usage:
@@ -45,6 +48,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -53,6 +57,7 @@ import (
 	"github.com/patternsoflife/pol/internal/ingest"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/ports"
 	"github.com/patternsoflife/pol/internal/replica"
 )
@@ -79,6 +84,7 @@ func main() {
 		inflight  = flag.Int("max-inflight", 0, "max concurrent HTTP requests before shedding with 429 (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
+		flightDir = flag.String("flight-dir", "", "flight-recorder dump directory (default: the journal/checkpoint directory; disabled when neither is set)")
 	)
 	flag.Parse()
 
@@ -101,6 +107,27 @@ func main() {
 		fatal(logger, "flags", errors.New("-live and -replica are mutually exclusive"))
 	}
 
+	// Every mode gets a tracer and the /v1/traces query surface; the
+	// flight recorder needs a data directory to dump into.
+	fdir := *flightDir
+	if fdir == "" {
+		switch {
+		case *journal != "":
+			fdir = filepath.Dir(*journal)
+		case *ckpt != "":
+			fdir = filepath.Dir(*ckpt)
+		}
+	}
+	service := "polserve"
+	switch {
+	case *replicaOf != "":
+		service = "polserve-replica"
+	case *live:
+		service = "polserve-live"
+	}
+	tr := trace.New(trace.Options{Service: service, FlightDir: fdir})
+	tr.Mount(mux)
+
 	replicaErr := make(chan error, 1)
 	if *replicaOf != "" {
 		rep, err := replica.New(replica.Options{
@@ -109,6 +136,7 @@ func main() {
 			MergeEvery: *tick,
 			MaxLag:     *maxLag,
 			Metrics:    reg,
+			Tracer:     tr,
 			Logf:       logf(logger.With("sub", "replica")),
 		})
 		if err != nil {
@@ -117,7 +145,7 @@ func main() {
 		go func() { replicaErr <- rep.Run(ctx) }()
 		logger.Info("replica mode", "primary", *replicaOf, "maxLag", *maxLag)
 
-		mux.Handle("/", api.NewLiveServer(rep, gaz).WithMetrics(reg).Handler())
+		mux.Handle("/", api.NewLiveServer(rep, gaz).WithMetrics(reg).WithTracing(tr).Handler())
 		mux.Handle("GET /v1/replica/status", rep.StatusHandler())
 		mux.Handle("GET /v1/repl/snapshot", rep.SnapshotHandler())
 		ready = obs.StaleReady(rep.ReadyDetail, rep.SnapshotAge, *maxSnapAge)
@@ -136,6 +164,7 @@ func main() {
 			WALSegmentBytes: *walSeg,
 			Description:     "polserve live ingestion",
 			Metrics:         reg,
+			Tracer:          tr,
 			Logf:            logf(logger.With("sub", "engine")),
 		})
 		if err != nil {
@@ -151,11 +180,18 @@ func main() {
 		})
 		logger.Info("live mode", "feeds", ln.Addr().String(), "replayedGroups", eng.Snapshot().Len())
 
-		wd := obs.NewWatchdog(reg, obs.WatchdogOptions{Logger: logger.With("sub", "watchdog")})
+		wd := obs.NewWatchdog(reg, obs.WatchdogOptions{
+			Logger: logger.With("sub", "watchdog"),
+			OnAnomaly: func(a obs.Anomaly) {
+				if path, err := tr.RecordFlight("watchdog-" + a.Series); err == nil && path != "" {
+					logger.Warn("flight recorder dump", "reason", a.Series, "path", path)
+				}
+			},
+		})
 		eng.AttachWatchdog(wd)
 		wd.Start()
 
-		mux.Handle("/", api.NewLiveServer(eng, gaz).WithMetrics(reg).Handler())
+		mux.Handle("/", api.NewLiveServer(eng, gaz).WithMetrics(reg).WithTracing(tr).Handler())
 		mux.Handle("GET /v1/ingest/stats", eng.StatsHandler())
 		mux.Handle("GET /v1/ops/anomalies", wd.Handler())
 		mux.Handle("GET /v1/repl/", eng.ReplHandler())
@@ -175,7 +211,7 @@ func main() {
 			fatal(logger, "inventory load", err)
 		}
 		logger.Info("serving inventory", "path", *invPath, "groups", inv.Len())
-		mux.Handle("/", api.NewServer(inv, gaz).WithMetrics(reg).Handler())
+		mux.Handle("/", api.NewServer(inv, gaz).WithMetrics(reg).WithTracing(tr).Handler())
 		cleanup = func() {}
 	}
 

@@ -28,6 +28,7 @@ import (
 	"github.com/patternsoflife/pol/internal/cluster"
 	"github.com/patternsoflife/pol/internal/fault"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 )
 
 func main() {
@@ -51,18 +52,23 @@ func main() {
 	if active := faults.Active(); len(active) > 0 {
 		log.Printf("failpoints armed: %v", active)
 	}
+	tr := trace.New(trace.Options{Service: "polworker"})
 	cfg := cluster.WorkerConfig{
 		Coordinator: *coordinator,
 		Name:        *name,
 		Parallelism: *par,
 		Faults:      faults,
+		Tracer:      tr,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
 	if *metricsAddr != "" {
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, obs.Default().Handler()); err != nil {
+			mux := http.NewServeMux()
+			mux.Handle("GET /metrics", obs.Default().Handler())
+			tr.Mount(mux)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
 		}()

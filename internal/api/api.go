@@ -31,6 +31,7 @@ import (
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/ports"
 	"github.com/patternsoflife/pol/internal/routing"
 )
@@ -79,6 +80,7 @@ type Server struct {
 	src         Source
 	gaz         *ports.Gazetteer
 	reg         *obs.Registry
+	tracer      *trace.Tracer
 	maxInFlight int
 }
 
@@ -98,6 +100,15 @@ func NewLiveServer(src Source, gaz *ports.Gazetteer) *Server {
 // chaining.
 func (s *Server) WithMetrics(reg *obs.Registry) *Server {
 	s.reg = reg
+	return s
+}
+
+// WithTracing attaches a tracer: every endpoint runs under a server
+// span that joins a propagated traceparent (or roots a fresh trace), and
+// latency histogram buckets carry the trace ID as an OpenMetrics
+// exemplar. Returns the Server for chaining.
+func (s *Server) WithTracing(tr *trace.Tracer) *Server {
+	s.tracer = tr
 	return s
 }
 
@@ -126,8 +137,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range routes {
 		var h http.Handler = rt.h
-		if s.reg != nil {
-			h = obs.Instrument(s.reg, rt.endpoint, h)
+		switch {
+		case s.reg != nil:
+			h = obs.InstrumentTraced(s.reg, s.tracer, rt.endpoint, h)
+		case s.tracer != nil:
+			h = s.tracer.Middleware(rt.endpoint, h)
 		}
 		mux.Handle("GET "+rt.endpoint, h)
 	}

@@ -12,6 +12,7 @@ import (
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/pipeline"
 )
 
@@ -39,6 +40,11 @@ type Config struct {
 	MaxFrameBytes int
 	// Obs receives cluster metrics (default obs.Default()).
 	Obs *obs.Registry
+	// Tracer, when non-nil, records the job as a trace — a cluster.job
+	// root (joining any ambient span on Run's context), one child per
+	// phase, and a traceparent stamped into every Task so worker execution
+	// spans land in the same distributed trace.
+	Tracer *trace.Tracer
 	// Logf, when non-nil, receives coordinator progress lines.
 	Logf func(format string, args ...any)
 }
@@ -248,6 +254,9 @@ type jobState struct {
 	statics *staticsMsg // broadcast before reduce tasks, nil otherwise
 	res     BuildResult
 	nextID  uint64
+	// jobSpan/traceParent thread the job trace into phase spans and tasks.
+	jobSpan     *trace.Span
+	traceParent string
 }
 
 // Run executes one job to completion and returns the reduced result. It
@@ -264,6 +273,11 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*BuildResult, error) {
 	}
 	start := time.Now()
 	st := &jobState{workers: make(map[*remote]bool)}
+	// Join any ambient trace on ctx (polbuild's client root); otherwise
+	// the job starts a fresh one. Workers join via Task.TraceParent.
+	st.jobSpan = c.cfg.Tracer.StartChild(trace.FromContext(ctx), "cluster.job")
+	st.traceParent = st.jobSpan.TraceParent()
+	defer st.jobSpan.Finish()
 	final := inventory.New(inventory.BuildInfo{
 		Resolution:  job.Resolution,
 		BuiltUnix:   time.Now().Unix(),
@@ -293,6 +307,7 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*BuildResult, error) {
 	}
 	c.shutdownWorkers(st)
 	if err != nil {
+		st.jobSpan.SetError(err)
 		return nil, err
 	}
 
@@ -319,12 +334,13 @@ func (c *Coordinator) runSynthetic(ctx context.Context, st *jobState, job Job, m
 	for i := 0; i < nTasks; i++ {
 		st.nextID++
 		tasks = append(tasks, Task{
-			ID:         st.nextID,
-			Kind:       TaskSimBuild,
-			Resolution: job.Resolution,
-			Sim:        spec,
-			VesselLo:   vessels * i / nTasks,
-			VesselHi:   vessels * (i + 1) / nTasks,
+			ID:          st.nextID,
+			Kind:        TaskSimBuild,
+			Resolution:  job.Resolution,
+			TraceParent: st.traceParent,
+			Sim:         spec,
+			VesselLo:    vessels * i / nTasks,
+			VesselHi:    vessels * (i + 1) / nTasks,
 		})
 	}
 	return c.runPhase(ctx, st, "sim-build", tasks, merge)
@@ -349,10 +365,11 @@ func (c *Coordinator) runArchive(ctx context.Context, st *jobState, job Job, mer
 	for _, sec := range sections {
 		st.nextID++
 		tasks = append(tasks, Task{
-			ID:      st.nextID,
-			Kind:    TaskScan,
-			Section: sec,
-			Buckets: reduceTasks,
+			ID:          st.nextID,
+			Kind:        TaskScan,
+			TraceParent: st.traceParent,
+			Section:     sec,
+			Buckets:     reduceTasks,
 		})
 	}
 	scans := make(map[int]*TaskResult, len(sections))
@@ -397,10 +414,11 @@ func (c *Coordinator) runArchive(ctx context.Context, st *jobState, job Job, mer
 	for _, bucket := range buckets {
 		st.nextID++
 		tasks = append(tasks, Task{
-			ID:         st.nextID,
-			Kind:       TaskReduceBuild,
-			Resolution: job.Resolution,
-			Records:    bucket,
+			ID:          st.nextID,
+			Kind:        TaskReduceBuild,
+			Resolution:  job.Resolution,
+			TraceParent: st.traceParent,
+			Records:     bucket,
 		})
 	}
 	return c.runPhase(ctx, st, "reduce-build", tasks, merge)
@@ -409,7 +427,7 @@ func (c *Coordinator) runArchive(ctx context.Context, st *jobState, job Job, mer
 // runPhase drives one task set to completion: assignment, heartbeat
 // deadlines, straggler re-queue, bounded backed-off retries, and duplicate
 // suppression keyed on idempotent task IDs.
-func (c *Coordinator) runPhase(ctx context.Context, st *jobState, phase string, tasks []Task, onResult func(*TaskResult) error) error {
+func (c *Coordinator) runPhase(ctx context.Context, st *jobState, phase string, tasks []Task, onResult func(*TaskResult) error) (err error) {
 	states := make(map[uint64]*taskState, len(tasks))
 	var pending []*taskState
 	for i := range tasks {
@@ -423,6 +441,12 @@ func (c *Coordinator) runPhase(ctx context.Context, st *jobState, phase string, 
 		return nil
 	}
 	c.logf("phase %s: %d tasks", phase, len(tasks))
+	span := c.cfg.Tracer.StartChild(st.jobSpan, "cluster.phase."+phase)
+	span.SetAttr("tasks", fmt.Sprint(len(tasks)))
+	defer func() {
+		span.SetError(err)
+		span.Finish()
+	}()
 
 	tick := c.cfg.TaskTimeout / 4
 	if tick < 5*time.Millisecond {
@@ -443,6 +467,9 @@ func (c *Coordinator) runPhase(ctx context.Context, st *jobState, phase string, 
 		}
 		c.metrics.retried.Inc()
 		st.res.Retries++
+		span.AddEvent("requeue",
+			trace.Attr{Key: "task", Value: fmt.Sprint(ts.task.ID)},
+			trace.Attr{Key: "why", Value: why})
 		ts.notBefore = time.Now().Add(time.Duration(ts.attempts) * c.cfg.RetryBackoff)
 		pending = append(pending, ts)
 		c.logf("phase %s: task %d re-queued (%s), attempt %d next", phase, ts.task.ID, why, ts.attempts+1)

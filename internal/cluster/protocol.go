@@ -174,6 +174,12 @@ type Task struct {
 	Kind       TaskKind
 	Resolution int
 
+	// TraceParent carries the coordinator's job-trace context in W3C
+	// traceparent form, so the worker's execution span joins the same
+	// distributed trace the client started. Empty on untraced jobs; gob
+	// omits it for old peers, which simply run untraced.
+	TraceParent string
+
 	// TaskSimBuild:
 	Sim                SimSpec
 	VesselLo, VesselHi int

@@ -17,6 +17,7 @@ import (
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/pipeline"
 	"github.com/patternsoflife/pol/internal/ports"
 	"github.com/patternsoflife/pol/internal/sim"
@@ -59,6 +60,11 @@ type WorkerConfig struct {
 	Faults *fault.Registry
 	// Obs receives worker metrics (default obs.Default()).
 	Obs *obs.Registry
+	// Tracer, when non-nil, records one execution span per task, joining
+	// the coordinator's job trace through Task.TraceParent (tasks without
+	// one start fresh worker-local traces). Pipeline stage spans nest
+	// under it.
+	Tracer *trace.Tracer
 	// Logf, when non-nil, receives worker progress lines.
 	Logf func(format string, args ...any)
 
@@ -253,7 +259,22 @@ func (w *worker) handleTask(ctx context.Context, t Task) (killed bool, fatal err
 		}
 	}()
 
-	res := w.execute(ctx, t)
+	// The execution span joins the coordinator's job trace via the
+	// traceparent stamped into the task frame; pipeline stage spans nest
+	// under it through the context.
+	parent, _ := trace.ParseTraceparent(t.TraceParent)
+	span := w.cfg.Tracer.StartRemote("cluster.task."+t.Kind.String(), parent)
+	span.SetAttr("task", fmt.Sprint(t.ID))
+	span.SetAttr("attempt", fmt.Sprint(t.Attempt))
+	if span != nil {
+		w.logf("task %d trace %s", t.ID, span.Trace)
+	}
+	res := w.execute(trace.ContextWith(ctx, span), t)
+	if res.Err != "" {
+		span.SetAttr("error", res.Err)
+		span.MarkError()
+	}
+	span.Finish()
 	close(hbStop)
 	hbWG.Wait()
 	if res.Err == "" {
@@ -379,6 +400,7 @@ func (w *worker) runPipeline(records *dataflow.Dataset[model.PositionRecord], st
 		Resolution:  t.Resolution,
 		Description: fmt.Sprintf("cluster task %d (%s)", t.ID, t.Kind),
 		Obs:         w.cfg.Obs,
+		Tracer:      w.cfg.Tracer,
 	})
 	if err != nil {
 		return err

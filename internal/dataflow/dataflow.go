@@ -99,6 +99,10 @@ func (c *Context) Parallelism() int { return c.parallelism }
 // context is live, the context's error once cancelled.
 func (c *Context) Err() error { return c.std.Err() }
 
+// Std returns the bound standard context — carrying cancellation and any
+// ambient trace span threaded in by the caller (NewContextWith).
+func (c *Context) Std() context.Context { return c.std }
+
 // Metrics returns the execution metrics collected so far.
 func (c *Context) Metrics() *Metrics { return c.metrics }
 

@@ -1,7 +1,9 @@
 package dataflow
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 	"unsafe"
@@ -118,64 +120,72 @@ func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, n int, ha
 	var buckets [][]Pair[K, V] // n output partitions
 	var shuffleErr error
 
+	runShuffle := func() {
+		t0 := time.Now()
+		// Per input partition, bucket locally (no locks), then merge.
+		local := make([][][]Pair[K, V], d.nParts)
+		shuffleErr = d.ctx.runParallel(d.nParts, func(p int) error {
+			rows, err := d.compute(p)
+			if err != nil {
+				return err
+			}
+			sc := d.ctx.getScratch(len(rows), n)
+			for i, r := range rows {
+				sc.idx[i] = int32(hash(r.Key) % uint64(n))
+				sc.counts[sc.idx[i]]++
+			}
+			backing := make([]Pair[K, V], len(rows))
+			b := make([][]Pair[K, V], n)
+			off := 0
+			for j := 0; j < n; j++ {
+				b[j] = backing[off : off : off+sc.counts[j]]
+				off += sc.counts[j]
+			}
+			for i, r := range rows {
+				j := sc.idx[i]
+				b[j] = append(b[j], r)
+			}
+			d.ctx.putScratch(sc)
+			local[p] = b
+			return nil
+		})
+		if shuffleErr != nil {
+			return
+		}
+		var rows int64
+		if d.nParts == 1 {
+			// Single input partition: its buckets are the output.
+			buckets = local[0]
+			for _, b := range buckets {
+				rows += int64(len(b))
+			}
+		} else {
+			buckets = make([][]Pair[K, V], n)
+			for i := range buckets {
+				total := 0
+				for _, lb := range local {
+					total += len(lb[i])
+				}
+				merged := make([]Pair[K, V], 0, total)
+				for _, lb := range local {
+					merged = append(merged, lb[i]...)
+				}
+				buckets[i] = merged
+				rows += int64(total)
+			}
+		}
+		d.ctx.metrics.add(name, rows, rows, time.Since(t0))
+		d.ctx.metrics.addShuffle(rows)
+	}
+
 	out := &Dataset[Pair[K, V]]{ctx: d.ctx, nParts: n, name: name}
 	out.compute = func(part int) ([]Pair[K, V], error) {
+		// The whole shuffle (bucket + merge, the build's hottest path) runs
+		// under a pprof label so CPU profiles segment by stage name.
 		once.Do(func() {
-			t0 := time.Now()
-			// Per input partition, bucket locally (no locks), then merge.
-			local := make([][][]Pair[K, V], d.nParts)
-			shuffleErr = d.ctx.runParallel(d.nParts, func(p int) error {
-				rows, err := d.compute(p)
-				if err != nil {
-					return err
-				}
-				sc := d.ctx.getScratch(len(rows), n)
-				for i, r := range rows {
-					sc.idx[i] = int32(hash(r.Key) % uint64(n))
-					sc.counts[sc.idx[i]]++
-				}
-				backing := make([]Pair[K, V], len(rows))
-				b := make([][]Pair[K, V], n)
-				off := 0
-				for j := 0; j < n; j++ {
-					b[j] = backing[off : off : off+sc.counts[j]]
-					off += sc.counts[j]
-				}
-				for i, r := range rows {
-					j := sc.idx[i]
-					b[j] = append(b[j], r)
-				}
-				d.ctx.putScratch(sc)
-				local[p] = b
-				return nil
+			pprof.Do(d.ctx.std, pprof.Labels("stage", name), func(context.Context) {
+				runShuffle()
 			})
-			if shuffleErr != nil {
-				return
-			}
-			var rows int64
-			if d.nParts == 1 {
-				// Single input partition: its buckets are the output.
-				buckets = local[0]
-				for _, b := range buckets {
-					rows += int64(len(b))
-				}
-			} else {
-				buckets = make([][]Pair[K, V], n)
-				for i := range buckets {
-					total := 0
-					for _, lb := range local {
-						total += len(lb[i])
-					}
-					merged := make([]Pair[K, V], 0, total)
-					for _, lb := range local {
-						merged = append(merged, lb[i]...)
-					}
-					buckets[i] = merged
-					rows += int64(total)
-				}
-			}
-			d.ctx.metrics.add(name, rows, rows, time.Since(t0))
-			d.ctx.metrics.addShuffle(rows)
 		})
 		if shuffleErr != nil {
 			return nil, shuffleErr

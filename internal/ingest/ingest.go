@@ -35,10 +35,12 @@ package ingest
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,7 @@ import (
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/pipeline"
 	"github.com/patternsoflife/pol/internal/ports"
 )
@@ -89,6 +92,11 @@ type Options struct {
 	// merge/publish/journal-fsync durations into the shared pipeline
 	// stage histogram family.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records each merge cycle as a trace (root span
+	// with merge/publish/checkpoint children, linked into latency-histogram
+	// exemplars) and dumps the flight recorder on WAL corruption, degraded
+	// transitions, and resumes. The hot per-record path is never traced.
+	Tracer *trace.Tracer
 	// WALSegmentBytes is the journal segment rotation threshold
 	// (default 64 MiB).
 	WALSegmentBytes int64
@@ -242,6 +250,11 @@ type Engine struct {
 	// atomically for lock-free readers (replica lag, stats).
 	lastSeq    uint64
 	appliedSeq atomic.Uint64
+
+	// cycle is the ambient merge-cycle trace span; loop-owned, non-nil
+	// only while mergeAndPublish (or an explicit publish barrier) runs so
+	// mergePeriod/publish/checkpoint can attach child spans and exemplars.
+	cycle *trace.Span
 }
 
 // setLastSeq advances the loop-owned frontier and its atomic mirror.
@@ -338,6 +351,9 @@ func NewEngine(opt Options) (*Engine, error) {
 		if rec.CorruptEvents > 0 {
 			e.logf("journal recovery: %d corruption event(s), %d bytes quarantined, replay stopped at seq %d",
 				rec.CorruptEvents, rec.QuarantinedBytes, rec.LastSeq)
+			if path, ferr := opt.Tracer.RecordFlight("wal-corruption"); ferr == nil && path != "" {
+				e.logf("flight recorder: WAL corruption dump at %s", path)
+			}
 		}
 		// Fold any replayed tail past the last marker into the master so
 		// the first snapshot already reflects the journal. The fold is
@@ -829,6 +845,9 @@ func (e *Engine) enterDegraded(reason string) {
 	}
 	e.degradedReason.Store(&reason)
 	e.logf("ingest degraded (serving last snapshot read-only): %s", reason)
+	if path, ferr := e.opt.Tracer.RecordFlight("degraded"); ferr == nil && path != "" {
+		e.logf("flight recorder: degraded-mode dump at %s", path)
+	}
 	if e.ckpt != nil && e.opt.JournalPath != "" {
 		e.armRetry()
 	}
@@ -943,6 +962,9 @@ func (e *Engine) handleResume() {
 	e.degradedReason.Store(nil)
 	e.m.resumes.Add(1)
 	e.logf("ingest resumed after degraded mode (checkpoint seq %d)", e.lastSeq)
+	if path, ferr := e.opt.Tracer.RecordFlight("resume"); ferr == nil && path != "" {
+		e.logf("flight recorder: resume dump at %s", path)
+	}
 }
 
 // mergeAndPublish folds the period inventory into the master, publishes a
@@ -959,6 +981,15 @@ func (e *Engine) mergeAndPublish(now time.Time) {
 		e.m.mergeDeferred.Add(1)
 		return
 	}
+	// The merge cycle is the unit of tracing on the ingest side: one root
+	// span per fold, children for the stages. Individual records are never
+	// traced — the hot path stays span-free.
+	e.cycle = e.opt.Tracer.StartRoot("ingest.merge_cycle")
+	defer func() {
+		e.cycle.SetAttr("applied_seq", fmt.Sprint(e.lastSeq))
+		e.cycle.Finish()
+		e.cycle = nil
+	}()
 	// Journal the merge boundary before folding. Float summation is not
 	// associative, so a replica tailing this WAL (and a replay after a
 	// crash) must fold period→master at exactly this record frontier to
@@ -966,6 +997,7 @@ func (e *Engine) mergeAndPublish(now time.Time) {
 	if j := e.jrnl(); j != nil && !e.degraded.Load() {
 		if err := j.AppendMerge(); err != nil {
 			e.m.mergeDeferred.Add(1)
+			e.cycle.SetError(err)
 			e.journalFailed(err)
 			return
 		}
@@ -974,7 +1006,11 @@ func (e *Engine) mergeAndPublish(now time.Time) {
 	e.mergePeriod(now)
 	snap := e.publish(now)
 	if j := e.jrnl(); j != nil {
-		if err := j.Flush(); err != nil {
+		fs := e.opt.Tracer.StartChild(e.cycle, "stage.journal_flush")
+		err := j.Flush()
+		fs.SetError(err)
+		fs.Finish()
+		if err != nil {
 			e.journalFailed(err)
 		}
 	}
@@ -992,8 +1028,13 @@ func (e *Engine) mergePeriod(now time.Time) {
 	if e.period.Len() == 0 {
 		return
 	}
+	ms := e.opt.Tracer.StartChild(e.cycle, "stage.ingest_merge")
+	ms.SetAttr("period_groups", fmt.Sprint(e.period.Len()))
 	t0 := time.Now()
-	_ = e.master.MergeFrom(e.period) // same resolution by construction
+	// Label the fold so CPU profiles segment the merge hot path by stage.
+	pprof.Do(context.Background(), pprof.Labels("stage", "ingest_merge"), func(context.Context) {
+		_ = e.master.MergeFrom(e.period) // same resolution by construction
+	})
 	info := e.master.Info()
 	info.RawRecords = e.m.positionsSeen.Load()
 	info.UsedRecords = e.m.tripRecords.Load()
@@ -1002,21 +1043,29 @@ func (e *Engine) mergePeriod(now time.Time) {
 	e.master.SetInfo(info)
 	e.period = inventory.New(inventory.BuildInfo{Resolution: e.opt.Resolution})
 	d := time.Since(t0)
+	ms.Finish()
 	e.m.merges.Add(1)
 	e.m.lastMergeNanos.Store(int64(d))
 	e.m.totalMergeNanos.Add(int64(d))
 	if e.hMerge != nil {
-		e.hMerge.Observe(d.Seconds())
+		if ms != nil {
+			e.hMerge.ObserveExemplar(d.Seconds(), ms.Trace.String())
+		} else {
+			e.hMerge.Observe(d.Seconds())
+		}
 	}
 }
 
 // publish takes a copy-on-write snapshot of the master — deep-copying only
 // the shards dirtied since the last publish — and swaps it in atomically.
 func (e *Engine) publish(now time.Time) *inventory.Inventory {
+	ps := e.opt.Tracer.StartChild(e.cycle, "stage.ingest_publish")
 	t0 := time.Now()
 	snap := e.master.Snapshot()
 	e.snap.Store(snap)
 	d := time.Since(t0)
+	ps.SetAttr("groups", fmt.Sprint(snap.Len()))
+	ps.Finish()
 	e.m.lastPublishNanos.Store(int64(d))
 	e.m.lastPublishUnix.Store(now.Unix())
 	e.m.groups.Store(int64(snap.Len()))
@@ -1024,7 +1073,11 @@ func (e *Engine) publish(now time.Time) *inventory.Inventory {
 	// the merge and this store: everything counted so far is now served.
 	e.m.mergedObservations.Store(e.m.observations.Load())
 	if e.hPublish != nil {
-		e.hPublish.Observe(d.Seconds())
+		if ps != nil {
+			e.hPublish.ObserveExemplar(d.Seconds(), ps.Trace.String())
+		} else {
+			e.hPublish.Observe(d.Seconds())
+		}
 	}
 	return snap
 }
@@ -1042,13 +1095,19 @@ func (e *Engine) checkpoint(snap *inventory.Inventory) {
 	st := e.captureState()
 	seq := e.lastSeq
 	j := e.jrnl()
+	// Child of the merge cycle that triggered the cadence: the span is
+	// created in the loop (e.cycle is loop-owned) and finished by the
+	// background writer — spans are immutable only after Finish.
+	cs := e.opt.Tracer.StartChild(e.cycle, "stage.checkpoint")
 	e.ckptWG.Add(1)
 	go func() {
 		defer e.ckptWG.Done()
 		defer e.ckptBusy.Store(false)
+		defer cs.Finish()
 		t0 := time.Now()
 		covered, err := e.ckpt.Save(snap, st, seq)
 		if err != nil {
+			cs.SetError(err)
 			e.m.checkpointErrors.Add(1)
 			e.logf("checkpoint failed: %v", err)
 			return

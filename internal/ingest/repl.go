@@ -121,12 +121,17 @@ func (e *Engine) ReplManifestSnapshot() ReplManifest {
 
 // ReplHandler returns the read-only replication surface. Mount it at the
 // daemon root ("GET /v1/repl/"); the returned mux routes the full paths.
+// With a tracer configured each route joins the traceparent a tailing
+// replica injects, so one replication cycle spans both processes.
 func (e *Engine) ReplHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/repl/manifest", e.handleReplManifest)
-	mux.HandleFunc("GET /v1/repl/checkpoint/{gen}/{file}", e.handleReplCheckpoint)
-	mux.HandleFunc("GET /v1/repl/wal", e.handleReplWAL)
-	mux.HandleFunc("GET /v1/repl/snapshot", e.handleReplSnapshot)
+	traced := func(endpoint string, h http.HandlerFunc) http.Handler {
+		return e.opt.Tracer.Middleware(endpoint, h)
+	}
+	mux.Handle("GET /v1/repl/manifest", traced("repl_manifest", e.handleReplManifest))
+	mux.Handle("GET /v1/repl/checkpoint/{gen}/{file}", traced("repl_checkpoint", e.handleReplCheckpoint))
+	mux.Handle("GET /v1/repl/wal", traced("repl_wal", e.handleReplWAL))
+	mux.Handle("GET /v1/repl/snapshot", traced("repl_snapshot", e.handleReplSnapshot))
 	return mux
 }
 

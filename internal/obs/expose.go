@@ -53,12 +53,20 @@ func (r *Registry) WriteText(w io.Writer) {
 		if s.kind == kindHist {
 			h := s.hist
 			cum := h.bucketCounts()
+			exs := h.bucketExemplars()
 			for i, c := range cum {
 				le := "+Inf"
 				if i < len(h.bounds) {
 					le = formatValue(h.bounds[i])
 				}
-				fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", le), c)
+				fmt.Fprintf(w, "%s_bucket%s %d", s.name, withLabel(s.labels, "le", le), c)
+				// OpenMetrics exemplar suffix: the last traced observation
+				// that landed in this bucket, linking the aggregate back to
+				// a concrete trace in /v1/traces.
+				if ex := exs[i]; ex != nil {
+					fmt.Fprintf(w, " # {trace_id=%q} %s %.3f", ex.TraceID, formatValue(ex.Value), ex.Unix)
+				}
+				fmt.Fprintln(w)
 			}
 			fmt.Fprintf(w, "%s_sum%s %s\n", s.name, s.labels, formatValue(h.Sum()))
 			fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.labels, h.Count())

@@ -13,15 +13,27 @@ var DefLatencyBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// Exemplar links one observation to the trace it came from — the
+// OpenMetrics bridge from an aggregate latency bucket back to a concrete
+// request retained in /v1/traces.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Unix    float64 // observation time, seconds since epoch
+}
+
 // Histogram counts observations in fixed buckets and keeps the running
-// sum, supporting quantile estimation by linear interpolation within the
-// matched bucket. Observe is lock-free; all methods are safe for
-// concurrent use.
+// sum and maximum, supporting quantile estimation by linear interpolation
+// within the matched bucket. Observe is lock-free; all methods are safe
+// for concurrent use. Each bucket optionally retains the last exemplar
+// (trace ID + value) observed into it.
 type Histogram struct {
-	bounds  []float64 // sorted upper bounds; final +Inf bucket is implicit
-	counts  []atomic.Int64
-	total   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits of the observation sum
+	bounds    []float64 // sorted upper bounds; final +Inf bucket is implicit
+	counts    []atomic.Int64
+	total     atomic.Int64
+	sumBits   atomic.Uint64 // float64 bits of the observation sum
+	maxBits   atomic.Uint64 // float64 bits of the largest observation
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram builds a histogram with the given sorted upper bounds
@@ -31,14 +43,26 @@ func NewHistogram(bounds ...float64) *Histogram {
 		bounds = DefLatencyBuckets
 	}
 	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	return h
 }
 
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, "")
+}
+
+// ObserveExemplar records one observation and, when traceID is non-empty,
+// retains it as the bucket's exemplar so scrapes can link the bucket to a
+// retained trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.observe(v, traceID)
+}
+
+func (h *Histogram) observe(v float64, traceID string) {
 	if math.IsNaN(v) {
 		return
 	}
@@ -52,8 +76,24 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		newV := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, newV) {
-			return
+			break
 		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{
+			TraceID: traceID,
+			Value:   v,
+			Unix:    float64(time.Now().UnixMilli()) / 1000,
+		})
 	}
 }
 
@@ -66,10 +106,15 @@ func (h *Histogram) Count() int64 { return h.total.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Max returns the largest observation (0 before the first).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
 // within the bucket containing the rank. Returns NaN on an empty
-// histogram. Values in the overflow bucket report the largest finite
-// bound, matching the Prometheus histogram_quantile convention.
+// histogram. Ranks landing in the +Inf overflow bucket interpolate
+// between the largest finite bound and the maximum observation actually
+// seen — never silently capping at the last bound, so an SLO gate on a
+// tail quantile trips when the tail escapes the bucket layout.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.total.Load()
 	if total == 0 || math.IsNaN(q) {
@@ -90,8 +135,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if i >= len(h.bounds) {
-			// Overflow bucket: no finite upper bound to interpolate to.
-			return h.bounds[len(h.bounds)-1]
+			return h.overflowQuantile(rank, cum, c)
 		}
 		lower := 0.0
 		if i > 0 {
@@ -102,7 +146,25 @@ func (h *Histogram) Quantile(q float64) float64 {
 		within := rank - float64(cum-c)
 		return lower + (upper-lower)*(within/float64(c))
 	}
-	return h.bounds[len(h.bounds)-1]
+	return h.overflowQuantile(rank, total, h.counts[len(h.bounds)].Load())
+}
+
+// overflowQuantile interpolates a rank inside the +Inf bucket: between
+// the largest finite bound and the maximum observation. With a stale or
+// impossible max (max below the last bound can only happen on a fresh
+// histogram racing its first observation) it degrades to the max itself,
+// which still upper-bounds the true quantile.
+func (h *Histogram) overflowQuantile(rank float64, cum, c int64) float64 {
+	lower := h.bounds[len(h.bounds)-1]
+	upper := h.Max()
+	if upper <= lower || c <= 0 {
+		return math.Max(upper, lower)
+	}
+	within := rank - float64(cum-c)
+	if within < 0 {
+		within = 0
+	}
+	return lower + (upper-lower)*(within/float64(c))
 }
 
 // bucketCounts returns the cumulative per-bucket counts for exposition:
@@ -113,6 +175,16 @@ func (h *Histogram) bucketCounts() []int64 {
 	for i := range h.counts {
 		cum += h.counts[i].Load()
 		out[i] = cum
+	}
+	return out
+}
+
+// bucketExemplars returns the per-bucket exemplars for exposition (nil
+// entries for buckets without one).
+func (h *Histogram) bucketExemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
 	}
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"log/slog"
 	"net/http"
 	"time"
+
+	"github.com/patternsoflife/pol/internal/obs/trace"
 )
 
 // Metric names recorded by the HTTP middleware.
@@ -78,13 +80,32 @@ func Instrument(reg *Registry, endpoint string, next http.Handler) http.Handler 
 		inFlight.Add(1)
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
-		hist.ObserveSince(t0)
+		// When a tracing middleware wrapped this endpoint, the ambient
+		// span links the latency bucket to the trace as an exemplar.
+		if s := trace.FromContext(r.Context()); s != nil {
+			hist.ObserveExemplar(time.Since(t0).Seconds(), s.Trace.String())
+		} else {
+			hist.ObserveSince(t0)
+		}
 		inFlight.Add(-1)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
 		counters[statusClass(sw.status)].Inc()
 	})
+}
+
+// InstrumentTraced composes the tracing and metrics middleware for one
+// endpoint: the server span (joining a propagated traceparent when
+// present) wraps the metrics layer, whose histogram observation carries
+// the span's trace ID as an OpenMetrics exemplar. A nil tracer degrades
+// to plain Instrument.
+func InstrumentTraced(reg *Registry, tr *trace.Tracer, endpoint string, next http.Handler) http.Handler {
+	instrumented := Instrument(reg, endpoint, next)
+	if tr == nil {
+		return instrumented
+	}
+	return tr.Middleware(endpoint, instrumented)
 }
 
 // AccessLog wraps a handler with structured request logging: one slog

@@ -96,11 +96,74 @@ func TestHistogramQuantiles(t *testing.T) {
 	if p99 > 1.01 {
 		t.Errorf("p99 %v beyond max observation bucket", p99)
 	}
-	// Everything beyond the largest bound reports the largest finite bound.
+	// Observations beyond the largest bound must NOT cap at the last
+	// finite bound: the overflow bucket interpolates toward the observed
+	// maximum (regression: silent p99 capping defeated polload -max-p99).
 	over := NewHistogram(0.1, 1)
 	over.Observe(100)
-	if q := over.Quantile(0.5); q != 1 {
-		t.Errorf("overflow quantile %v, want 1", q)
+	if q := over.Quantile(0.5); !(q > 1 && q <= 100) {
+		t.Errorf("overflow quantile %v, want in (1, 100]", q)
+	}
+}
+
+// TestHistogramOverflowQuantile is the regression test for the overflow
+// bucket: tail quantiles whose rank lands past the last finite bound
+// interpolate between that bound and the observed maximum instead of
+// silently reporting the bound itself.
+func TestHistogramOverflowQuantile(t *testing.T) {
+	h := NewHistogram(0.1, 1) // overflow bucket is (1, +Inf)
+	// 90 in-range observations, 10 way past the last bound.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(30)
+	}
+	if got := h.Max(); got != 30 {
+		t.Fatalf("max %v, want 30", got)
+	}
+	// p50 is still in-range...
+	if q := h.Quantile(0.5); q > 0.1 {
+		t.Errorf("p50 %v, want <= 0.1", q)
+	}
+	// ...but p99 lands in the overflow bucket: the buggy behavior
+	// reported 1.0 (the last bound); the fix reports a value between the
+	// bound and the max, so an SLO gate at e.g. 2s trips.
+	p99 := h.Quantile(0.99)
+	if !(p99 > 1 && p99 <= 30) {
+		t.Errorf("overflow p99 %v, want in (1, 30]", p99)
+	}
+	// q=1 reaches the max exactly.
+	if q := h.Quantile(1); math.Abs(q-30) > 1e-9 {
+		t.Errorf("p100 %v, want 30", q)
+	}
+	// All-overflow histograms interpolate across the whole bucket.
+	all := NewHistogram(0.1, 1)
+	for i := 0; i < 100; i++ {
+		all.Observe(10)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if v := all.Quantile(q); !(v > 1 && v <= 10) {
+			t.Errorf("all-overflow quantile(%v) = %v, want in (1, 10]", q, v)
+		}
+	}
+}
+
+// TestHistogramExemplars checks that traced observations surface as
+// OpenMetrics exemplar suffixes on their bucket lines, and untraced
+// histograms render the classic format untouched.
+func TestHistogramExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("pol_test_seconds", nil)
+	h.Observe(0.01)
+	if got := reg.Expose(); strings.Contains(got, "# {") {
+		t.Fatalf("untraced histogram rendered an exemplar:\n%s", got)
+	}
+	h.ObserveExemplar(0.3, "cafe1234cafe1234cafe1234cafe1234")
+	out := reg.Expose()
+	want := `pol_test_seconds_bucket{le="0.5"} 2 # {trace_id="cafe1234cafe1234cafe1234cafe1234"} 0.3 `
+	if !strings.Contains(out, want) {
+		t.Fatalf("exemplar suffix missing:\nwant fragment %q\ngot:\n%s", want, out)
 	}
 }
 

@@ -1,0 +1,35 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// ContextWith returns a context carrying the span as the ambient parent
+// for downstream child spans.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the ambient span, or nil when the context carries
+// none.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartFromContext begins a child of the context's ambient span (a fresh
+// root when the context has none) and returns the derived context
+// carrying the new span. A nil tracer returns (ctx, nil).
+func (t *Tracer) StartFromContext(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.StartChild(FromContext(ctx), name)
+	return ContextWith(ctx, s), s
+}

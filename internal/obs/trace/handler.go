@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SpanJSON is the wire form of one finished span.
+type SpanJSON struct {
+	TraceID       string      `json:"traceId"`
+	SpanID        string      `json:"spanId"`
+	ParentID      string      `json:"parentId,omitempty"`
+	Name          string      `json:"name"`
+	Service       string      `json:"service"`
+	StartUnixNano int64       `json:"startUnixNano"`
+	DurationUs    int64       `json:"durationUs"`
+	Err           bool        `json:"error,omitempty"`
+	Remote        bool        `json:"remoteParent,omitempty"`
+	Attrs         []Attr      `json:"attrs,omitempty"`
+	Events        []Event     `json:"events,omitempty"`
+	Children      []*SpanJSON `json:"children,omitempty"`
+}
+
+func (t *Tracer) spanJSON(s *Span) *SpanJSON {
+	out := &SpanJSON{
+		TraceID:       s.Trace.String(),
+		SpanID:        s.ID.String(),
+		Name:          s.Name,
+		Service:       t.Service(),
+		StartUnixNano: s.Start.UnixNano(),
+		DurationUs:    s.End.Sub(s.Start).Microseconds(),
+		Err:           s.Err,
+		Remote:        s.remote,
+		Attrs:         s.Attrs,
+		Events:        s.Events,
+	}
+	if !s.Parent.IsZero() {
+		out.ParentID = s.Parent.String()
+	}
+	return out
+}
+
+// TraceSummary is one entry in the GET /v1/traces listing.
+type TraceSummary struct {
+	TraceID       string `json:"traceId"`
+	Root          string `json:"root"`
+	Spans         int    `json:"spans"`
+	Errors        int    `json:"errors"`
+	StartUnixNano int64  `json:"startUnixNano"`
+	DurationUs    int64  `json:"durationUs"`
+}
+
+// Summaries lists the retained traces, newest first, at most limit
+// entries (limit <= 0 means all). Root names the earliest retained span
+// of the trace; duration spans first start to last end across this
+// process's retained spans.
+func (t *Tracer) Summaries(limit int) []TraceSummary {
+	byTrace := make(map[TraceID][]*Span)
+	for _, s := range t.all() {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	out := make([]TraceSummary, 0, len(byTrace))
+	for id, spans := range byTrace {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		sum := TraceSummary{
+			TraceID:       id.String(),
+			Root:          spans[0].Name,
+			Spans:         len(spans),
+			StartUnixNano: spans[0].Start.UnixNano(),
+		}
+		// Prefer a true local root's name when one is retained.
+		for _, s := range spans {
+			if s.Parent.IsZero() {
+				sum.Root = s.Name
+				break
+			}
+		}
+		end := spans[0].End
+		for _, s := range spans {
+			if s.Err {
+				sum.Errors++
+			}
+			if s.End.After(end) {
+				end = s.End
+			}
+		}
+		sum.DurationUs = end.Sub(spans[0].Start).Microseconds()
+		out = append(out, sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNano > out[j].StartUnixNano })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Tree assembles one trace's retained spans into parent→children trees.
+// Spans whose parent is not retained in this process (remote parents,
+// ring-evicted parents) surface as top-level roots, so a partial trace
+// still renders.
+func (t *Tracer) Tree(id TraceID) []*SpanJSON {
+	spans := t.Spans(id)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	nodes := make(map[SpanID]*SpanJSON, len(spans))
+	for _, s := range spans {
+		nodes[s.ID] = t.spanJSON(s)
+	}
+	var roots []*SpanJSON
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if !s.Parent.IsZero() {
+			if p, ok := nodes[s.Parent]; ok {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	return roots
+}
+
+// Handler serves the trace query surface:
+//
+//	GET /v1/traces        — retained trace summaries, newest first (?n= caps)
+//	GET /v1/traces/{id}   — one trace as a JSON span tree
+//
+// Mount it at /v1/traces and /v1/traces/ on a daemon's mux. A nil tracer
+// answers 404 for everything.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.NotFound(w, r)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/traces")
+		rest = strings.Trim(rest, "/")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if rest == "" {
+			limit := 50
+			if v := r.URL.Query().Get("n"); v != "" {
+				if n, err := strconv.Atoi(v); err == nil {
+					limit = n
+				}
+			}
+			_ = enc.Encode(map[string]any{
+				"service": t.Service(),
+				"spans":   t.SpanCount(),
+				"traces":  t.Summaries(limit),
+			})
+			return
+		}
+		id, ok := ParseTraceID(rest)
+		if !ok {
+			w.WriteHeader(http.StatusBadRequest)
+			_ = enc.Encode(map[string]string{"error": "malformed trace id"})
+			return
+		}
+		tree := t.Tree(id)
+		if len(tree) == 0 {
+			w.WriteHeader(http.StatusNotFound)
+			_ = enc.Encode(map[string]string{"error": "trace not retained"})
+			return
+		}
+		_ = enc.Encode(map[string]any{
+			"traceId": id.String(),
+			"service": t.Service(),
+			"spans":   tree,
+		})
+	})
+}
+
+// Mount registers the trace query surface on a mux under /v1/traces.
+// Safe on a nil tracer (registers nothing).
+func (t *Tracer) Mount(mux *http.ServeMux) {
+	if t == nil || mux == nil {
+		return
+	}
+	h := t.Handler()
+	mux.Handle("GET /v1/traces", h)
+	mux.Handle("GET /v1/traces/", h)
+}

@@ -1,0 +1,43 @@
+package trace
+
+import "sync/atomic"
+
+// spanRing is a fixed-capacity lock-free ring of finished spans: writers
+// claim a slot with one atomic add and publish the (immutable) span with
+// one atomic pointer store, so recording never blocks the request path.
+// Readers snapshot whatever is currently published; a reader racing a
+// writer sees either the old or the new span in a slot, both valid.
+type spanRing struct {
+	slots []atomic.Pointer[Span]
+	next  atomic.Uint64
+}
+
+func newSpanRing(size int) *spanRing {
+	if size < 1 {
+		size = 1
+	}
+	return &spanRing{slots: make([]atomic.Pointer[Span], size)}
+}
+
+func (r *spanRing) add(s *Span) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+// snapshot returns the currently published spans, oldest first (best
+// effort under concurrent writes).
+func (r *spanRing) snapshot() []*Span {
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]*Span, 0, size)
+	for i := start; i < n; i++ {
+		if s := r.slots[i%size].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -46,6 +46,11 @@ type WatchdogOptions struct {
 	MaxAnomalies int
 	// Logger receives a warning per detected anomaly when non-nil.
 	Logger *slog.Logger
+	// OnAnomaly, when non-nil, is called (outside the watchdog lock) for
+	// every detected anomaly — the flight-recorder trigger: daemons wire
+	// it to trace.Tracer.RecordFlight so an anomalous signal dumps the
+	// recent span history for post-mortem analysis.
+	OnAnomaly func(Anomaly)
 }
 
 func (o WatchdogOptions) withDefaults() WatchdogOptions {
@@ -151,6 +156,14 @@ func (w *Watchdog) watch(name string, cumulative bool, sample func() float64) {
 // callers with their own schedulers) can drive the watchdog with a
 // scripted clock; Start calls it on a ticker.
 func (w *Watchdog) Step(now time.Time) {
+	var fired []Anomaly
+	defer func() {
+		if w.opt.OnAnomaly != nil {
+			for _, a := range fired {
+				w.opt.OnAnomaly(a)
+			}
+		}
+	}()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	dt := now.Sub(w.lastStep)
@@ -191,10 +204,12 @@ func (w *Watchdog) Step(now time.Time) {
 			if math.Abs(z) >= w.opt.ZThreshold {
 				s.flagGauge.Set(1)
 				w.total.Inc()
-				w.anomalies = append(w.anomalies, Anomaly{
+				a := Anomaly{
 					Series: s.name, Value: value, Mean: mean, Stddev: std,
 					ZScore: z, Unix: now.Unix(),
-				})
+				}
+				w.anomalies = append(w.anomalies, a)
+				fired = append(fired, a)
 				if n := len(w.anomalies) - w.opt.MaxAnomalies; n > 0 {
 					w.anomalies = append(w.anomalies[:0], w.anomalies[n:]...)
 				}

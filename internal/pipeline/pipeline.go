@@ -21,6 +21,7 @@ import (
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/ports"
 )
 
@@ -44,6 +45,11 @@ type Options struct {
 	// and the per-stage busy durations of the dataflow graph, all under
 	// the shared pipeline stage histogram family.
 	Obs *obs.Registry
+	// Tracer, when non-nil, additionally records the macro phases as
+	// children of the ambient trace span carried by the dataset context's
+	// Std() — so a worker task's trace shows the pipeline phases inside
+	// it. Without an ambient span this is a no-op.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -110,7 +116,7 @@ func Run(records *dataflow.Dataset[model.PositionRecord], static map[uint32]mode
 	}
 
 	var stats Stats
-	countSpan := obs.StartSpan(opt.Obs, "pipeline_input_count")
+	_, countSpan := obs.StartSpanCtx(ctx.Std(), opt.Tracer, opt.Obs, "pipeline_input_count")
 	if n, err := dataflow.Count(records); err == nil {
 		stats.RawRecords = n
 	} else {
@@ -158,7 +164,7 @@ func Run(records *dataflow.Dataset[model.PositionRecord], static map[uint32]mode
 	// The graph is lazy: this Collect executes cleaning, trip extraction,
 	// projection and the feature reduce in one go, so the span covers the
 	// whole §3.3 dataflow.
-	execSpan := obs.StartSpan(opt.Obs, "pipeline_execute")
+	_, execSpan := obs.StartSpanCtx(ctx.Std(), opt.Tracer, opt.Obs, "pipeline_execute")
 	pairs, err := dataflow.Collect(aggregated)
 	if err != nil {
 		return nil, err

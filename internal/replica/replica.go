@@ -43,6 +43,7 @@ import (
 	"github.com/patternsoflife/pol/internal/ingest"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/obs"
+	"github.com/patternsoflife/pol/internal/obs/trace"
 )
 
 // Failpoints armed via POL_FAILPOINTS to drill the fetch path.
@@ -85,6 +86,11 @@ type Options struct {
 	// Faults is the failpoint registry for fetch-path drills (default:
 	// the process-wide registry armed from POL_FAILPOINTS).
 	Faults *fault.Registry
+	// Tracer, when non-nil, roots a trace per bootstrap and WAL poll and
+	// injects W3C traceparent on every fetch, so the primary's replication
+	// handlers record server spans in the same trace. Re-bootstraps dump
+	// the flight recorder. The applier engine shares the tracer.
+	Tracer *trace.Tracer
 	// Description is stored in the applier engine's build info.
 	Description string
 	// Logf, when non-nil, receives reconnect/re-bootstrap warnings.
@@ -166,6 +172,7 @@ func New(opt Options) (*Replica, error) {
 		MergeEvery:    opt.MergeEvery,
 		Description:   opt.Description,
 		Metrics:       opt.Metrics,
+		Tracer:        opt.Tracer,
 		Logf:          opt.Logf,
 		ReplicaDriven: true,
 	})
@@ -231,6 +238,9 @@ func (r *Replica) Run(ctx context.Context) error {
 		if errors.Is(err, errRebootstrap) {
 			r.rebootstraps.Add(1)
 			r.logf("replica: %v", err)
+			if path, ferr := r.opt.Tracer.RecordFlight("rebootstrap"); ferr == nil && path != "" {
+				r.logf("flight recorder: re-bootstrap dump at %s", path)
+			}
 			needBootstrap = true
 			continue
 		}
@@ -264,7 +274,16 @@ func (r *Replica) sleep(ctx context.Context, delay *time.Duration) bool {
 // checksum mismatch. A 404 mid-download means the primary rotated
 // generations under us: errGenRotated asks Run for an immediate retry
 // with a fresh manifest.
-func (r *Replica) bootstrap(ctx context.Context) error {
+func (r *Replica) bootstrap(ctx context.Context) (err error) {
+	// One trace per bootstrap attempt: the fetch children below inject its
+	// traceparent, so the primary's repl_manifest/repl_checkpoint server
+	// spans land in the same trace.
+	span := r.opt.Tracer.StartRoot("replica.bootstrap")
+	ctx = trace.ContextWith(ctx, span)
+	defer func() {
+		span.SetError(err)
+		span.Finish()
+	}()
 	man, err := r.fetchManifest(ctx)
 	if err != nil {
 		return err
@@ -399,20 +418,32 @@ func (r *Replica) fetchWAL(ctx context.Context, fromSeq uint64) ([]ingest.Journa
 	if err := r.opt.Faults.Hit(FPFetchWAL); err != nil {
 		return nil, 0, err
 	}
+	// One trace per poll cycle: the primary's repl_wal server span joins
+	// via the injected traceparent — the cross-process pair the replica
+	// e2e asserts.
+	span := r.opt.Tracer.StartRoot("replica.wal_poll")
+	span.SetAttr("from_seq", fmt.Sprint(fromSeq))
+	ctx = trace.ContextWith(ctx, span)
+	defer span.Finish()
 	u := fmt.Sprintf("%s/v1/repl/wal?from_seq=%d&max=%d&wait=%s",
 		r.opt.Primary, fromSeq, r.opt.BatchMax, r.opt.PollWait)
 	body, status, err := r.get(ctx, u, r.opt.PollWait+15*time.Second)
 	if status == http.StatusGone {
-		return nil, 0, fmt.Errorf("%w: WAL suffix past seq %d pruned", errRebootstrap, fromSeq)
+		err = fmt.Errorf("%w: WAL suffix past seq %d pruned", errRebootstrap, fromSeq)
+		span.SetError(err)
+		return nil, 0, err
 	}
 	if err != nil {
+		span.SetError(err)
 		return nil, 0, err
 	}
 	entries, lastSeq, err := ingest.ReadReplChunk(strings.NewReader(string(body)))
 	if err != nil {
 		r.crcRejects.Add(1)
+		span.SetError(err)
 		return nil, 0, err
 	}
+	span.SetAttr("entries", fmt.Sprint(len(entries)))
 	return entries, lastSeq, nil
 }
 
@@ -426,18 +457,29 @@ func (r *Replica) get(ctx context.Context, u string, timeout time.Duration) ([]b
 	if err != nil {
 		return nil, 0, err
 	}
+	// Child of the ambient bootstrap/poll span (fresh root when there is
+	// none); the injected traceparent carries its context to the primary.
+	s := r.opt.Tracer.StartChild(trace.FromContext(ctx), "replica.fetch")
+	s.SetAttr("url", u)
+	trace.Inject(req, s)
+	defer s.Finish()
 	resp, err := r.opt.Client.Do(req)
 	if err != nil {
+		s.SetError(err)
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
+	s.SetAttr("status", fmt.Sprint(resp.StatusCode))
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
+		s.SetError(err)
 		return nil, resp.StatusCode, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, resp.StatusCode, fmt.Errorf("replica: GET %s: %s: %s",
+		err = fmt.Errorf("replica: GET %s: %s: %s",
 			u, resp.Status, strings.TrimSpace(string(body)))
+		s.SetError(err)
+		return nil, resp.StatusCode, err
 	}
 	return body, resp.StatusCode, nil
 }

@@ -3,16 +3,16 @@
 # results and prints the headline go-test benchmarks. Run from the
 # repository root:
 #
-#   ./scripts/bench.sh            # writes BENCH_PR6.json
+#   ./scripts/bench.sh            # writes BENCH_PR8.json
 #   ./scripts/bench.sh results.json
 #
 # The report has two parts: the polbench micro-benchmark suite (build,
-# publish, queries, shuffle, distributed build, replica catch-up) and an
+# publish, queries, shuffle, distributed build, replica catch-up, tracing overhead) and an
 # open-loop polload SLO run against a polserve snapshot, merged in under
 # the "slo" key.
 set -e
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR8.json}"
 
 echo "== polbench micro-benchmark suite → $out =="
 go run ./cmd/polbench -json "$out" -vessels 30 -days 15

@@ -11,8 +11,9 @@
 #   2. a permanently failing journal disk
 #      (POL_FAILPOINTS='ingest.journal.append=error(...)@500'): the
 #      daemon must keep serving degraded (readyz 200, drops counted),
-#      shut down cleanly on SIGTERM, and again converge after a clean
-#      restart + re-feed.
+#      drop a flight-recorder trace dump next to the journal, shut down
+#      cleanly on SIGTERM, and again converge after a clean restart +
+#      re-feed.
 #
 # Run from the repository root:
 #
@@ -128,6 +129,13 @@ fi
 grep -q 'ready' "$tmp/s2.readyz" || {
 	echo "scenario 2: unexpected readyz body:"
 	cat "$tmp/s2.readyz"
+	exit 1
+}
+# Entering degraded mode trips the flight recorder: the last retained
+# trace spans must be on disk next to the journal for post-mortems.
+ls "$tmp/s2"/flight-*-degraded.json >/dev/null 2>&1 || {
+	echo "scenario 2: no flight-recorder dump after degraded transition:"
+	ls "$tmp/s2"
 	exit 1
 }
 kill -TERM "$pid"

@@ -25,7 +25,7 @@ addr="127.0.0.1:$((7900 + $$ % 100))"
 "$tmp/polbuild" -synthetic -vessels 16 -days 4 -res 6 \
 	-out "$tmp/local.polinv" >"$tmp/local.log" 2>&1
 
-"$tmp/polworker" -coordinator "$addr" >"$tmp/w1.log" 2>&1 &
+"$tmp/polworker" -coordinator "$addr" -v >"$tmp/w1.log" 2>&1 &
 w1=$!
 "$tmp/polworker" -coordinator "$addr" -failpoint 'cluster.worker.kill=error*1' >"$tmp/w2.log" 2>&1 &
 w2=$!
@@ -60,4 +60,19 @@ if [ -z "$local_groups" ] || [ "$local_groups" -lt 1 ] || [ "$local_groups" != "
 	exit 1
 fi
 
-echo "cluster e2e smoke passed: $dist_groups groups, killed worker re-queued"
+# Distributed-trace continuity: the coordinator logs the job's trace ID
+# and stamps it into every task frame; the surviving worker must have
+# joined the same trace when executing its tasks.
+job_trace="$(sed -n 's/.*trace \([0-9a-f]\{32\}\).*/\1/p' "$tmp/dist.log" | head -1)"
+if [ -z "$job_trace" ]; then
+	echo "coordinator logged no job trace ID:"
+	cat "$tmp/dist.log"
+	exit 1
+fi
+grep -q "trace $job_trace" "$tmp/w1.log" || {
+	echo "worker never joined job trace $job_trace:"
+	grep 'trace' "$tmp/w1.log" || cat "$tmp/w1.log"
+	exit 1
+}
+
+echo "cluster e2e smoke passed: $dist_groups groups, killed worker re-queued, trace $job_trace spans coordinator+worker"

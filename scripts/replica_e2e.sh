@@ -10,7 +10,11 @@
 #   3. restart replica B — it must re-bootstrap from a newer generation
 #      and converge;
 #   4. assert both replicas reach lag 0 and that their snapshots are
-#      bit-for-bit inventory.Equal to the primary's (polquery -equal).
+#      bit-for-bit inventory.Equal to the primary's (polquery -equal);
+#   5. assert distributed-trace continuity: a trace ID rooted on a
+#      replica (its WAL polls inject W3C traceparent toward the primary)
+#      must appear in the primary's /v1/traces too, and a polquery
+#      -server -trace invocation prints the primary's span tree.
 #
 # Run from the repository root:
 #
@@ -159,4 +163,35 @@ done
 	exit 1
 }
 
-echo "replica e2e passed: 2 replicas converged bit-exact at seq $seq2 (one killed and re-bootstrapped mid-feed)"
+### Phase 5: cross-process trace continuity. Replica WAL polls root a
+### trace client-side and inject its traceparent; the primary's repl
+### middleware records a server span under the same trace ID, so the two
+### trace stores must intersect.
+trace_ids() { # trace_ids <http> <file>
+	"$tmp/polfeed" -get "http://$1/v1/traces" |
+		sed -n 's/.*"traceId": *"\([0-9a-f]*\)".*/\1/p' | sort -u >"$2"
+}
+trace_ids "$r1http" "$tmp/replica1.traces"
+trace_ids "$phttp" "$tmp/primary.traces"
+shared="$(comm -12 "$tmp/replica1.traces" "$tmp/primary.traces" | head -1)"
+if [ -z "$shared" ]; then
+	echo "no trace ID shared between replica 1 and the primary:"
+	echo "replica IDs:" && head -5 "$tmp/replica1.traces"
+	echo "primary IDs:" && head -5 "$tmp/primary.traces"
+	exit 1
+fi
+
+# And the user-facing path: polquery injects a traceparent, the primary
+# records the server span, polquery reads the tree back by that ID.
+"$tmp/polquery" -server "http://$phttp" -info -trace >"$tmp/polquery.trace" || {
+	echo "polquery -server -trace failed:"
+	cat "$tmp/polquery.trace"
+	exit 1
+}
+grep -q 'http\./v1/info \[polingest\]' "$tmp/polquery.trace" || {
+	echo "polquery -trace printed no server-side span:"
+	cat "$tmp/polquery.trace"
+	exit 1
+}
+
+echo "replica e2e passed: 2 replicas converged bit-exact at seq $seq2 (one killed and re-bootstrapped mid-feed); trace $shared spans primary+replica"
