@@ -42,7 +42,7 @@ e2e:
 	./scripts/chaos_e2e.sh
 	./scripts/replica_e2e.sh
 
-# Full benchmark suite: regenerates BENCH_PR4.json and prints the headline
+# Full benchmark suite: regenerates BENCH_PR9.json and prints the headline
 # publish/shuffle/distributed benchmarks (see scripts/bench.sh).
 bench:
 	./scripts/bench.sh

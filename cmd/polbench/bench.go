@@ -2,10 +2,10 @@ package main
 
 // Machine-readable benchmark mode: `polbench -json FILE` runs a fixed
 // micro-benchmark suite — inventory build, snapshot publish (COW vs clone
-// baseline), point and OD queries, and the dataflow shuffle — over the lab
-// dataset via testing.Benchmark, and writes the results as JSON. The
-// committed BENCH_PR8.json is one run of this suite; `make bench`
-// regenerates it.
+// baseline), point and OD queries, the dataflow shuffle, and the
+// distributed build over both shuffle fabrics — over the lab dataset via
+// testing.Benchmark, and writes the results as JSON. The committed
+// BENCH_PR9.json is one run of this suite; `make bench` regenerates it.
 
 import (
 	"context"
@@ -18,6 +18,7 @@ import (
 
 	"github.com/patternsoflife/pol/internal/cluster"
 	"github.com/patternsoflife/pol/internal/dataflow"
+	"github.com/patternsoflife/pol/internal/feed"
 	"github.com/patternsoflife/pol/internal/hexgrid"
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
@@ -40,6 +41,40 @@ type benchReport struct {
 	Records    int64         `json:"records"`
 	GroupsRes6 int           `json:"groups_res6"`
 	Results    []benchResult `json:"results"`
+}
+
+// writeArchive persists the lab fleet as a timestamped-NMEA archive for the
+// distributed archive-build benchmarks, one static per vessel ahead of its
+// track. Returns the file path; the caller removes it.
+func (l *lab) writeArchive() (string, error) {
+	f, err := os.CreateTemp("", "polbench-*.nmea")
+	if err != nil {
+		return "", err
+	}
+	fw := feed.NewWriter(f)
+	for i, v := range l.sim.Fleet().Vessels {
+		if len(l.tracks[i]) == 0 {
+			continue
+		}
+		if err := fw.WriteStatic(v, l.tracks[i][0].Time); err != nil {
+			f.Close()
+			return "", err
+		}
+		for _, r := range l.tracks[i] {
+			if err := fw.WritePosition(r); err != nil {
+				f.Close()
+				return "", err
+			}
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return f.Name(), nil
 }
 
 // benchObservation builds a minimal observation for delta writes.
@@ -220,6 +255,63 @@ func (l *lab) runBenchJSON(path string) error {
 			wg.Wait()
 		}
 	})
+
+	// Distributed archive build over the worker-to-worker shuffle: four
+	// loopback workers scan a shared on-disk archive of the lab fleet and
+	// stream shuffle buckets directly to the owning peer. The -coord
+	// variant relays every shuffle byte through the coordinator instead
+	// (the legacy fabric, kept for comparison) — the pair quantifies what
+	// the direct shuffle buys at a given worker count, and the gap to
+	// build-res6 is the crossover point where scale-out beats one process.
+	archPath, err := l.writeArchive()
+	if err != nil {
+		return err
+	}
+	defer os.Remove(archPath)
+	distArchive := func(workers int, shuffle string) (**inventory.Inventory, func(b *testing.B)) {
+		var got *inventory.Inventory
+		return &got, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				co, err := cluster.NewCoordinator(cluster.Config{Addr: "127.0.0.1:0", MinWorkers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr := co.Addr().String()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if err := cluster.RunWorker(context.Background(), cluster.WorkerConfig{Coordinator: addr}); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				res, err := co.Run(context.Background(), cluster.Job{
+					Resolution: 6,
+					Archive:    &cluster.ArchiveJob{Path: archPath, MapTasks: 8, ReduceTasks: 8, Shuffle: shuffle},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Inventory.Len() == 0 {
+					b.Fatal("empty archive inventory")
+				}
+				got = res.Inventory
+				wg.Wait()
+			}
+		}
+	}
+	peerInv, peerBench := distArchive(4, cluster.ShufflePeer)
+	coordInv, coordBench := distArchive(4, cluster.ShuffleCoordinator)
+	run("build-distributed-4workers", records, peerBench)
+	run("build-distributed-4workers-coord", records, coordBench)
+	// Both fabrics must reduce the archive to identical bits — otherwise
+	// the ns/op comparison above is comparing different computations.
+	if *peerInv != nil && *coordInv != nil && !inventory.Equal(*peerInv, *coordInv) {
+		return fmt.Errorf("polbench: peer and coordinator shuffle inventories diverge")
+	}
 
 	// Replica catch-up: a fresh read replica bootstrapping from the
 	// primary's mid-stream checkpoint generation and tailing the WAL

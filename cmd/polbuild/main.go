@@ -12,6 +12,13 @@
 //
 //	polbuild -synthetic -vessels 500 -coordinator :7700 -workers 4 -out synth.polinv
 //	polbuild -in fleet.nmea -coordinator :7700 -workers 2 -out fleet.polinv
+//
+// Distributed archive builds shuffle worker-to-worker by default: the
+// coordinator assigns each reduce bucket an owning worker and the workers
+// stream map output directly to the owner (-shuffle peer). Pass
+// -shuffle coordinator to relay every shuffle byte through this process
+// instead (the pre-PR9 fabric, kept for comparison), and -reduce-tasks to
+// size the bucket count.
 package main
 
 import (
@@ -49,13 +56,16 @@ func main() {
 		coordinator = flag.String("coordinator", "", "distribute the build: listen on this address for polworker processes")
 		workers     = flag.Int("workers", 1, "distributed mode: wait for this many workers before dispatching")
 		mapTasks    = flag.Int("map-tasks", 0, "distributed mode: map task count (default 4 per worker)")
+		reduceTasks = flag.Int("reduce-tasks", 0, "distributed mode: shuffle bucket count (default 2 per worker)")
+		shuffle     = flag.String("shuffle", cluster.ShufflePeer, "distributed archive shuffle fabric: peer (workers stream buckets directly) or coordinator (legacy relay)")
 		verbose     = flag.Bool("v", false, "print stage metrics (local) or scheduling progress (distributed)")
 	)
 	flag.Parse()
 
 	if *coordinator != "" {
 		runDistributed(distOpts{
-			addr: *coordinator, workers: *workers, mapTasks: *mapTasks,
+			addr: *coordinator, workers: *workers,
+			mapTasks: *mapTasks, reduceTasks: *reduceTasks, shuffle: *shuffle,
 			in: *in, synthetic: *synthetic,
 			vessels: *vessels, days: *days, seed: *seed,
 			res: *res, out: *out, verbose: *verbose,
@@ -120,17 +130,19 @@ func main() {
 }
 
 type distOpts struct {
-	addr      string
-	workers   int
-	mapTasks  int
-	in        string
-	synthetic bool
-	vessels   int
-	days      int
-	seed      int64
-	res       int
-	out       string
-	verbose   bool
+	addr        string
+	workers     int
+	mapTasks    int
+	reduceTasks int
+	shuffle     string
+	in          string
+	synthetic   bool
+	vessels     int
+	days        int
+	seed        int64
+	res         int
+	out         string
+	verbose     bool
 }
 
 // runDistributed coordinates a cluster build: polworker processes dial in,
@@ -144,7 +156,10 @@ func runDistributed(o distOpts) {
 		job.Description = fmt.Sprintf("synthetic (distributed): %d vessels, %d days, seed %d",
 			o.vessels, o.days, o.seed)
 	case o.in != "":
-		job.Archive = &cluster.ArchiveJob{Path: o.in, MapTasks: o.mapTasks}
+		job.Archive = &cluster.ArchiveJob{
+			Path: o.in, MapTasks: o.mapTasks,
+			ReduceTasks: o.reduceTasks, Shuffle: o.shuffle,
+		}
 		job.Description = "archive (distributed): " + o.in
 	default:
 		log.Fatal("need -in FILE or -synthetic (see -h)")
@@ -172,8 +187,8 @@ func runDistributed(o distOpts) {
 		log.Fatal(err)
 	}
 	log.Printf("pipeline: %s", result.Stats)
-	log.Printf("cluster: %d tasks, %d retries, %d duplicate completions",
-		result.Tasks, result.Retries, result.Duplicates)
+	log.Printf("cluster: %d tasks, %d retries, %d duplicate completions, %d bucket reassignments",
+		result.Tasks, result.Retries, result.Duplicates, result.Reassigned)
 	if job.Archive != nil {
 		log.Printf("ingest: %d lines, %d positions, %d statics, %d bad lines, %d bad NMEA",
 			result.Feed.Lines, result.Feed.Positions, result.Feed.Statics,

@@ -39,6 +39,8 @@ func main() {
 		coordinator = flag.String("coordinator", "127.0.0.1:7700", "coordinator address to dial")
 		name        = flag.String("name", "", "worker name in logs and metrics (default host:pid)")
 		par         = flag.Int("parallelism", runtime.GOMAXPROCS(0), "dataflow pool width per task")
+		shuffleLn   = flag.String("shuffle-listen", ":0", "listen address for the worker-to-worker shuffle stream")
+		shuffleAdv  = flag.String("shuffle-advertise", "", "shuffle address advertised to peers (default: listen address with the coordinator-visible host)")
 		failpoint   = flag.String("failpoint", "", "fault injection: name=spec[;name=spec] (e.g. cluster.worker.kill=error*1)")
 		metricsAddr = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9104)")
 		verbose     = flag.Bool("v", false, "log connection and task progress")
@@ -54,11 +56,13 @@ func main() {
 	}
 	tr := trace.New(trace.Options{Service: "polworker"})
 	cfg := cluster.WorkerConfig{
-		Coordinator: *coordinator,
-		Name:        *name,
-		Parallelism: *par,
-		Faults:      faults,
-		Tracer:      tr,
+		Coordinator:      *coordinator,
+		Name:             *name,
+		Parallelism:      *par,
+		ShuffleListen:    *shuffleLn,
+		ShuffleAdvertise: *shuffleAdv,
+		Faults:           faults,
+		Tracer:           tr,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -255,14 +255,14 @@ func dialClient(t *testing.T, addr, name string) *testClient {
 
 func (c *testClient) write(env *envelope) {
 	c.t.Helper()
-	if err := writeFrame(c.conn, env); err != nil {
+	if _, err := writeFrame(c.conn, env); err != nil {
 		c.t.Fatalf("client write: %v", err)
 	}
 }
 
 func (c *testClient) read() *envelope {
 	c.t.Helper()
-	env, err := readFrame(c.conn, DefaultMaxFrameBytes)
+	env, _, err := readFrame(c.conn, DefaultMaxFrameBytes)
 	if err != nil {
 		c.t.Fatalf("client read: %v", err)
 	}
@@ -339,7 +339,7 @@ func TestStragglerRequeued(t *testing.T) {
 	go func() {
 		// Swallow every frame until the coordinator hangs up.
 		for {
-			if _, err := readFrame(blackhole.conn, DefaultMaxFrameBytes); err != nil {
+			if _, _, err := readFrame(blackhole.conn, DefaultMaxFrameBytes); err != nil {
 				return
 			}
 		}
@@ -418,7 +418,7 @@ func TestDistributedArchiveEqualsLocal(t *testing.T) {
 	w2 := startWorker(t, addr, func(c *WorkerConfig) { c.Name = "a2" })
 	res, err := co.Run(context.Background(), Job{
 		Resolution: testRes,
-		Archive:    &ArchiveJob{Path: path, MapTasks: 3, ReduceTasks: 2},
+		Archive:    &ArchiveJob{Path: path, MapTasks: 3, ReduceTasks: 2, Shuffle: ShuffleCoordinator},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -464,26 +464,29 @@ func TestProtocolFrames(t *testing.T) {
 		Records: []model.PositionRecord{{MMSI: 1234, Time: 99}},
 	}}
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, env); err != nil {
+	if _, err := writeFrame(&buf, env); err != nil {
 		t.Fatal(err)
 	}
 	frame := buf.Bytes()
-	got, err := readFrame(bytes.NewReader(frame), DefaultMaxFrameBytes)
+	got, n, err := readFrame(bytes.NewReader(frame), DefaultMaxFrameBytes)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Errorf("readFrame size = %d, want %d", n, len(frame))
 	}
 	if got.Type != msgTask || got.Task == nil || got.Task.ID != 42 ||
 		len(got.Task.Records) != 1 || got.Task.Records[0].MMSI != 1234 {
 		t.Fatalf("round-trip mismatch: %+v", got)
 	}
 
-	if _, err := readFrame(bytes.NewReader(frame), 8); err == nil ||
+	if _, _, err := readFrame(bytes.NewReader(frame), 8); err == nil ||
 		!strings.Contains(err.Error(), "exceeds cap") {
 		t.Errorf("oversize frame: %v, want cap rejection", err)
 	}
 	// A corrupt length prefix must be rejected before allocation.
 	huge := []byte{0x7f, 0xff, 0xff, 0xff}
-	if _, err := readFrame(bytes.NewReader(huge), 1<<20); err == nil ||
+	if _, _, err := readFrame(bytes.NewReader(huge), 1<<20); err == nil ||
 		!strings.Contains(err.Error(), "exceeds cap") {
 		t.Errorf("corrupt prefix: %v, want cap rejection", err)
 	}

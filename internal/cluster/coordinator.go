@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/patternsoflife/pol/internal/feed"
@@ -88,6 +89,20 @@ type SyntheticJob struct {
 	Tasks int
 }
 
+// Shuffle fabrics for archive jobs.
+const (
+	// ShufflePeer streams map-side buckets worker-to-worker: the
+	// coordinator assigns bucket ownership up front and scan outputs go
+	// straight to the owning peer, which reduces a bucket the moment its
+	// inputs are complete (the default).
+	ShufflePeer = "peer"
+	// ShuffleCoordinator routes every shuffled byte through the
+	// coordinator — scan results up, reduce tasks down — with a global
+	// barrier between the phases. Kept selectable for fabric-comparison
+	// benchmarks.
+	ShuffleCoordinator = "coordinator"
+)
+
 // ArchiveJob builds from a timestamped-NMEA archive in two phases: scan
 // map tasks over byte-range sections, then reduce tasks over vessel-hash
 // buckets. Path must be readable by every worker (shared or replicated
@@ -98,6 +113,9 @@ type ArchiveJob struct {
 	MapTasks int
 	// ReduceTasks is the vessel-hash bucket count (default 2 per worker).
 	ReduceTasks int
+	// Shuffle selects the fabric moving map outputs into reduces:
+	// ShufflePeer (the default when empty) or ShuffleCoordinator.
+	Shuffle string
 }
 
 // BuildResult is the reduced output of a distributed build.
@@ -106,8 +124,9 @@ type BuildResult struct {
 	Stats     pipeline.Stats
 	Feed      feed.ReadStats
 	// Tasks, Retries and Duplicates count scheduling outcomes across all
-	// phases of the job.
-	Tasks, Retries, Duplicates int
+	// phases of the job. Reassigned counts shuffle-bucket ownership
+	// changes after an owner died or stalled (peer shuffle only).
+	Tasks, Retries, Duplicates, Reassigned int
 }
 
 // Coordinator schedules a distributed build over connected workers.
@@ -117,6 +136,9 @@ type Coordinator struct {
 	metrics *coordMetrics
 	events  chan event
 	done    chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // every accepted conn, until its reader exits
 }
 
 // event is one scheduler input from a worker connection.
@@ -137,11 +159,12 @@ const (
 
 // remote is the coordinator's view of one worker connection.
 type remote struct {
-	name    string
-	conn    net.Conn
-	cur     *taskState // task currently assigned, nil when idle
-	dead    bool
-	strikes int // consecutive straggler timeouts; cleared on completion
+	name        string
+	conn        net.Conn
+	shuffleAddr string     // peer-shuffle listener; "" means cannot own buckets
+	cur         *taskState // task currently assigned, nil when idle
+	dead        bool
+	strikes     int // consecutive straggler timeouts; cleared on completion
 }
 
 // strikeLimit benches a worker from new assignments after this many
@@ -158,6 +181,7 @@ type taskState struct {
 	notBefore time.Time // retry backoff gate
 	deadline  time.Time // liveness deadline while running
 	runner    *remote   // nil unless running
+	holder    *remote   // peer shuffle: worker whose retained outputs back this completed scan
 	started   time.Time
 	done      bool
 }
@@ -176,6 +200,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		metrics: newCoordMetrics(cfg.Obs),
 		events:  make(chan event, 64),
 		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
 	}
 	go c.acceptLoop()
 	return c, nil
@@ -208,24 +233,45 @@ func (c *Coordinator) acceptLoop() {
 		if err != nil {
 			return
 		}
+		c.connMu.Lock()
+		c.conns[conn] = struct{}{}
+		c.connMu.Unlock()
 		go c.handshake(conn)
+	}
+}
+
+// closeConns force-closes every accepted connection. Run calls it on the
+// way out so workers — and through them their peer shuffle streams — tear
+// down even when the job aborted before a worker was enrolled or told to
+// shut down.
+func (c *Coordinator) closeConns() {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	for conn := range c.conns {
+		conn.Close()
 	}
 }
 
 // handshake reads the hello frame, then streams worker frames as events.
 func (c *Coordinator) handshake(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		c.connMu.Lock()
+		delete(c.conns, conn)
+		c.connMu.Unlock()
+	}()
 	conn.SetReadDeadline(time.Now().Add(c.cfg.WriteTimeout))
 	in := countingReader{r: conn, c: c.metrics.bytesIn}
-	env, err := readFrame(in, c.cfg.MaxFrameBytes)
+	env, _, err := readFrame(in, c.cfg.MaxFrameBytes)
 	if err != nil || env.Type != msgHello || env.Hello == nil {
 		conn.Close()
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
-	rem := &remote{name: env.Hello.Name, conn: conn}
+	rem := &remote{name: env.Hello.Name, conn: conn, shuffleAddr: env.Hello.ShuffleAddr}
 	c.post(event{kind: evJoin, rem: rem})
 	for {
-		env, err := readFrame(in, c.cfg.MaxFrameBytes)
+		env, _, err := readFrame(in, c.cfg.MaxFrameBytes)
 		if err != nil {
 			c.post(event{kind: evGone, rem: rem, err: err})
 			return
@@ -238,7 +284,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 // the connection is closed and the reader goroutine reports evGone.
 func (c *Coordinator) send(rem *remote, env *envelope) bool {
 	rem.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-	err := writeFrame(countingWriter{w: rem.conn, c: c.metrics.bytesOut}, env)
+	_, err := writeFrame(countingWriter{w: rem.conn, c: c.metrics.bytesOut}, env)
 	rem.conn.SetWriteDeadline(time.Time{})
 	if err != nil {
 		rem.conn.Close()
@@ -263,6 +309,7 @@ type jobState struct {
 // consumes the coordinator: the listener is closed and every worker is told
 // to shut down when it returns.
 func (c *Coordinator) Run(ctx context.Context, job Job) (*BuildResult, error) {
+	defer c.closeConns()
 	defer c.ln.Close()
 	defer close(c.done)
 	if (job.Synthetic == nil) == (job.Archive == nil) {
@@ -284,31 +331,57 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*BuildResult, error) {
 		Description: job.Description,
 	})
 
-	// MergeFrom accumulates the partials' RawRecords/UsedRecords into the
-	// final build info, so the reduced inventory reports the same totals a
-	// single-process build would.
-	mergeBuild := func(r *TaskResult) error {
+	// Partial inventories are validated as they arrive but merged only
+	// after the job completes, in ascending task ID. Order-sensitive
+	// summary statistics (Welford moments, circular means, t-digests) make
+	// arrival-order merging nondeterministic under scheduling races; the
+	// ordered merge pins the distributed result to one canonical fold —
+	// bucket 0, bucket 1, … — no matter which worker finished first, which
+	// is half of what makes distributed builds bit-exact with local ones
+	// (the other half is the single-partition reduce pipeline).
+	partials := make(map[uint64][]byte)
+	collect := func(r *TaskResult) error {
 		partial, err := inventory.Unmarshal(r.Inventory)
 		if err != nil {
 			return fmt.Errorf("cluster: task %d partial inventory: %w", r.ID, err)
 		}
-		if err := final.MergeFrom(partial); err != nil {
-			return err
+		if partial.Info().Resolution != job.Resolution {
+			return fmt.Errorf("cluster: task %d partial at resolution %d, want %d",
+				r.ID, partial.Info().Resolution, job.Resolution)
 		}
+		partials[r.ID] = r.Inventory
 		addStats(&st.res.Stats, r.Stats)
 		return nil
 	}
 
 	var err error
 	if job.Synthetic != nil {
-		err = c.runSynthetic(ctx, st, job, mergeBuild)
+		err = c.runSynthetic(ctx, st, job, collect)
 	} else {
-		err = c.runArchive(ctx, st, job, mergeBuild)
+		err = c.runArchive(ctx, st, job, collect)
 	}
 	c.shutdownWorkers(st)
 	if err != nil {
 		st.jobSpan.SetError(err)
 		return nil, err
+	}
+
+	// MergeFrom accumulates the partials' RawRecords/UsedRecords into the
+	// final build info, so the reduced inventory reports the same totals a
+	// single-process build would.
+	ids := make([]uint64, 0, len(partials))
+	for id := range partials {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		partial, err := inventory.Unmarshal(partials[id])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: task %d partial inventory: %w", id, err)
+		}
+		if err := final.MergeFrom(partial); err != nil {
+			return nil, err
+		}
 	}
 
 	st.res.Inventory = final
@@ -346,9 +419,9 @@ func (c *Coordinator) runSynthetic(ctx context.Context, st *jobState, job Job, m
 	return c.runPhase(ctx, st, "sim-build", tasks, merge)
 }
 
-// runArchive schedules the scan phase, shuffles through the coordinator,
-// broadcasts statics, then schedules the reduce phase.
-func (c *Coordinator) runArchive(ctx context.Context, st *jobState, job Job, merge func(*TaskResult) error) error {
+// archiveGeometry resolves an archive job's task counts and splits the
+// archive into scan sections.
+func (c *Coordinator) archiveGeometry(job Job) ([]feed.Section, int, error) {
 	mapTasks := job.Archive.MapTasks
 	if mapTasks <= 0 {
 		mapTasks = 4 * c.cfg.MinWorkers
@@ -358,6 +431,28 @@ func (c *Coordinator) runArchive(ctx context.Context, st *jobState, job Job, mer
 		reduceTasks = 2 * c.cfg.MinWorkers
 	}
 	sections, err := feed.Split(job.Archive.Path, mapTasks)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sections, reduceTasks, nil
+}
+
+// runArchive dispatches an archive job to the selected shuffle fabric.
+func (c *Coordinator) runArchive(ctx context.Context, st *jobState, job Job, merge func(*TaskResult) error) error {
+	switch job.Archive.Shuffle {
+	case "", ShufflePeer:
+		return c.runArchivePeer(ctx, st, job, merge)
+	case ShuffleCoordinator:
+		return c.runArchiveCoordinator(ctx, st, job, merge)
+	default:
+		return fmt.Errorf("cluster: unknown shuffle fabric %q", job.Archive.Shuffle)
+	}
+}
+
+// runArchiveCoordinator schedules the scan phase, shuffles through the
+// coordinator, broadcasts statics, then schedules the reduce phase.
+func (c *Coordinator) runArchiveCoordinator(ctx context.Context, st *jobState, job Job, merge func(*TaskResult) error) error {
+	sections, reduceTasks, err := c.archiveGeometry(job)
 	if err != nil {
 		return err
 	}
@@ -422,6 +517,386 @@ func (c *Coordinator) runArchive(ctx context.Context, st *jobState, job Job, mer
 		})
 	}
 	return c.runPhase(ctx, st, "reduce-build", tasks, merge)
+}
+
+// bucketState tracks one shuffle bucket through ownership changes. The
+// stable id is the idempotency key its reduce results report under, so a
+// straggling old owner's completion after a reassignment dedupes.
+type bucketState struct {
+	bucket   int
+	id       uint64
+	owner    *remote
+	attempts int // ownership grants (first assignment counts)
+	granted  time.Time
+	deadline time.Time // extended by the owner's bucket heartbeats
+	done     bool
+}
+
+// runArchivePeer drives a peer-shuffle archive job as one overlapped
+// phase: scan tasks are scheduled like any map phase, but their bucket
+// outputs stream worker-to-worker per the roster, and bucket reduce
+// results arrive here while scans are still running. The coordinator only
+// ever moves control traffic — ownership rosters, scan tasks, results —
+// never shuffled records.
+//
+// Fault handling: a dead worker's running scan re-queues as usual; its
+// *completed* scans re-queue too when buckets are still outstanding,
+// because the retained map outputs a reassigned owner would need died
+// with it (re-execution is deterministic, receivers dedupe frames). Owned
+// buckets of a dead or stalled owner are re-granted round-robin under a
+// bumped roster epoch; live scan holders then re-stream their retained
+// frames to the new owner.
+func (c *Coordinator) runArchivePeer(ctx context.Context, st *jobState, job Job, merge func(*TaskResult) error) (err error) {
+	sections, reduceTasks, err := c.archiveGeometry(job)
+	if err != nil {
+		return err
+	}
+	scans := make(map[uint64]*taskState, len(sections))
+	var pending []*taskState
+	for _, sec := range sections {
+		st.nextID++
+		ts := &taskState{task: Task{
+			ID:          st.nextID,
+			Kind:        TaskScan,
+			TraceParent: st.traceParent,
+			Section:     sec,
+			Buckets:     reduceTasks,
+			PeerShuffle: true,
+		}}
+		scans[ts.task.ID] = ts
+		pending = append(pending, ts)
+	}
+	buckets := make([]*bucketState, reduceTasks)
+	bucketByID := make(map[uint64]*bucketState, reduceTasks)
+	for b := range buckets {
+		st.nextID++
+		bs := &bucketState{bucket: b, id: st.nextID}
+		buckets[b] = bs
+		bucketByID[bs.id] = bs
+	}
+	st.res.Tasks += len(sections) + reduceTasks
+	scansLeft, bucketsLeft := len(sections), reduceTasks
+	feedCounted := make(map[uint64]bool, len(sections))
+
+	c.logf("phase peer-shuffle: %d scans, %d buckets", len(sections), reduceTasks)
+	span := c.cfg.Tracer.StartChild(st.jobSpan, "cluster.phase.peer-shuffle")
+	span.SetAttr("scans", fmt.Sprint(len(sections)))
+	span.SetAttr("buckets", fmt.Sprint(reduceTasks))
+	defer func() {
+		span.SetError(err)
+		span.Finish()
+	}()
+
+	// Roster management. Epoch 0 means "not broadcast yet"; every
+	// ownership change bumps it, and workers ignore stale epochs.
+	epoch, rr := 0, 0
+	var roster *rosterMsg
+	eligible := func() []*remote {
+		var out []*remote
+		for rem := range st.workers {
+			if !rem.dead && rem.shuffleAddr != "" {
+				out = append(out, rem)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+		return out
+	}
+	broadcast := func() {
+		roster = &rosterMsg{
+			Epoch:       epoch,
+			Sections:    len(sections),
+			Resolution:  job.Resolution,
+			TraceParent: st.traceParent,
+		}
+		for _, bs := range buckets {
+			as := BucketAssign{Bucket: bs.bucket, TaskID: bs.id}
+			if bs.owner != nil {
+				as.Owner, as.Addr = bs.owner.name, bs.owner.shuffleAddr
+			}
+			roster.Buckets = append(roster.Buckets, as)
+		}
+		for rem := range st.workers {
+			if !rem.dead {
+				c.send(rem, &envelope{Type: msgRoster, Roster: roster})
+			}
+		}
+		c.logf("phase peer-shuffle: roster epoch %d broadcast", epoch)
+	}
+	assignBuckets := func() bool {
+		el := eligible()
+		if len(el) == 0 {
+			return false
+		}
+		changed := false
+		now := time.Now()
+		for _, bs := range buckets {
+			if bs.done || bs.owner != nil {
+				continue
+			}
+			bs.owner = el[rr%len(el)]
+			rr++
+			bs.attempts++
+			bs.granted = now
+			bs.deadline = now.Add(c.cfg.TaskTimeout)
+			c.metrics.assigned.Inc()
+			changed = true
+		}
+		return changed
+	}
+	// benchBucket drops a bucket's owner so the next assignBuckets
+	// re-grants it; bounded like task retries.
+	benchBucket := func(bs *bucketState, why string) error {
+		bs.owner = nil
+		if bs.done {
+			return nil
+		}
+		if bs.attempts > c.cfg.MaxRetries {
+			c.metrics.failed.Inc()
+			return fmt.Errorf("cluster: bucket %d (task %d) failed after %d owners: %s",
+				bs.bucket, bs.id, bs.attempts, why)
+		}
+		c.metrics.retried.Inc()
+		c.metrics.reassigned.Inc()
+		st.res.Retries++
+		st.res.Reassigned++
+		span.AddEvent("reassign",
+			trace.Attr{Key: "bucket", Value: fmt.Sprint(bs.bucket)},
+			trace.Attr{Key: "why", Value: why})
+		c.logf("phase peer-shuffle: bucket %d re-owned (%s)", bs.bucket, why)
+		return nil
+	}
+
+	requeueScan := func(ts *taskState, why string) error {
+		ts.runner = nil
+		if ts.done {
+			return nil
+		}
+		if ts.attempts > c.cfg.MaxRetries {
+			c.metrics.failed.Inc()
+			return fmt.Errorf("cluster: task %d (%s) failed after %d attempts: %s",
+				ts.task.ID, ts.task.Kind, ts.attempts, why)
+		}
+		c.metrics.retried.Inc()
+		st.res.Retries++
+		span.AddEvent("requeue",
+			trace.Attr{Key: "task", Value: fmt.Sprint(ts.task.ID)},
+			trace.Attr{Key: "why", Value: why})
+		ts.notBefore = time.Now().Add(time.Duration(ts.attempts) * c.cfg.RetryBackoff)
+		pending = append(pending, ts)
+		c.logf("phase peer-shuffle: task %d re-queued (%s), attempt %d next", ts.task.ID, why, ts.attempts+1)
+		return nil
+	}
+	assignScans := func() {
+		allBenched := true
+		for rem := range st.workers {
+			if !rem.dead && rem.strikes < strikeLimit {
+				allBenched = false
+				break
+			}
+		}
+		now := time.Now()
+		for rem := range st.workers {
+			if rem.dead || rem.cur != nil {
+				continue
+			}
+			if rem.strikes >= strikeLimit && !allBenched {
+				continue
+			}
+			best := -1
+			for i := 0; i < len(pending); i++ {
+				if pending[i].done {
+					pending = append(pending[:i], pending[i+1:]...)
+					i--
+					continue
+				}
+				if !pending[i].notBefore.After(now) {
+					best = i
+					break
+				}
+			}
+			if best < 0 {
+				return
+			}
+			ts := pending[best]
+			pending = append(pending[:best], pending[best+1:]...)
+			ts.attempts++
+			ts.task.Attempt = ts.attempts
+			ts.runner = rem
+			ts.deadline = now.Add(c.cfg.TaskTimeout)
+			ts.started = now
+			rem.cur = ts
+			c.metrics.assigned.Inc()
+			c.send(rem, &envelope{Type: msgTask, Task: &ts.task})
+		}
+	}
+
+	tick := c.cfg.TaskTimeout / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	for {
+		if !st.started && len(st.workers) >= c.cfg.MinWorkers {
+			st.started = true
+		}
+		if st.started {
+			// Grant ownership before scans so the roster usually beats
+			// the first map outputs to every worker (frames that do race
+			// ahead are parked and re-delivered on roster install).
+			if assignBuckets() {
+				epoch++
+				broadcast()
+			}
+			assignScans()
+		}
+		if bucketsLeft == 0 {
+			c.logf("phase peer-shuffle: complete (%d reassignments)", st.res.Reassigned)
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: phase peer-shuffle aborted: %w", ctx.Err())
+		case <-ticker.C:
+			now := time.Now()
+			for _, ts := range scans {
+				if ts.runner != nil && now.After(ts.deadline) {
+					ts.runner.strikes++
+					ts.runner.cur = nil
+					if err := requeueScan(ts, "straggler timeout"); err != nil {
+						return err
+					}
+				}
+			}
+			for _, bs := range buckets {
+				if bs.owner != nil && !bs.done && now.After(bs.deadline) {
+					bs.owner.strikes++
+					if err := benchBucket(bs, "owner stalled"); err != nil {
+						return err
+					}
+				}
+			}
+		case ev := <-c.events:
+			switch ev.kind {
+			case evJoin:
+				st.workers[ev.rem] = true
+				c.metrics.workers.Set(float64(len(st.workers)))
+				c.logf("worker %s joined (%d connected)", ev.rem.name, len(st.workers))
+				if roster != nil {
+					c.send(ev.rem, &envelope{Type: msgRoster, Roster: roster})
+				}
+			case evGone:
+				if !st.workers[ev.rem] {
+					break
+				}
+				delete(st.workers, ev.rem)
+				ev.rem.dead = true
+				c.metrics.workers.Set(float64(len(st.workers)))
+				c.logf("worker %s gone: %v", ev.rem.name, ev.err)
+				if ts := ev.rem.cur; ts != nil {
+					ev.rem.cur = nil
+					if err := requeueScan(ts, "worker lost"); err != nil {
+						return err
+					}
+				}
+				// Completed scans whose retained outputs died with the
+				// worker: re-queue so a reassigned owner can still be fed.
+				// Receivers that already hold the frames dedupe the re-run.
+				for _, ts := range scans {
+					if ts.done && ts.holder == ev.rem {
+						ts.done, ts.holder = false, nil
+						scansLeft++
+						if err := requeueScan(ts, "scan holder lost"); err != nil {
+							return err
+						}
+					}
+				}
+				for _, bs := range buckets {
+					if bs.owner == ev.rem && !bs.done {
+						if err := benchBucket(bs, "owner lost"); err != nil {
+							return err
+						}
+					}
+				}
+			case evFrame:
+				switch ev.env.Type {
+				case msgHeartbeat:
+					c.metrics.heartbeats.Inc()
+					hb := ev.env.Heartbeat
+					if hb == nil {
+						break
+					}
+					if ts := scans[hb.TaskID]; ts != nil && ts.runner == ev.rem {
+						ts.deadline = time.Now().Add(c.cfg.TaskTimeout)
+					} else if bs := bucketByID[hb.TaskID]; bs != nil && bs.owner == ev.rem {
+						bs.deadline = time.Now().Add(c.cfg.TaskTimeout)
+					}
+				case msgResult:
+					r := ev.env.Result
+					if r == nil {
+						break
+					}
+					if ev.rem.cur != nil && ev.rem.cur.task.ID == r.ID {
+						ev.rem.cur = nil
+					}
+					ev.rem.strikes = 0
+					if ts := scans[r.ID]; ts != nil {
+						if ts.done {
+							c.metrics.duplicate.Inc()
+							st.res.Duplicates++
+							break
+						}
+						if r.Err != "" {
+							if ts.runner == ev.rem {
+								ts.runner = nil
+							}
+							if err := requeueScan(ts, "worker error: "+r.Err); err != nil {
+								return err
+							}
+							break
+						}
+						ts.done, ts.runner, ts.holder = true, nil, ev.rem
+						scansLeft--
+						c.metrics.completed.Inc()
+						c.metrics.taskSeconds.Observe(time.Since(ts.started).Seconds())
+						if !feedCounted[r.ID] {
+							feedCounted[r.ID] = true
+							addFeedStats(&st.res.Feed, r.Feed)
+						}
+						break
+					}
+					bs := bucketByID[r.ID]
+					if bs == nil || bs.done {
+						c.metrics.duplicate.Inc()
+						st.res.Duplicates++
+						break
+					}
+					if r.Err != "" {
+						// The reduce itself failed on the owner: rotate
+						// ownership; the next roster epoch lets the worker
+						// (or a peer) retry from the shuffled inputs.
+						if err := benchBucket(bs, "reduce error: "+r.Err); err != nil {
+							return err
+						}
+						break
+					}
+					bs.done = true
+					bucketsLeft--
+					c.metrics.completed.Inc()
+					c.metrics.taskSeconds.Observe(time.Since(bs.granted).Seconds())
+					if scansLeft > 0 {
+						// The overlap the direct shuffle buys: this bucket
+						// reduced while sections were still scanning.
+						c.metrics.overlapReduces.Inc()
+					}
+					if err := merge(r); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
 }
 
 // runPhase drives one task set to completion: assignment, heartbeat

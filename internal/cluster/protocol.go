@@ -16,13 +16,17 @@
 //
 // Two job shapes exist. Synthetic jobs partition the simulator's fleet by
 // vessel index — every task regenerates its own vessel range from the
-// shared seed, so no input bytes move. Archive jobs run two phases:
-// map tasks scan byte-range sections of the archive (splittable readers,
-// internal/feed) and return discovered statics plus position records
-// bucketed by vessel hash; the coordinator acts as the shuffle fabric and
-// hands each reduce task one vessel-complete bucket, so per-vessel
-// cleaning and trip extraction see exactly the records a single process
-// would.
+// shared seed, so no input bytes move. Archive jobs scan byte-range
+// sections of the archive (splittable readers, internal/feed) and shuffle
+// position records into vessel-hash buckets, so per-vessel cleaning and
+// trip extraction see exactly the records a single process would. Two
+// shuffle fabrics exist: the default peer shuffle, where the coordinator
+// assigns bucket ownership up front (a roster of worker shuffle
+// addresses) and scan workers stream compressed, CRC-checked bucket
+// frames straight to the owning peer, which starts reducing a bucket the
+// moment all of its section inputs have arrived; and the legacy
+// coordinator shuffle, where every shuffled byte rides a scan result up
+// to the coordinator and a reduce task back down.
 package cluster
 
 import (
@@ -54,6 +58,7 @@ const (
 	msgHeartbeat                    // worker → coordinator: liveness + progress
 	msgResult                       // worker → coordinator: task completion
 	msgShutdown                     // coordinator → worker: job over, disconnect
+	msgRoster                       // coordinator → worker: bucket ownership + peer addresses
 )
 
 // envelope is the one frame shape on the wire; exactly the field matching
@@ -65,12 +70,41 @@ type envelope struct {
 	Statics   *staticsMsg
 	Heartbeat *heartbeatMsg
 	Result    *TaskResult
+	Roster    *rosterMsg
 }
 
-// helloMsg introduces a worker.
+// helloMsg introduces a worker. ShuffleAddr is the address peers dial to
+// stream shuffle buckets to this worker; empty means the worker cannot own
+// buckets (it can still run scan and synthetic tasks).
 type helloMsg struct {
-	Name  string
-	Procs int
+	Name        string
+	Procs       int
+	ShuffleAddr string
+}
+
+// BucketAssign maps one shuffle bucket to its owning worker. TaskID is the
+// idempotency key the owner's reduce result reports under — stable across
+// reassignments, so a straggling old owner's completion is dropped as a
+// duplicate, never double-merged.
+type BucketAssign struct {
+	Bucket int
+	Owner  string
+	Addr   string
+	TaskID uint64
+}
+
+// rosterMsg broadcasts the shuffle geometry of a peer-shuffle archive job:
+// which worker owns which bucket, how many scan sections will contribute
+// frames to each bucket, and the grid resolution reduces run at. Epoch
+// increments on every reassignment; workers react to an ownership change
+// by re-streaming their retained map outputs for the moved bucket to its
+// new owner.
+type rosterMsg struct {
+	Epoch       int
+	Sections    int
+	Resolution  int
+	TraceParent string
+	Buckets     []BucketAssign
 }
 
 // staticsMsg broadcasts the merged vessel static inventory ahead of the
@@ -187,6 +221,9 @@ type Task struct {
 	// TaskScan:
 	Section feed.Section
 	Buckets int
+	// PeerShuffle routes the scan's bucket blocks straight to the owning
+	// peers (per the roster) instead of returning them in the result.
+	PeerShuffle bool
 
 	// TaskReduceBuild:
 	Records []model.PositionRecord
@@ -209,43 +246,51 @@ type TaskResult struct {
 	BucketBlocks [][]model.PositionRecord
 	Feed         feed.ReadStats
 	SectionIndex int
+	// Peer-shuffle scans ship their buckets directly to the owning peers
+	// and report only the per-bucket record counts here (completion
+	// accounting and metrics; the records themselves never transit the
+	// coordinator).
+	BucketRecords []int
 }
 
-// writeFrame encodes env as one length-prefixed gob frame.
-func writeFrame(w io.Writer, env *envelope) error {
+// writeFrame encodes env as one length-prefixed gob frame and reports the
+// bytes written (callers attribute shuffle-bearing frames to the
+// coordinator-path shuffle metric).
+func writeFrame(w io.Writer, env *envelope) (int, error) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0, 0, 0, 0})
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		return fmt.Errorf("cluster: encode frame: %w", err)
+		return 0, fmt.Errorf("cluster: encode frame: %w", err)
 	}
 	b := buf.Bytes()
 	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
 	if _, err := w.Write(b); err != nil {
-		return fmt.Errorf("cluster: write frame: %w", err)
+		return 0, fmt.Errorf("cluster: write frame: %w", err)
 	}
-	return nil
+	return len(b), nil
 }
 
-// readFrame decodes one frame, rejecting lengths beyond maxBytes.
-func readFrame(r io.Reader, maxBytes int) (*envelope, error) {
+// readFrame decodes one frame, rejecting lengths beyond maxBytes, and
+// reports the frame size (header + body).
+func readFrame(r io.Reader, maxBytes int) (*envelope, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxFrameBytes
 	}
 	if int64(n) > int64(maxBytes) {
-		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds cap %d", n, maxBytes)
+		return nil, 0, fmt.Errorf("cluster: frame of %d bytes exceeds cap %d", n, maxBytes)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("cluster: read frame body: %w", err)
+		return nil, 0, fmt.Errorf("cluster: read frame body: %w", err)
 	}
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
-		return nil, fmt.Errorf("cluster: decode frame: %w", err)
+		return nil, 0, fmt.Errorf("cluster: decode frame: %w", err)
 	}
-	return &env, nil
+	return &env, int(n) + 4, nil
 }

@@ -54,6 +54,19 @@ type WorkerConfig struct {
 	DialRetryFor time.Duration
 	// MaxFrameBytes caps one protocol frame (default DefaultMaxFrameBytes).
 	MaxFrameBytes int
+	// ShuffleListen is the address the worker's peer-shuffle listener
+	// binds (default ":0" — any interface, ephemeral port). Peers of a
+	// peer-shuffle archive job stream bucket frames here.
+	ShuffleListen string
+	// ShuffleAdvertise overrides the shuffle address announced to the
+	// coordinator (default: the listener's port joined with the local IP
+	// of the coordinator connection — right whenever peers can route the
+	// same way the coordinator is reached).
+	ShuffleAdvertise string
+	// WriteTimeout bounds one peer-shuffle frame write (default 10s); a
+	// blocked peer drops the connection and the sender replays on
+	// reconnect.
+	WriteTimeout time.Duration
 	// Faults is the failpoint registry consulted at FPWorkerKill and
 	// FPWorkerExecute (default: the process-wide registry armed from
 	// POL_FAILPOINTS).
@@ -93,6 +106,12 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.MaxFrameBytes <= 0 {
 		c.MaxFrameBytes = DefaultMaxFrameBytes
 	}
+	if c.ShuffleListen == "" {
+		c.ShuffleListen = ":0"
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
 	if c.Faults == nil {
 		c.Faults = fault.Default()
 	}
@@ -107,6 +126,8 @@ type worker struct {
 	metrics *workerMetrics
 	portIdx *ports.Index
 	statics map[uint32]model.VesselInfo // broadcast vessel static inventory
+	shuffle *shuffleState               // peer-shuffle listener + reassembly
+	runCtx  context.Context             // cancelled when the connection dies
 
 	simSpec SimSpec        // cached fleet spec…
 	sim     *sim.Simulator // …and its simulator (lane graph reuse)
@@ -128,27 +149,43 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 	w.conn = conn
 	defer conn.Close()
-	if err := w.send(&envelope{Type: msgHello, Hello: &helloMsg{Name: cfg.Name, Procs: cfg.Parallelism}}); err != nil {
-		return err
-	}
-	w.logf("connected to %s as %s", cfg.Coordinator, cfg.Name)
 
 	// runCtx cancels running pipelines the moment the connection dies or
-	// the caller's context is cancelled.
+	// the caller's context is cancelled. Set before the shuffle starts:
+	// the reduce loop reads it.
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	w.runCtx = runCtx
+
+	sh, err := newShuffleState(w)
+	if err != nil {
+		return err
+	}
+	w.shuffle = sh
+	defer sh.shutdown()
+	sh.start()
+	addr := sh.resolveAdvertise(conn)
+	if err := w.send(&envelope{Type: msgHello, Hello: &helloMsg{Name: cfg.Name, Procs: cfg.Parallelism, ShuffleAddr: addr}}); err != nil {
+		return err
+	}
+	w.logf("connected to %s as %s (shuffle %s)", cfg.Coordinator, cfg.Name, addr)
 
 	frames := make(chan *envelope, 16)
 	readErr := make(chan error, 1)
 	go func() {
 		in := countingReader{r: conn, c: w.metrics.bytesIn}
 		for {
-			env, err := readFrame(in, cfg.MaxFrameBytes)
+			env, n, err := readFrame(in, cfg.MaxFrameBytes)
 			if err != nil {
 				readErr <- err
 				cancel()
 				close(frames)
 				return
+			}
+			if env.Type == msgTask && env.Task != nil && len(env.Task.Records) > 0 {
+				// A reduce task carrying records is the coordinator-path
+				// shuffle delivering a bucket.
+				w.metrics.shuffleCoordRecv.Add(int64(n))
 			}
 			frames <- env
 		}
@@ -174,6 +211,10 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				if env.Statics != nil {
 					w.statics = env.Statics.Statics
 					w.logf("statics broadcast: %d vessels", len(w.statics))
+				}
+			case msgRoster:
+				if env.Roster != nil {
+					w.shuffle.setRoster(env.Roster)
 				}
 			case msgTask:
 				if env.Task == nil {
@@ -221,7 +262,13 @@ func (w *worker) logf(format string, args ...any) {
 func (w *worker) send(env *envelope) error {
 	w.writeMu.Lock()
 	defer w.writeMu.Unlock()
-	return writeFrame(countingWriter{w: w.conn, c: w.metrics.bytesOut}, env)
+	n, err := writeFrame(countingWriter{w: w.conn, c: w.metrics.bytesOut}, env)
+	if err == nil && env.Type == msgResult && env.Result != nil && len(env.Result.BucketBlocks) > 0 {
+		// A scan result carrying bucket blocks is the coordinator-path
+		// shuffle moving map outputs up.
+		w.metrics.shuffleCoordSent.Add(int64(n))
+	}
+	return err
 }
 
 // handleTask executes one task and reports its result; killed reports that
@@ -379,11 +426,86 @@ func (w *worker) runScan(t Task, res *TaskResult) error {
 			buckets[b] = append(buckets[b], it.Pos)
 		}
 	}
-	res.Statics = r.StaticsAsVesselInfo()
-	res.BucketBlocks = buckets
 	res.Feed = r.Stats()
 	res.SectionIndex = t.Section.Index
+	statics := r.StaticsAsVesselInfo()
+	if !t.PeerShuffle {
+		res.Statics = statics
+		res.BucketBlocks = buckets
+		return nil
+	}
+	// Peer path: the bucket blocks stream straight to their owners (the
+	// bucket's statics riding the Last frame); the result reports only the
+	// per-bucket record counts. Frames for buckets with no assigned owner
+	// yet are parked and re-delivered when the roster arrives.
+	counts := make([]int, t.Buckets)
+	epoch := w.shuffle.currentEpoch()
+	for b, recs := range buckets {
+		counts[b] = len(recs)
+		frames, err := bucketFrames(w.cfg.Name, epoch, t, b, recs, bucketStatics(statics, b, t.Buckets))
+		if err != nil {
+			return err
+		}
+		for _, f := range frames {
+			w.shuffle.emit(f)
+		}
+	}
+	res.BucketRecords = counts
 	return nil
+}
+
+// reduceOwnedBucket folds one owned bucket whose shuffle inputs are all
+// here — the overlap path: it runs while other sections are still
+// scanning. The result reports under the bucket's stable task ID, so a
+// straggling old owner's completion after a reassignment is dropped as a
+// duplicate by the coordinator.
+func (w *worker) reduceOwnedBucket(bucket int) {
+	sh := w.shuffle
+	records, statics, as, ok := sh.assemble(bucket)
+	if !ok {
+		return
+	}
+	sh.mu.Lock()
+	resolution := sh.roster.Resolution
+	traceParent := sh.roster.TraceParent
+	epoch := sh.roster.Epoch
+	sh.mu.Unlock()
+	w.logf("reduce bucket %d: %d records, %d vessels (epoch %d)", bucket, len(records), len(statics), epoch)
+	w.metrics.reduceInflight.Add(1)
+	defer w.metrics.reduceInflight.Add(-1)
+
+	res := &TaskResult{ID: as.TaskID, Attempt: epoch, Worker: w.cfg.Name}
+	parent, _ := trace.ParseTraceparent(traceParent)
+	span := w.cfg.Tracer.StartRemote("cluster.task.reduce-build", parent)
+	span.SetAttr("task", fmt.Sprint(as.TaskID))
+	span.SetAttr("bucket", fmt.Sprint(bucket))
+	ctx := w.runCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := w.cfg.Faults.Hit(FPWorkerExecute); err != nil {
+		res.Err = err.Error()
+	} else {
+		t := Task{ID: as.TaskID, Kind: TaskReduceBuild, Resolution: resolution}
+		dctx := dataflow.NewContextWith(trace.ContextWith(ctx, span), w.cfg.Parallelism)
+		ds := dataflow.Parallelize(dctx, records, w.cfg.Parallelism*4)
+		if err := w.runPipeline(ds, statics, t, res); err != nil {
+			res.Err = err.Error()
+		}
+	}
+	if res.Err != "" {
+		span.SetAttr("error", res.Err)
+		span.MarkError()
+		w.metrics.tasksErr.Inc()
+		w.logf("reduce bucket %d failed: %s", bucket, res.Err)
+	} else {
+		w.metrics.tasksOK.Inc()
+	}
+	span.Finish()
+	sh.markResult(bucket, res.Err != "")
+	if err := w.send(&envelope{Type: msgResult, Result: res}); err != nil {
+		w.logf("send reduce result %d: %v", as.TaskID, err)
+	}
 }
 
 // runReduceBuild runs the full pipeline over one vessel-complete record
@@ -395,9 +517,18 @@ func (w *worker) runReduceBuild(ctx context.Context, t Task, res *TaskResult) er
 }
 
 // runPipeline executes the inventory pipeline and marshals the partial.
+// Reduce tasks run with a single pipeline partition: a bucket's summaries
+// then fold in one canonical pass regardless of worker parallelism, which
+// is what lets the coordinator's ordered merge reproduce a single-process
+// build bit for bit (parallelism across buckets, determinism within one).
 func (w *worker) runPipeline(records *dataflow.Dataset[model.PositionRecord], static map[uint32]model.VesselInfo, t Task, res *TaskResult) error {
+	parts := 0
+	if t.Kind == TaskReduceBuild {
+		parts = 1
+	}
 	out, err := pipeline.Run(records, static, w.portIdx, pipeline.Options{
 		Resolution:  t.Resolution,
+		Partitions:  parts,
 		Description: fmt.Sprintf("cluster task %d (%s)", t.ID, t.Kind),
 		Obs:         w.cfg.Obs,
 		Tracer:      w.cfg.Tracer,

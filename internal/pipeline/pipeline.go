@@ -209,13 +209,23 @@ type flowCounters struct {
 // processPartition runs cleaning, trip extraction, enrichment, projection
 // and observation emission for every vessel in one partition.
 func processPartition(rows []dataflow.Pair[uint32, model.PositionRecord], static map[uint32]model.VesselInfo, portIdx *ports.Index, opt Options, counters *flowCounters) []dataflow.Pair[inventory.GroupKey, inventory.Observation] {
-	// Group the partition's rows by vessel.
+	// Group the partition's rows by vessel, then process vessels in
+	// ascending MMSI order: several summary statistics (Welford moments,
+	// circular means, t-digests) are order-sensitive in their low bits, so
+	// a map-ordered walk would make repeated builds of the same input
+	// differ. Sorting pins one canonical fold order per partition.
 	perVessel := make(map[uint32][]model.PositionRecord)
 	for _, p := range rows {
 		perVessel[p.Key] = append(perVessel[p.Key], p.Value)
 	}
+	mmsis := make([]uint32, 0, len(perVessel))
+	for mmsi := range perVessel {
+		mmsis = append(mmsis, mmsi)
+	}
+	sort.Slice(mmsis, func(i, j int) bool { return mmsis[i] < mmsis[j] })
 	var out []dataflow.Pair[inventory.GroupKey, inventory.Observation]
-	for mmsi, recs := range perVessel {
+	for _, mmsi := range mmsis {
+		recs := perVessel[mmsi]
 		info, ok := static[mmsi]
 		if !ok || !info.IsCommercial() {
 			continue // §3.3.1: only the commercial fleet

@@ -68,7 +68,13 @@ func (t *TDigest) AddWeighted(x, w float64) {
 // Count returns the total observed weight.
 func (t *TDigest) Count() float64 { return t.totalW + t.bufferedW }
 
-// Merge folds another digest into this one.
+// Merge folds another digest into this one. Both digests are compressed to
+// their canonical centroid form first: encoding a digest (AppendBinary)
+// compresses it too, so a digest that crossed a wire merges exactly like
+// the in-memory original, and a chain of merges yields the same bits
+// whether its inputs were serialized or not. process is idempotent —
+// adjacent centroids that survived one compression pass still exceed the
+// scale bound on the next — so pre-compressing never loses information.
 func (t *TDigest) Merge(o *TDigest) {
 	if o == nil || o.Count() == 0 {
 		return
@@ -79,9 +85,10 @@ func (t *TDigest) Merge(o *TDigest) {
 	if o.max > t.max {
 		t.max = o.max
 	}
+	o.process()
+	t.process()
 	t.buffer = append(t.buffer, o.centroids...)
-	t.buffer = append(t.buffer, o.buffer...)
-	t.bufferedW += o.totalW + o.bufferedW
+	t.bufferedW += o.totalW
 	t.process()
 }
 

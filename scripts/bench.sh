@@ -3,7 +3,7 @@
 # results and prints the headline go-test benchmarks. Run from the
 # repository root:
 #
-#   ./scripts/bench.sh            # writes BENCH_PR8.json
+#   ./scripts/bench.sh            # writes BENCH_PR9.json
 #   ./scripts/bench.sh results.json
 #
 # The report has two parts: the polbench micro-benchmark suite (build,
@@ -12,7 +12,7 @@
 # the "slo" key.
 set -e
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 
 echo "== polbench micro-benchmark suite → $out =="
 go run ./cmd/polbench -json "$out" -vessels 30 -days 15
