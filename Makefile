@@ -25,12 +25,14 @@ fmt:
 # snapshot-serving inventory, the observability middleware and the stream
 # monitor.
 race:
-	$(GO) test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/replica/ ./internal/stream/
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/replica/ ./internal/segment/ ./internal/stream/
 
-# One-iteration smoke of the snapshot-publish benchmark: catches publish-path
+# One-iteration smokes: the snapshot-publish benchmark and the columnar
+# segment write/open/lookup round trip — they catch serving-path
 # regressions that compile but break at run time, without benchmark noise.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=Publish -benchtime=1x ./internal/inventory/
+	$(GO) test -run='^$$' -bench=Segment -benchtime=1x ./internal/segment/
 
 # End-to-end smokes: the loopback cluster (coordinator + two workers, one
 # killed mid-task), the durability chaos drill (crash mid-checkpoint
@@ -42,7 +44,7 @@ e2e:
 	./scripts/chaos_e2e.sh
 	./scripts/replica_e2e.sh
 
-# Full benchmark suite: regenerates BENCH_PR9.json and prints the headline
+# Full benchmark suite: regenerates BENCH_PR10.json and prints the headline
 # publish/shuffle/distributed benchmarks (see scripts/bench.sh).
 bench:
 	./scripts/bench.sh

@@ -5,7 +5,7 @@ package main
 // baseline), point and OD queries, the dataflow shuffle, and the
 // distributed build over both shuffle fabrics — over the lab dataset via
 // testing.Benchmark, and writes the results as JSON. The committed
-// BENCH_PR9.json is one run of this suite; `make bench` regenerates it.
+// BENCH_PR10.json is one run of this suite; `make bench` regenerates it.
 
 import (
 	"context"
@@ -325,6 +325,12 @@ func (l *lab) runBenchJSON(path string) error {
 	// Tracing overhead: the ingest hot path with and without a live
 	// tracer; the delta gates the <5% tracing-cost budget.
 	if err := l.benchTraceOverhead(run, records); err != nil {
+		return err
+	}
+
+	// Segment serving path: cold-start (heap load vs O(index) segment
+	// open), per-path point queries, and resident-heap footprints.
+	if err := l.benchSegment(run, &report); err != nil {
 		return err
 	}
 

@@ -2,14 +2,19 @@
 // patterns: per-location statistical summaries, most frequent destinations,
 // and OD-key transition cells.
 //
+// Both on-disk formats are accepted anywhere a file is expected — the
+// loader sniffs the 8-byte magic, so a .polinv heap inventory and a
+// .polseg columnar segment are interchangeable, including under -equal
+// (which compares bit-exact across formats).
+//
 // Usage:
 //
 //	polquery -inv fleet.polinv -at 51.9,3.2
 //	polquery -inv fleet.polinv -at 51.9,3.2 -type container
-//	polquery -inv fleet.polinv -cell 0c4000000012345
+//	polquery -inv fleet.polseg -cell 0c4000000012345
 //	polquery -inv fleet.polinv -od-cells 1:63:container
 //	polquery -inv fleet.polinv -info
-//	polquery -inv primary.polinv -equal replica.polinv
+//	polquery -inv primary.polinv -equal replica.polseg
 //
 // With -server the query goes to a running polserve/polingest daemon over
 // HTTP instead of reading a file, and -trace additionally fetches and
@@ -38,7 +43,33 @@ import (
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/ports"
+	"github.com/patternsoflife/pol/internal/segment"
 )
+
+// loadView opens an inventory in either on-disk format, sniffed by the
+// 8-byte magic: a POLSEG1 columnar segment opens O(index) and answers
+// queries straight off disk; anything else loads as a heap inventory.
+func loadView(path string) inventory.View {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var magic [8]byte
+	n, _ := io.ReadFull(f, magic[:])
+	f.Close()
+	if segment.IsSegment(magic[:n]) {
+		r, err := segment.Open(path, segment.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+	inv, err := inventory.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return inv
+}
 
 func main() {
 	log.SetFlags(0)
@@ -65,18 +96,12 @@ func main() {
 		log.Fatal("-trace needs -server (traces live on the daemon)")
 	}
 
-	inv, err := inventory.LoadFile(*invPath)
-	if err != nil {
-		log.Fatal(err)
-	}
+	inv := loadView(*invPath)
 	gaz := ports.Default()
 
 	if *equal != "" {
-		other, err := inventory.LoadFile(*equal)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !inventory.Equal(inv, other) {
+		other := loadView(*equal)
+		if !inventory.EqualViews(inv, other) {
 			fmt.Printf("NOT EQUAL: %s (%d groups) vs %s (%d groups)\n",
 				*invPath, inv.Len(), *equal, other.Len())
 			os.Exit(1)
@@ -119,6 +144,7 @@ func main() {
 	var cell hexgrid.Cell
 	switch {
 	case *cellStr != "":
+		var err error
 		cell, err = hexgrid.ParseCell(*cellStr)
 		if err != nil {
 			log.Fatal(err)

@@ -2,17 +2,23 @@
 // the "online querying" deployment the paper describes for stakeholders.
 // See internal/api for the endpoint documentation.
 //
-// Batch mode serves a prebuilt inventory file. Live mode (-live) embeds
-// the ingestion engine: it accepts timestamped NMEA feeds on -listen and
-// serves the continuously updated inventory, so queries reflect traffic
-// seen moments ago. Replica mode (-replica <primary-url>) serves a
-// read-only copy of a primary's live inventory: it bootstraps from the
-// primary's newest checkpoint generation over /v1/repl and tails the
-// primary's WAL, so N stateless replicas scale out the query tier while
-// one primary owns ingestion and durability. A replica lagging more than
-// -max-lag answers /readyz with 200 "ready (degraded: replication lag
-// ...)". Either way the process shuts down cleanly on SIGINT/SIGTERM,
-// draining in-flight requests.
+// Batch mode serves a prebuilt inventory file: -inv loads a heap
+// inventory, -seg opens a columnar segment in O(index) and answers
+// queries straight off disk without materializing the groups. Live mode
+// (-live) embeds the ingestion engine: it accepts timestamped NMEA feeds
+// on -listen and serves the continuously updated inventory, so queries
+// reflect traffic seen moments ago. Replica mode (-replica <primary-url>)
+// serves a read-only copy of a primary's live inventory: it bootstraps
+// from the primary's newest checkpoint generation over /v1/repl and tails
+// the primary's WAL, so N stateless replicas scale out the query tier
+// while one primary owns ingestion and durability. A replica lagging more
+// than -max-lag answers /readyz with 200 "ready (degraded: replication
+// lag ...)". Adding -segdir to replica mode switches to the disk-backed
+// replica: it mirrors the primary's checkpoint segments into the
+// directory (fetching only changed shard blocks over Range requests) and
+// serves them memory-mapped — cold start is O(index) instead of
+// O(inventory) and the resident set stays small. Either way the process
+// shuts down cleanly on SIGINT/SIGTERM, draining in-flight requests.
 //
 // Operational endpoints:
 //
@@ -33,8 +39,10 @@
 // Usage:
 //
 //	polserve -inv fleet.polinv -addr :8080
+//	polserve -seg fleet.polseg -addr :8080
 //	polserve -live -listen :10110 -addr :8080 -journal live.wal -pprof
 //	polserve -replica http://primary:8080 -addr :8081 -max-lag 10s
+//	polserve -replica http://primary:8080 -segdir /var/lib/pol/segs -addr :8081
 package main
 
 import (
@@ -60,11 +68,13 @@ import (
 	"github.com/patternsoflife/pol/internal/obs/trace"
 	"github.com/patternsoflife/pol/internal/ports"
 	"github.com/patternsoflife/pol/internal/replica"
+	"github.com/patternsoflife/pol/internal/segment"
 )
 
 func main() {
 	var (
 		invPath = flag.String("inv", "inventory.polinv", "inventory file (batch mode)")
+		segPath = flag.String("seg", "", "columnar segment file to serve instead of -inv (batch mode, O(index) open)")
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
 
 		live      = flag.Bool("live", false, "serve from a live ingestion engine instead of a file")
@@ -78,6 +88,7 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop feeds silent for this long (live mode)")
 
 		replicaOf  = flag.String("replica", "", "primary base URL to replicate from (replica mode, e.g. http://primary:8080)")
+		segDir     = flag.String("segdir", "", "disk-backed replica: mirror the primary's segments into this directory and serve them mapped (replica mode)")
 		maxLag     = flag.Duration("max-lag", 15*time.Second, "replication lag before /readyz reports degraded (replica mode)")
 		maxSnapAge = flag.Duration("max-snapshot-age", 0, "snapshot age before /readyz reports degraded (live/replica mode, 0 disables)")
 
@@ -106,6 +117,9 @@ func main() {
 	if *live && *replicaOf != "" {
 		fatal(logger, "flags", errors.New("-live and -replica are mutually exclusive"))
 	}
+	if *segDir != "" && *replicaOf == "" {
+		fatal(logger, "flags", errors.New("-segdir needs -replica (it is the disk-backed replica mode)"))
+	}
 
 	// Every mode gets a tracer and the /v1/traces query surface; the
 	// flight recorder needs a data directory to dump into.
@@ -129,7 +143,30 @@ func main() {
 	tr.Mount(mux)
 
 	replicaErr := make(chan error, 1)
-	if *replicaOf != "" {
+	if *replicaOf != "" && *segDir != "" {
+		d, err := replica.NewDisk(replica.DiskOptions{
+			Primary:    *replicaOf,
+			Resolution: *res,
+			Dir:        *segDir,
+			PollEvery:  *tick,
+			Metrics:    reg,
+			Logf:       logf(logger.With("sub", "diskreplica")),
+		})
+		if err != nil {
+			fatal(logger, "disk replica start", err)
+		}
+		go func() { replicaErr <- d.Run(ctx) }()
+		logger.Info("disk replica mode", "primary", *replicaOf, "dir", *segDir)
+
+		mux.Handle("/", api.NewLiveServer(d, gaz).WithMetrics(reg).WithTracing(tr).Handler())
+		mux.Handle("GET /v1/replica/status", d.StatusHandler())
+		ready = d.ReadyDetail
+		cleanup = func() {
+			if err := d.Close(); err != nil {
+				logger.Error("disk replica close", "err", err)
+			}
+		}
+	} else if *replicaOf != "" {
 		rep, err := replica.New(replica.Options{
 			Primary:    *replicaOf,
 			Resolution: *res,
@@ -203,6 +240,18 @@ func main() {
 			}
 			if err := eng.Close(); err != nil {
 				logger.Error("engine close", "err", err)
+			}
+		}
+	} else if *segPath != "" {
+		rd, err := segment.Open(*segPath, segment.Options{Metrics: segment.NewMetrics(reg)})
+		if err != nil {
+			fatal(logger, "segment open", err)
+		}
+		logger.Info("serving segment", "path", *segPath, "groups", rd.Len(), "mapped", rd.Mapped())
+		mux.Handle("/", api.NewServer(rd, gaz).WithMetrics(reg).WithTracing(tr).Handler())
+		cleanup = func() {
+			if err := rd.Close(); err != nil {
+				logger.Error("segment close", "err", err)
 			}
 		}
 	} else {

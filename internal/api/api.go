@@ -36,19 +36,21 @@ import (
 	"github.com/patternsoflife/pol/internal/routing"
 )
 
-// Source resolves the inventory a request is answered from. Batch serving
-// wraps one loaded file; live serving hands out the ingestion engine's
-// current atomic snapshot, so every request sees a complete, immutable
-// inventory even while merges continue behind it.
+// Source resolves the inventory view a request is answered from. Batch
+// serving wraps one loaded file or an opened disk segment; live serving
+// hands out the ingestion engine's current atomic snapshot — so every
+// request sees a complete, immutable view even while merges continue
+// behind it, whether the view lives on the heap or on disk.
 type Source interface {
-	Inventory() *inventory.Inventory
+	Inventory() inventory.View
 }
 
-// StaticSource serves one fixed inventory.
-type StaticSource struct{ Inv *inventory.Inventory }
+// StaticSource serves one fixed inventory view (a loaded heap inventory
+// or an open segment reader).
+type StaticSource struct{ Inv inventory.View }
 
 // Inventory implements Source.
-func (s StaticSource) Inventory() *inventory.Inventory { return s.Inv }
+func (s StaticSource) Inventory() inventory.View { return s.Inv }
 
 // LiveStatus is implemented by live sources (the ingestion engine) that
 // can report process uptime and the age of the served snapshot. When the
@@ -84,8 +86,9 @@ type Server struct {
 	maxInFlight int
 }
 
-// NewServer builds a Server over a loaded inventory and port gazetteer.
-func NewServer(inv *inventory.Inventory, gaz *ports.Gazetteer) *Server {
+// NewServer builds a Server over a fixed inventory view (a loaded heap
+// inventory or an open disk segment) and port gazetteer.
+func NewServer(inv inventory.View, gaz *ports.Gazetteer) *Server {
 	return NewLiveServer(StaticSource{Inv: inv}, gaz)
 }
 

@@ -80,7 +80,7 @@ type statusSource struct {
 	inv *inventory.Inventory
 }
 
-func (s statusSource) Inventory() *inventory.Inventory { return s.inv }
+func (s statusSource) Inventory() inventory.View { return s.inv }
 func (s statusSource) WALStatus() (uint64, uint64, uint64) {
 	return 3, 1200, 1234
 }
@@ -270,7 +270,7 @@ type blockingSource struct {
 	release chan struct{}
 }
 
-func (b *blockingSource) Inventory() *inventory.Inventory {
+func (b *blockingSource) Inventory() inventory.View {
 	b.entered <- struct{}{}
 	<-b.release
 	return b.inv

@@ -17,7 +17,7 @@ type swapSource struct {
 	p atomic.Pointer[inventory.Inventory]
 }
 
-func (s *swapSource) Inventory() *inventory.Inventory { return s.p.Load() }
+func (s *swapSource) Inventory() inventory.View { return s.p.Load() }
 
 // TestLiveServerTracksSnapshotSwaps: a server built with NewLiveServer
 // must answer from the snapshot current at request time, so an inventory

@@ -30,11 +30,11 @@ type Estimate struct {
 
 // Estimator answers ETA queries from an inventory.
 type Estimator struct {
-	inv *inventory.Inventory
+	inv inventory.View
 }
 
 // New returns an estimator over the inventory.
-func New(inv *inventory.Inventory) *Estimator {
+func New(inv inventory.View) *Estimator {
 	return &Estimator{inv: inv}
 }
 

@@ -15,6 +15,7 @@ import (
 	"github.com/patternsoflife/pol/internal/inventory"
 	"github.com/patternsoflife/pol/internal/model"
 	"github.com/patternsoflife/pol/internal/pipeline"
+	"github.com/patternsoflife/pol/internal/segment"
 )
 
 // Checkpoints are the engine's fast-recovery frontier: a generation is
@@ -47,12 +48,17 @@ const (
 
 var stateMagic = []byte("POLSTAT1\n")
 
-// ckptGen is one manifest entry.
+// ckptGen is one manifest entry. Seg is empty on manifests written
+// before the segment store existed; everything else treats a missing
+// segment as "heap bootstrap only".
 type ckptGen struct {
 	Gen, Seq           uint64
 	Inv, State         string // basenames, sibling to the manifest
 	InvCRC, StateCRC   uint32
 	InvSize, StateSize int64
+	Seg                string // POLSEG1 columnar segment, "" when absent
+	SegCRC             uint32
+	SegSize            int64
 }
 
 // checkpointer owns the generation files and manifest below one base
@@ -127,12 +133,19 @@ func (c *checkpointer) Save(snap *inventory.Inventory, st *engineState, seq uint
 	entry := ckptGen{Gen: gen, Seq: seq}
 	invPath := fmt.Sprintf("%s.g%06d", c.base, gen)
 	statePath := invPath + ".state"
+	segPath := invPath + ".seg"
 	entry.Inv = filepath.Base(invPath)
 	entry.State = filepath.Base(statePath)
+	entry.Seg = filepath.Base(segPath)
 
 	if entry.InvCRC, entry.InvSize, err = inventory.WriteFileSum(snap, invPath); err != nil {
 		return 0, fmt.Errorf("ingest: checkpoint inventory: %w", err)
 	}
+	segStats, err := segment.WriteFileSum(snap, segPath)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: checkpoint segment: %w", err)
+	}
+	entry.SegCRC, entry.SegSize = segStats.Sum, segStats.Size
 	err = inventory.AtomicWrite(statePath, func(w io.Writer) error {
 		sw := &sumWriter{w: w}
 		if err := encodeState(sw, st); err != nil {
@@ -157,24 +170,31 @@ func (c *checkpointer) Save(snap *inventory.Inventory, st *engineState, seq uint
 	c.gens = newGens
 	c.mu.Unlock()
 
-	if err := c.publishStable(invPath); err != nil {
+	if err := c.publishStable(invPath, c.base); err != nil {
 		return 0, fmt.Errorf("ingest: checkpoint stable artifact: %w", err)
+	}
+	if err := c.publishStable(segPath, c.base+".seg"); err != nil {
+		return 0, fmt.Errorf("ingest: checkpoint stable segment: %w", err)
 	}
 	for _, g := range dropped {
 		os.Remove(c.genPath(g.Inv))
 		os.Remove(c.genPath(g.State))
+		if g.Seg != "" {
+			os.Remove(c.genPath(g.Seg))
+		}
 	}
 	return newGens[len(newGens)-1].Seq, nil
 }
 
-// publishStable points <base> at the newest generation's inventory via a
+// publishStable points dstPath at the newest generation's artifact via a
 // hardlink rename (falling back to a copy on filesystems without links),
-// keeping the plain configured path a valid serving artifact.
-func (c *checkpointer) publishStable(invPath string) error {
-	tmp := c.base + ".tmp"
+// keeping the plain configured paths (<base> and <base>.seg) valid
+// serving artifacts.
+func (c *checkpointer) publishStable(srcPath, dstPath string) error {
+	tmp := dstPath + ".pub.tmp"
 	os.Remove(tmp)
-	if err := os.Link(invPath, tmp); err != nil {
-		src, err := os.Open(invPath)
+	if err := os.Link(srcPath, tmp); err != nil {
+		src, err := os.Open(srcPath)
 		if err != nil {
 			return err
 		}
@@ -195,10 +215,10 @@ func (c *checkpointer) publishStable(invPath string) error {
 			return err
 		}
 	}
-	if err := os.Rename(tmp, c.base); err != nil {
+	if err := os.Rename(tmp, dstPath); err != nil {
 		return err
 	}
-	return syncDir(c.base)
+	return syncDir(dstPath)
 }
 
 // Load verifies and restores the newest intact generation. A generation
@@ -259,8 +279,18 @@ func writeManifest(path string, gens []ckptGen) error {
 			return err
 		}
 		for _, g := range gens {
-			if _, err := fmt.Fprintf(w, "gen %d seq %d inv %s crc %08x size %d state %s crc %08x size %d\n",
+			if _, err := fmt.Fprintf(w, "gen %d seq %d inv %s crc %08x size %d state %s crc %08x size %d",
 				g.Gen, g.Seq, g.Inv, g.InvCRC, g.InvSize, g.State, g.StateCRC, g.StateSize); err != nil {
+				return err
+			}
+			// The segment entry is a suffix so manifests stay readable by
+			// the pre-segment parser (and vice versa).
+			if g.Seg != "" {
+				if _, err := fmt.Fprintf(w, " seg %s crc %08x size %d", g.Seg, g.SegCRC, g.SegSize); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
 		}
@@ -283,9 +313,15 @@ func readManifest(path string) ([]ckptGen, error) {
 			continue
 		}
 		var g ckptGen
-		if _, err := fmt.Sscanf(line, "gen %d seq %d inv %s crc %x size %d state %s crc %x size %d",
-			&g.Gen, &g.Seq, &g.Inv, &g.InvCRC, &g.InvSize, &g.State, &g.StateCRC, &g.StateSize); err != nil {
-			return nil, fmt.Errorf("ingest: bad manifest line %q: %w", line, err)
+		if _, err := fmt.Sscanf(line, "gen %d seq %d inv %s crc %x size %d state %s crc %x size %d seg %s crc %x size %d",
+			&g.Gen, &g.Seq, &g.Inv, &g.InvCRC, &g.InvSize, &g.State, &g.StateCRC, &g.StateSize,
+			&g.Seg, &g.SegCRC, &g.SegSize); err != nil {
+			// Pre-segment manifest line: same prefix, no seg suffix.
+			g = ckptGen{}
+			if _, err := fmt.Sscanf(line, "gen %d seq %d inv %s crc %x size %d state %s crc %x size %d",
+				&g.Gen, &g.Seq, &g.Inv, &g.InvCRC, &g.InvSize, &g.State, &g.StateCRC, &g.StateSize); err != nil {
+				return nil, fmt.Errorf("ingest: bad manifest line %q: %w", line, err)
+			}
 		}
 		gens = append(gens, g)
 	}

@@ -446,7 +446,7 @@ func (e *Engine) Snapshot() *inventory.Inventory { return e.snap.Load() }
 
 // Inventory implements api.Source: serving resolves the snapshot per
 // request.
-func (e *Engine) Inventory() *inventory.Inventory { return e.Snapshot() }
+func (e *Engine) Inventory() inventory.View { return e.Snapshot() }
 
 // SubmitPosition enqueues one decoded position report. It blocks while
 // the queue is full (backpressure) and returns ErrClosed after Close.

@@ -222,8 +222,10 @@ func TestEngineCheckpoint(t *testing.T) {
 	if err := e.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	// The checkpoint goroutine races the test; wait for it to land.
-	deadline := time.Now().Add(5 * time.Second)
+	// The checkpoint goroutine races the test; wait for it to land. The
+	// Save also flate-compresses the segment now, which is slow under
+	// -race, so the budget is generous.
+	deadline := time.Now().Add(30 * time.Second)
 	for {
 		if e.StatsSnapshot().Checkpoints > 0 {
 			break

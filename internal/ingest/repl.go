@@ -20,6 +20,7 @@ import (
 //
 //	GET /v1/repl/manifest                   checkpoint generations + WAL frontier (JSON)
 //	GET /v1/repl/checkpoint/{gen}/{file}    one generation file, verbatim bytes
+//	GET /v1/repl/segment/{gen}              one generation's columnar segment (POLSEG1, Range-capable)
 //	GET /v1/repl/wal?from_seq=N[&max=M][&wait=D]  WAL suffix past seq N (POLREPL1)
 //	GET /v1/repl/snapshot                   current published inventory (POLINV1)
 //
@@ -47,6 +48,11 @@ type ReplGenInfo struct {
 	State     string `json:"state"`
 	StateCRC  uint32 `json:"state_crc"`
 	StateSize int64  `json:"state_size"`
+	// Seg names the generation's columnar segment (POLSEG1); empty on
+	// manifests written before segments existed.
+	Seg     string `json:"seg,omitempty"`
+	SegCRC  uint32 `json:"seg_crc,omitempty"`
+	SegSize int64  `json:"seg_size,omitempty"`
 }
 
 // replMagic heads every /v1/repl/wal response body:
@@ -113,6 +119,7 @@ func (e *Engine) ReplManifestSnapshot() ReplManifest {
 				Gen: g.Gen, Seq: g.Seq,
 				Inv: g.Inv, InvCRC: g.InvCRC, InvSize: g.InvSize,
 				State: g.State, StateCRC: g.StateCRC, StateSize: g.StateSize,
+				Seg: g.Seg, SegCRC: g.SegCRC, SegSize: g.SegSize,
 			})
 		}
 	}
@@ -130,6 +137,7 @@ func (e *Engine) ReplHandler() http.Handler {
 	}
 	mux.Handle("GET /v1/repl/manifest", traced("repl_manifest", e.handleReplManifest))
 	mux.Handle("GET /v1/repl/checkpoint/{gen}/{file}", traced("repl_checkpoint", e.handleReplCheckpoint))
+	mux.Handle("GET /v1/repl/segment/{gen}", traced("repl_segment", e.handleReplSegment))
 	mux.Handle("GET /v1/repl/wal", traced("repl_wal", e.handleReplWAL))
 	mux.Handle("GET /v1/repl/snapshot", traced("repl_snapshot", e.handleReplSnapshot))
 	return mux
@@ -162,7 +170,7 @@ func (e *Engine) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("file")
 	for _, g := range e.ckpt.generations() {
-		if g.Gen != gen || (name != g.Inv && name != g.State) {
+		if g.Gen != gen || (name != g.Inv && name != g.State && (g.Seg == "" || name != g.Seg)) {
 			continue
 		}
 		f, err := os.Open(e.ckpt.genPath(name))
@@ -181,6 +189,40 @@ func (e *Engine) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	http.Error(w, "unknown generation or file", http.StatusNotFound)
+}
+
+// handleReplSegment serves one generation's columnar segment with Range
+// support (http.ServeContent), so a disk replica can fetch only the
+// tail, the index, and the blocks it is missing.
+func (e *Engine) handleReplSegment(w http.ResponseWriter, r *http.Request) {
+	if e.ckpt == nil {
+		http.Error(w, "no checkpoints on this engine", http.StatusServiceUnavailable)
+		return
+	}
+	gen, err := strconv.ParseUint(r.PathValue("gen"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad generation", http.StatusBadRequest)
+		return
+	}
+	for _, g := range e.ckpt.generations() {
+		if g.Gen != gen {
+			continue
+		}
+		if g.Seg == "" {
+			http.Error(w, "generation predates segments", http.StatusNotFound)
+			return
+		}
+		f, err := os.Open(e.ckpt.genPath(g.Seg))
+		if err != nil {
+			http.Error(w, "generation no longer on disk", http.StatusNotFound)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeContent(w, r, "", time.Time{}, f)
+		return
+	}
+	http.Error(w, "unknown generation", http.StatusNotFound)
 }
 
 // handleReplWAL streams the WAL suffix past from_seq, long-polling up to

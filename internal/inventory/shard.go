@@ -24,6 +24,11 @@ func shardFor(k GroupKey) int {
 	return int(k.Hash64() & (ShardCount - 1))
 }
 
+// ShardOf maps a group key to its shard index — the same partitioning the
+// in-memory inventory, the dataflow shuffle and the on-disk segment blocks
+// all share, so one shard's groups travel together across every layer.
+func ShardOf(k GroupKey) int { return shardFor(k) }
+
 // shard is one hash partition of the group map. Shards are shared between
 // published snapshots: once published they are immutable except for the
 // lazily built OD sub-index, which is mutex-guarded (and, being per shard,

@@ -35,7 +35,14 @@ func Equal(a, b *Inventory) bool {
 	if a == nil || b == nil {
 		return a == b
 	}
-	if a.info.Resolution != b.info.Resolution || a.count != b.count {
+	return EqualViews(a, b)
+}
+
+// EqualViews is Equal over the read-only View surface, so a heap
+// inventory and an open disk segment (or two segments) compare with the
+// same bit-exact semantics regardless of which format each side lives in.
+func EqualViews(a, b View) bool {
+	if a.Info().Resolution != b.Info().Resolution || a.Len() != b.Len() {
 		return false
 	}
 	equal := true

@@ -38,7 +38,7 @@ type edge struct {
 
 // Build assembles the transition graph for the key from the inventory.
 // It returns ErrNoHistory if the key has no cells.
-func Build(inv *inventory.Inventory, origin, dest model.PortID, vt model.VesselType) (*Graph, error) {
+func Build(inv inventory.View, origin, dest model.PortID, vt model.VesselType) (*Graph, error) {
 	cells := inv.ODCells(origin, dest, vt)
 	if len(cells) == 0 {
 		return nil, ErrNoHistory
@@ -167,7 +167,7 @@ func (g *Graph) ShortestPath(from, goal geo.LatLng) ([]hexgrid.Cell, error) {
 // Forecast is the end-to-end convenience: build the key's graph and return
 // the forecast cell path from the vessel's position to the destination
 // port.
-func Forecast(inv *inventory.Inventory, origin, dest model.PortID, vt model.VesselType, from, destPos geo.LatLng) ([]hexgrid.Cell, error) {
+func Forecast(inv inventory.View, origin, dest model.PortID, vt model.VesselType, from, destPos geo.LatLng) ([]hexgrid.Cell, error) {
 	g, err := Build(inv, origin, dest, vt)
 	if err != nil {
 		return nil, err

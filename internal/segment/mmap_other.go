@@ -1,0 +1,14 @@
+//go:build !unix
+
+package segment
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("segment: mmap unavailable on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. The reader falls back to pread
+// on any failure, so errors here are advisory.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,388 @@
+package segment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/patternsoflife/pol/internal/inventory"
+	"github.com/patternsoflife/pol/internal/model"
+	"github.com/patternsoflife/pol/internal/sim"
+	"github.com/patternsoflife/pol/internal/testutil"
+)
+
+var (
+	fixOnce sync.Once
+	fixInv  *inventory.Inventory
+)
+
+// fixture builds one moderately sized inventory shared by the package's
+// tests: enough groups to populate most of the 256 shards.
+func fixture(tb testing.TB) *inventory.Inventory {
+	tb.Helper()
+	fixOnce.Do(func() {
+		fixInv = testutil.Build(tb, sim.Config{Vessels: 12, Days: 12, Seed: 42}, 6).Inventory
+	})
+	return fixInv
+}
+
+func writeFixture(tb testing.TB, inv *inventory.Inventory) (string, WriteStats) {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "fixture.polseg")
+	st, err := WriteFileSum(inv, path)
+	if err != nil {
+		tb.Fatalf("WriteFileSum: %v", err)
+	}
+	return path, st
+}
+
+func TestRoundTrip(t *testing.T) {
+	inv := fixture(t)
+	path, st := writeFixture(t, inv)
+
+	if st.Groups != inv.Len() {
+		t.Fatalf("wrote %d groups, inventory holds %d", st.Groups, inv.Len())
+	}
+	sum, size, err := inventory.ChecksumFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != st.Sum || size != st.Size {
+		t.Fatalf("WriteFileSum reported crc=%08x size=%d, file has crc=%08x size=%d", st.Sum, st.Size, sum, size)
+	}
+
+	m := NewMetrics(nil)
+	r, err := Open(path, Options{Metrics: m})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+
+	// Open must be O(index): no block decompressed yet.
+	if got := m.CacheMisses.Load(); got != 0 {
+		t.Fatalf("Open touched %d blocks; want 0", got)
+	}
+	if r.Info() != inv.Info() {
+		t.Fatalf("Info: got %+v want %+v", r.Info(), inv.Info())
+	}
+	if r.Len() != inv.Len() {
+		t.Fatalf("Len: got %d want %d", r.Len(), inv.Len())
+	}
+	for _, set := range inventory.AllGroupSets {
+		if got, want := r.CountGroups(set), inv.CountGroups(set); got != want {
+			t.Fatalf("CountGroups(%v): got %d want %d", set, got, want)
+		}
+		if got, want := r.Cells(set), inv.Cells(set); !equalCells(got, want) {
+			t.Fatalf("Cells(%v): got %d cells, want %d", set, len(got), len(want))
+		}
+		if got, want := r.Compression(set), inv.Compression(set); got != want {
+			t.Fatalf("Compression(%v): got %v want %v", set, got, want)
+		}
+	}
+	if got, want := r.Utilization(), inv.Utilization(); got != want {
+		t.Fatalf("Utilization: got %v want %v", got, want)
+	}
+
+	// Every group must come back bit-identical, and every OD retrieval
+	// must match the heap path.
+	odSeen := make(map[[3]uint64]bool)
+	inv.Each(func(k inventory.GroupKey, want *inventory.CellSummary) bool {
+		got, ok := r.Get(k)
+		if !ok {
+			t.Fatalf("Get(%v): missing", k)
+		}
+		if !bytes.Equal(got.AppendBinary(nil), want.AppendBinary(nil)) {
+			t.Fatalf("Get(%v): summary differs", k)
+		}
+		if k.Set == inventory.GSCellODType {
+			id := [3]uint64{uint64(k.Origin), uint64(k.Dest), uint64(k.VType)}
+			if !odSeen[id] {
+				odSeen[id] = true
+				if got, want := r.ODCells(k.Origin, k.Dest, k.VType), inv.ODCells(k.Origin, k.Dest, k.VType); !equalCells(got, want) {
+					t.Fatalf("ODCells(%d,%d,%v): got %v want %v", k.Origin, k.Dest, k.VType, got, want)
+				}
+			}
+		}
+		return true
+	})
+
+	// Absent keys stay absent.
+	if _, ok := r.Get(inventory.GroupKey{Set: inventory.GSCellODType, Origin: 9999, Dest: 9998}); ok {
+		t.Fatal("Get of absent key returned a summary")
+	}
+	if cells := r.ODCells(model.PortID(9999), model.PortID(9998), model.VesselType(3)); len(cells) != 0 {
+		t.Fatalf("ODCells of absent OD pair returned %d cells", len(cells))
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("reader recorded error: %v", err)
+	}
+}
+
+func TestLoadMaterializes(t *testing.T) {
+	inv := fixture(t)
+	path, _ := writeFixture(t, inv)
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !inventory.Equal(inv, got) {
+		t.Fatal("materialized inventory differs from the original")
+	}
+}
+
+func TestEachGroupOrderAndEquivalence(t *testing.T) {
+	inv := fixture(t)
+	path, _ := writeFixture(t, inv)
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var prev []byte
+	n := 0
+	err = r.EachGroup(func(k inventory.GroupKey, s *inventory.CellSummary) bool {
+		n++
+		enc := inventory.AppendKey(nil, k)
+		if prev != nil && inventory.ShardOf(k) == shardOfEnc(t, prev) && bytes.Compare(prev, enc) >= 0 {
+			t.Fatalf("keys out of order within shard at group %d", n)
+		}
+		prev = enc
+		if want, ok := inv.Get(k); !ok || want.Records != s.Records {
+			t.Fatalf("EachGroup yielded unknown or mismatched group %v", k)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("EachGroup: %v", err)
+	}
+	if n != inv.Len() {
+		t.Fatalf("EachGroup visited %d groups, want %d", n, inv.Len())
+	}
+}
+
+func shardOfEnc(tb testing.TB, enc []byte) int {
+	tb.Helper()
+	k, err := inventory.DecodeKey(enc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inventory.ShardOf(k)
+}
+
+func TestEmptyInventory(t *testing.T) {
+	inv := inventory.New(inventory.BuildInfo{Resolution: 6, Description: "empty"})
+	path := filepath.Join(t.TempDir(), "empty.polseg")
+	if err := WriteFile(inv, path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 0 {
+		t.Fatalf("Len of empty segment: %d", r.Len())
+	}
+	if _, ok := r.Cell(0); ok {
+		t.Fatal("empty segment returned a summary")
+	}
+	if got, err := Load(path); err != nil || got.Len() != 0 {
+		t.Fatalf("Load empty: %v, %d groups", err, got.Len())
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	inv := fixture(t)
+	path, _ := writeFixture(t, inv)
+	m := NewMetrics(nil)
+	r, err := Open(path, Options{MaxPinned: 2, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Blocks()) < 4 {
+		t.Fatalf("fixture has only %d blocks; need ≥ 4 for eviction", len(r.Blocks()))
+	}
+
+	// Touch every group once: with 2 slots and many shards this must
+	// evict, and the pinned gauge must never exceed the cap.
+	inv.Each(func(k inventory.GroupKey, _ *inventory.CellSummary) bool {
+		r.Get(k)
+		if p := m.Pinned.Load(); p > 2 {
+			t.Fatalf("pinned %d shards, cap 2", p)
+		}
+		return true
+	})
+	if m.Evictions.Load() == 0 {
+		t.Fatal("no evictions with MaxPinned=2")
+	}
+	misses := m.CacheMisses.Load()
+	if misses == 0 {
+		t.Fatal("no cache misses recorded")
+	}
+
+	// Repeated queries against one shard hit the pinned block.
+	var hot inventory.GroupKey
+	inv.Each(func(k inventory.GroupKey, _ *inventory.CellSummary) bool { hot = k; return false })
+	before := m.CacheHits.Load()
+	for i := 0; i < 10; i++ {
+		r.Get(hot)
+	}
+	if m.CacheHits.Load() < before+9 {
+		t.Fatalf("hot shard not served from cache: hits %d → %d", before, m.CacheHits.Load())
+	}
+	if m.PinnedBytes.Load() <= 0 {
+		t.Fatal("pinned-bytes gauge not tracking")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	inv := fixture(t)
+	path, _ := writeFixture(t, inv)
+	r, err := Open(path, Options{MaxPinned: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var keys []inventory.GroupKey
+	inv.Each(func(k inventory.GroupKey, _ *inventory.CellSummary) bool {
+		if len(keys) < 512 {
+			keys = append(keys, k)
+		}
+		return len(keys) < 512
+	})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range keys {
+				k := keys[(i+g*37)%len(keys)]
+				if _, ok := r.Get(k); !ok {
+					t.Errorf("Get(%v) missing under concurrency", k)
+					return
+				}
+			}
+			r.Cells(inventory.GSCell)
+			r.CountGroups(inventory.GSCellODType)
+		}(g)
+	}
+	wg.Wait()
+	if err := r.Err(); err != nil {
+		t.Fatalf("concurrent reads recorded error: %v", err)
+	}
+}
+
+func TestNoMmapFallback(t *testing.T) {
+	inv := fixture(t)
+	path, _ := writeFixture(t, inv)
+	r, err := Open(path, Options{NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Mapped() {
+		t.Fatal("NoMmap reader reports mapped")
+	}
+	var k inventory.GroupKey
+	inv.Each(func(key inventory.GroupKey, _ *inventory.CellSummary) bool { k = key; return false })
+	want, _ := inv.Get(k)
+	got, ok := r.Get(k)
+	if !ok || !bytes.Equal(got.AppendBinary(nil), want.AppendBinary(nil)) {
+		t.Fatal("pread path returned wrong summary")
+	}
+}
+
+// TestSegmentSmallerThanInventoryFile is the on-disk half of the Table-4
+// story: the columnar compressed segment must be substantially smaller
+// than the POLINV heap file of the same inventory.
+func TestSegmentSmallerThanInventoryFile(t *testing.T) {
+	inv := fixture(t)
+	dir := t.TempDir()
+	segPath := filepath.Join(dir, "a.polseg")
+	invPath := filepath.Join(dir, "a.polinv")
+	if err := WriteFile(inv, segPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := inventory.WriteFile(inv, invPath); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := os.Stat(invPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Size() >= is.Size() {
+		t.Fatalf("segment (%d B) not smaller than inventory file (%d B)", ss.Size(), is.Size())
+	}
+	t.Logf("segment %d B vs inventory file %d B (%.1f%% of heap format)",
+		ss.Size(), is.Size(), 100*float64(ss.Size())/float64(is.Size()))
+}
+
+func equalCells[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkSegmentOpen(b *testing.B) {
+	inv := fixture(b)
+	path, _ := writeFixture(b, inv)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(path, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
+
+func BenchmarkSegmentLookup(b *testing.B) {
+	inv := fixture(b)
+	path, _ := writeFixture(b, inv)
+	r, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	var keys []inventory.GroupKey
+	inv.Each(func(k inventory.GroupKey, _ *inventory.CellSummary) bool {
+		keys = append(keys, k)
+		return len(keys) < 1024
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkSegmentWrite(b *testing.B) {
+	inv := fixture(b)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFile(inv, filepath.Join(dir, "bench.polseg")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

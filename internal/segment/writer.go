@@ -1,0 +1,214 @@
+package segment
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"github.com/patternsoflife/pol/internal/fault"
+	"github.com/patternsoflife/pol/internal/inventory"
+)
+
+// Failpoints on the segment write path, for crash-consistency and
+// fault-matrix tests. Armed via the default fault registry
+// (POL_FAILPOINTS), like the inventory and WAL write failpoints.
+const (
+	// FPWriteBlock fires before each shard block is emitted.
+	FPWriteBlock = "segment.write.block"
+	// FPWriteIndex fires before the footer index is emitted.
+	FPWriteIndex = "segment.write.index"
+)
+
+// WriteStats reports what a segment write produced.
+type WriteStats struct {
+	Groups   int   // groups written
+	Blocks   int   // non-empty shard blocks
+	RawBytes int64 // uncompressed block bytes
+	Sum      uint32
+	Size     int64 // total file size
+}
+
+// WriteFile serializes a frozen inventory view into a POLSEG1 segment at
+// path, via the same atomic temp+fsync+rename path the POLINV writer
+// uses: a crash leaves either the old complete file or the new complete
+// file, never a hybrid.
+func WriteFile(v inventory.View, path string) error {
+	_, err := WriteFileSum(v, path)
+	return err
+}
+
+// WriteFileSum is WriteFile plus whole-file CRC32C/size (for checkpoint
+// manifests) and the write stats.
+func WriteFileSum(v inventory.View, path string) (st WriteStats, err error) {
+	err = inventory.AtomicWrite(path, func(w io.Writer) error {
+		cw := &crcWriter{w: w}
+		s, err := writeTo(v, cw)
+		if err != nil {
+			return err
+		}
+		st = s
+		st.Sum, st.Size = cw.sum, cw.n
+		return nil
+	})
+	return st, err
+}
+
+// crcWriter folds a CRC32C over everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, crcTable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// writeTo streams the encoded segment.
+func writeTo(v inventory.View, w *crcWriter) (WriteStats, error) {
+	var st WriteStats
+
+	// Bucket the groups into their shards; sort each shard by encoded key
+	// so the key column is binary-searchable.
+	type entry struct {
+		keyEnc  [inventory.EncodedKeyLen]byte
+		set     inventory.GroupSet
+		summary *inventory.CellSummary
+	}
+	var shards [inventory.ShardCount][]entry
+	v.Each(func(k inventory.GroupKey, s *inventory.CellSummary) bool {
+		var e entry
+		copy(e.keyEnc[:], inventory.AppendKey(nil, k))
+		e.set = k.Set
+		e.summary = s
+		shards[inventory.ShardOf(k)] = append(shards[inventory.ShardOf(k)], e)
+		st.Groups++
+		return true
+	})
+
+	info := v.Info()
+	var head []byte
+	head = append(head, segMagic...)
+	head = binary.LittleEndian.AppendUint32(head, segVersion)
+	head = binary.LittleEndian.AppendUint32(head, uint32(info.Resolution))
+	head = binary.LittleEndian.AppendUint64(head, uint64(info.RawRecords))
+	head = binary.LittleEndian.AppendUint64(head, uint64(info.UsedRecords))
+	head = binary.LittleEndian.AppendUint64(head, uint64(info.BuiltUnix))
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(info.Description)))
+	head = append(head, info.Description...)
+	headerLen, headerCRC := len(head), CRC(head)
+	if _, err := w.Write(head); err != nil {
+		return st, fmt.Errorf("segment: header: %w", err)
+	}
+
+	var (
+		blocks []BlockInfo
+		raw    []byte
+		comp   bytes.Buffer
+	)
+	for si := range shards {
+		es := shards[si]
+		if len(es) == 0 {
+			continue
+		}
+		if err := fault.Hit(FPWriteBlock); err != nil {
+			return st, fmt.Errorf("segment: block %d: %w", si, err)
+		}
+		sort.Slice(es, func(i, j int) bool {
+			return bytes.Compare(es[i].keyEnc[:], es[j].keyEnc[:]) < 0
+		})
+
+		// Columns: keys | records | offsets | blob.
+		raw = raw[:0]
+		raw = binary.LittleEndian.AppendUint32(raw, uint32(len(es)))
+		for i := range es {
+			raw = append(raw, es[i].keyEnc[:]...)
+		}
+		for i := range es {
+			raw = binary.LittleEndian.AppendUint64(raw, es[i].summary.Records)
+		}
+		// Encode summaries once into the blob, tracking offsets.
+		offs := make([]uint32, 0, len(es)+1)
+		var blob []byte
+		for i := range es {
+			offs = append(offs, uint32(len(blob)))
+			blob = es[i].summary.AppendBinary(blob)
+		}
+		offs = append(offs, uint32(len(blob)))
+		for _, o := range offs {
+			raw = binary.LittleEndian.AppendUint32(raw, o)
+		}
+		raw = append(raw, blob...)
+
+		comp.Reset()
+		fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
+		if err != nil {
+			return st, fmt.Errorf("segment: flate: %w", err)
+		}
+		if _, err := fw.Write(raw); err != nil {
+			return st, fmt.Errorf("segment: compress shard %d: %w", si, err)
+		}
+		if err := fw.Close(); err != nil {
+			return st, fmt.Errorf("segment: compress shard %d: %w", si, err)
+		}
+
+		bi := BlockInfo{
+			Shard:   si,
+			Off:     w.n,
+			CompLen: uint32(comp.Len()),
+			RawLen:  uint32(len(raw)),
+			CRC:     CRC(comp.Bytes()),
+			NGroups: uint32(len(es)),
+		}
+		for i := range es {
+			bi.NSet[es[i].set-inventory.GSCell]++
+		}
+		if _, err := w.Write(comp.Bytes()); err != nil {
+			return st, fmt.Errorf("segment: shard %d: %w", si, err)
+		}
+		blocks = append(blocks, bi)
+		st.Blocks++
+		st.RawBytes += int64(len(raw))
+	}
+
+	if err := fault.Hit(FPWriteIndex); err != nil {
+		return st, fmt.Errorf("segment: index: %w", err)
+	}
+	indexOff := w.n
+	idx := make([]byte, 0, 4+len(blocks)*indexEntryLen)
+	idx = binary.LittleEndian.AppendUint32(idx, uint32(len(blocks)))
+	for _, bi := range blocks {
+		idx = binary.LittleEndian.AppendUint16(idx, uint16(bi.Shard))
+		idx = binary.LittleEndian.AppendUint64(idx, uint64(bi.Off))
+		idx = binary.LittleEndian.AppendUint32(idx, bi.CompLen)
+		idx = binary.LittleEndian.AppendUint32(idx, bi.RawLen)
+		idx = binary.LittleEndian.AppendUint32(idx, bi.CRC)
+		idx = binary.LittleEndian.AppendUint32(idx, bi.NGroups)
+		for s := 0; s < 3; s++ {
+			idx = binary.LittleEndian.AppendUint32(idx, bi.NSet[s])
+		}
+	}
+	if _, err := w.Write(idx); err != nil {
+		return st, fmt.Errorf("segment: index: %w", err)
+	}
+
+	var tail []byte
+	tail = binary.LittleEndian.AppendUint64(tail, uint64(indexOff))
+	tail = binary.LittleEndian.AppendUint32(tail, uint32(len(idx)))
+	tail = binary.LittleEndian.AppendUint32(tail, CRC(idx))
+	tail = binary.LittleEndian.AppendUint32(tail, uint32(headerLen))
+	tail = binary.LittleEndian.AppendUint32(tail, headerCRC)
+	tail = binary.LittleEndian.AppendUint64(tail, uint64(st.Groups))
+	tail = append(tail, tailMagic...)
+	if _, err := w.Write(tail); err != nil {
+		return st, fmt.Errorf("segment: tail: %w", err)
+	}
+	return st, nil
+}

@@ -3,16 +3,17 @@
 # results and prints the headline go-test benchmarks. Run from the
 # repository root:
 #
-#   ./scripts/bench.sh            # writes BENCH_PR9.json
+#   ./scripts/bench.sh            # writes BENCH_PR10.json
 #   ./scripts/bench.sh results.json
 #
 # The report has two parts: the polbench micro-benchmark suite (build,
-# publish, queries, shuffle, distributed build, replica catch-up, tracing overhead) and an
+# publish, queries, shuffle, distributed build, replica catch-up, tracing
+# overhead, segment cold-start and resident-set footprints) and an
 # open-loop polload SLO run against a polserve snapshot, merged in under
 # the "slo" key.
 set -e
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 
 echo "== polbench micro-benchmark suite → $out =="
 go run ./cmd/polbench -json "$out" -vessels 30 -days 15

@@ -21,10 +21,13 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/obs/trace/ ./internal/replica/ ./internal/stream/
+go test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/obs/trace/ ./internal/replica/ ./internal/segment/ ./internal/stream/
 
 echo "== benchmark smoke (snapshot publish) =="
 go test -run='^$' -bench=Publish -benchtime=1x ./internal/inventory/
+
+echo "== benchmark smoke (segment write/open/lookup round trip) =="
+go test -run='^$' -bench=Segment -benchtime=1x ./internal/segment/
 
 echo "== cluster e2e smoke (loopback coordinator + 2 workers, 1 killed) =="
 ./scripts/cluster_e2e.sh

@@ -14,7 +14,11 @@
 #   5. assert distributed-trace continuity: a trace ID rooted on a
 #      replica (its WAL polls inject W3C traceparent toward the primary)
 #      must appear in the primary's /v1/traces too, and a polquery
-#      -server -trace invocation prints the primary's span tree.
+#      -server -trace invocation prints the primary's span tree;
+#   6. start a disk-backed replica (-segdir): it mirrors the primary's
+#      newest checkpoint segment over Range requests, serves it off disk,
+#      and its segment file must be bit-identical (cross-format polquery
+#      -equal) to the heap inventory of the same checkpoint generation.
 #
 # Run from the repository root:
 #
@@ -25,8 +29,9 @@ tmp="$(mktemp -d)"
 ppid=""
 r1pid=""
 r2pid=""
+r3pid=""
 cleanup() {
-	for p in $ppid $r1pid $r2pid; do
+	for p in $ppid $r1pid $r2pid $r3pid; do
 		kill "$p" 2>/dev/null || true
 	done
 	rm -rf "$tmp"
@@ -194,4 +199,60 @@ grep -q 'http\./v1/info \[polingest\]' "$tmp/polquery.trace" || {
 	exit 1
 }
 
-echo "replica e2e passed: 2 replicas converged bit-exact at seq $seq2 (one killed and re-bootstrapped mid-feed); trace $shared spans primary+replica"
+### Phase 6: disk-backed replica. Feeding has stopped, so the primary's
+### newest checkpoint generation is stable; the disk replica must mirror
+### its segment into -segdir and converge to that generation.
+r3http="127.0.0.1:$((18700 + $$ % 100))"
+mkdir -p "$tmp/segdir"
+"$tmp/polserve" -replica "http://$phttp" -segdir "$tmp/segdir" -addr "$r3http" \
+	-res 6 -tick 100ms >"$tmp/replica3.log" 2>&1 &
+r3pid=$!
+
+newest_seg_gen() {
+	"$tmp/polfeed" -get "http://$phttp/v1/repl/manifest" 2>/dev/null |
+		tr -d '\n' | tr '{' '\n' | grep '"seg"' |
+		sed -n 's/.*"gen": *\([0-9][0-9]*\).*/\1/p' | head -1
+}
+want_gen="$(newest_seg_gen)"
+if [ -z "$want_gen" ]; then
+	echo "primary manifest has no segment generation:"
+	"$tmp/polfeed" -get "http://$phttp/v1/repl/manifest"
+	exit 1
+fi
+i=0
+while :; do
+	gen="$(status_field "$r3http" generation)"
+	[ -n "$gen" ] && [ "$gen" -ge "$want_gen" ] && break
+	i=$((i + 1))
+	if [ "$i" -gt 600 ]; then
+		echo "disk replica never installed generation $want_gen (at ${gen:-none}):"
+		tail -20 "$tmp/replica3.log"
+		exit 1
+	fi
+	sleep 0.1
+done
+
+# Resolve that generation's file names from the manifest and compare the
+# mirrored on-disk segment against the heap checkpoint inventory — the
+# cross-format bit-exactness the segment store promises.
+genline="$("$tmp/polfeed" -get "http://$phttp/v1/repl/manifest" |
+	tr -d '\n' | tr '{' '\n' | grep '"gen": *'"$gen"'[,}]' | head -1)"
+inv_name="$(printf '%s' "$genline" | sed -n 's/.*"inv": *"\([^"]*\)".*/\1/p')"
+seg_name="$(printf '%s' "$genline" | sed -n 's/.*"seg": *"\([^"]*\)".*/\1/p')"
+if [ -z "$inv_name" ] || [ -z "$seg_name" ]; then
+	echo "could not resolve generation $gen in the primary manifest"
+	exit 1
+fi
+"$tmp/polfeed" -get "http://$phttp/v1/repl/checkpoint/$gen/$inv_name" >"$tmp/ckpt.polinv"
+"$tmp/polquery" -inv "$tmp/ckpt.polinv" -equal "$tmp/segdir/$seg_name" || {
+	echo "disk replica segment diverged from checkpoint generation $gen"
+	exit 1
+}
+# And the disk replica answers queries over HTTP like any serving mode.
+"$tmp/polfeed" -get "http://$r3http/v1/info" | grep -q '"groups"' || {
+	echo "disk replica /v1/info served no groups:"
+	tail -20 "$tmp/replica3.log"
+	exit 1
+}
+
+echo "replica e2e passed: 2 replicas converged bit-exact at seq $seq2 (one killed and re-bootstrapped mid-feed); disk replica served gen $gen bit-exact from $seg_name; trace $shared spans primary+replica"
