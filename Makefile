@@ -25,7 +25,7 @@ fmt:
 # snapshot-serving inventory, the observability middleware and the stream
 # monitor.
 race:
-	$(GO) test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/replica/ ./internal/segment/ ./internal/stream/
+	$(GO) test -race -count=1 -timeout 20m ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/replica/ ./internal/segment/ ./internal/stream/
 
 # One-iteration smokes: the snapshot-publish benchmark and the columnar
 # segment write/open/lookup round trip — they catch serving-path
@@ -36,13 +36,16 @@ benchsmoke:
 
 # End-to-end smokes: the loopback cluster (coordinator + two workers, one
 # killed mid-task), the durability chaos drill (crash mid-checkpoint
-# rename, permanently failing journal disk, recovery convergence), and the
+# rename, permanently failing journal disk, recovery convergence), the
 # replicated-serving drill (primary + two read replicas, one killed and
-# re-bootstrapped mid-feed, bit-exact convergence).
+# re-bootstrapped mid-feed, bit-exact convergence), and the failover drill
+# (primary killed mid-feed, replica promoted with epoch fencing, stale
+# primary fenced on restart).
 e2e:
 	./scripts/cluster_e2e.sh
 	./scripts/chaos_e2e.sh
 	./scripts/replica_e2e.sh
+	./scripts/failover_e2e.sh
 
 # Full benchmark suite: regenerates BENCH_PR10.json and prints the headline
 # publish/shuffle/distributed benchmarks (see scripts/bench.sh).

@@ -4,6 +4,15 @@
 // weighted mix, and reports per-endpoint latency quantiles (p50/p90/
 // p99/p999) suitable for SLO checks.
 //
+// Targets are health-checked passively: a transport failure or 5xx
+// marks the target unhealthy and the round-robin skips it while a
+// background prober polls its /readyz with jittered backoff; the first
+// 200 puts it back in rotation. Requests that still fail count as
+// errors — polload measures availability, it does not hide it. There is
+// deliberately no replication-term routing here (targets may mix
+// primaries, replicas and disk-backed servers, where "highest term"
+// is meaningless for read traffic); health is the only signal.
+//
 // Open-loop means the arrival schedule is absolute: request i is
 // dispatched at start + i/rate regardless of how fast earlier responses
 // came back, so a slow server shows up as tail latency (and eventually
@@ -27,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -117,6 +127,8 @@ func main() {
 		},
 	}
 	rng := rand.New(rand.NewSource(*seed))
+	ts := newTargetSet(tlist, *timeout)
+	defer ts.stop()
 
 	// Every request roots a fresh trace and carries its W3C traceparent,
 	// so any latency outlier in the server's histograms has an exemplar
@@ -147,7 +159,8 @@ func main() {
 			time.Sleep(d)
 		}
 		name, path := picker.draw(rng)
-		u := tlist[i%len(tlist)] + path
+		ti := ts.pick()
+		u := tlist[ti] + path
 		select {
 		case slots <- struct{}{}:
 		default:
@@ -156,7 +169,7 @@ func main() {
 		}
 		sent.Add(1)
 		wg.Add(1)
-		go func(name, u string) {
+		go func(name, u string, ti int) {
 			defer wg.Done()
 			defer func() { <-slots }()
 			es := stats[name]
@@ -167,6 +180,7 @@ func main() {
 			ok := fire(client, u, span)
 			el := time.Since(t0).Seconds()
 			if !ok {
+				ts.markDown(ti)
 				span.MarkError()
 				span.Finish()
 				es.errors.Add(1)
@@ -176,7 +190,7 @@ func main() {
 			span.Finish()
 			es.hist.Observe(el)
 			overall.hist.Observe(el)
-		}(name, u)
+		}(name, u, ti)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -216,6 +230,87 @@ func main() {
 			sum.Overall.P99Ms, *maxP99)
 		os.Exit(1)
 	}
+}
+
+// targetSet round-robins over the targets that currently look healthy.
+// fire outcomes drive the health bit (any transport failure or 5xx
+// marks a target down); a background prober per down target polls its
+// /readyz with jittered doubling backoff and restores the target on the
+// first 200. When every target is down the full list is used — the
+// generator keeps measuring rather than stalling, and the first target
+// to answer heals itself through the same fire path.
+type targetSet struct {
+	bases   []string
+	healthy []atomic.Bool
+	probing []atomic.Bool
+	next    atomic.Int64
+	client  *http.Client
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newTargetSet(bases []string, timeout time.Duration) *targetSet {
+	ts := &targetSet{
+		bases:   bases,
+		healthy: make([]atomic.Bool, len(bases)),
+		probing: make([]atomic.Bool, len(bases)),
+		client:  &http.Client{Timeout: timeout},
+		done:    make(chan struct{}),
+	}
+	for i := range ts.healthy {
+		ts.healthy[i].Store(true)
+	}
+	return ts
+}
+
+func (ts *targetSet) pick() int {
+	n := len(ts.bases)
+	start := int(ts.next.Add(1)-1) % n
+	for off := 0; off < n; off++ {
+		if i := (start + off) % n; ts.healthy[i].Load() {
+			return i
+		}
+	}
+	return start
+}
+
+func (ts *targetSet) markDown(i int) {
+	if !ts.healthy[i].CompareAndSwap(true, false) {
+		return
+	}
+	if !ts.probing[i].CompareAndSwap(false, true) {
+		return
+	}
+	ts.wg.Add(1)
+	go func() {
+		defer ts.wg.Done()
+		defer ts.probing[i].Store(false)
+		delay := 100 * time.Millisecond
+		for {
+			select {
+			case <-ts.done:
+				return
+			case <-time.After(delay/2 + time.Duration(rand.Int63n(int64(delay)))):
+			}
+			resp, err := ts.client.Get(ts.bases[i] + "/readyz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					ts.healthy[i].Store(true)
+					return
+				}
+			}
+			if delay *= 2; delay > 2*time.Second {
+				delay = 2 * time.Second
+			}
+		}
+	}()
+}
+
+func (ts *targetSet) stop() {
+	close(ts.done)
+	ts.wg.Wait()
 }
 
 // fire issues one GET and reports whether the server answered it: any

@@ -22,6 +22,11 @@
 // client injects a W3C traceparent and reads it back from /v1/traces/{id}):
 //
 //	polquery -server http://localhost:8080 -at 51.9,3.2 -trace
+//
+// Failover: -promote asks a replica daemon to take over as primary
+// (drain the WAL tail, bump the replication term, open a fresh journal):
+//
+//	polquery -promote http://replica:8081
 package main
 
 import (
@@ -85,9 +90,14 @@ func main() {
 		equal   = flag.String("equal", "", "compare -inv against this second inventory file; exit 0 when equal, 1 when not")
 		server  = flag.String("server", "", "query a running daemon at this base URL instead of reading -inv")
 		showTr  = flag.Bool("trace", false, "with -server: print the server-side trace tree of the query just run")
+		promote = flag.String("promote", "", "promote the replica daemon at this base URL to primary (POST /v1/admin/promote) and print the result")
 	)
 	flag.Parse()
 
+	if *promote != "" {
+		runPromote(*promote)
+		return
+	}
 	if *server != "" {
 		runRemote(*server, *at, *vtype, *info, *showTr)
 		return
@@ -170,6 +180,28 @@ func main() {
 		log.Fatalf("no data for cell %v (no historical traffic)", cell)
 	}
 	printSummary(gaz, cell, s)
+}
+
+// runPromote asks a replica daemon to take over as primary. The drain
+// can legitimately take a few seconds (it chases the old primary's WAL
+// tip), so the client timeout is generous.
+func runPromote(base string) {
+	u := strings.TrimRight(base, "/") + "/v1/admin/promote"
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Post(u, "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: status %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	fmt.Printf("promoted %s\n", base)
+	os.Stdout.Write(body)
 }
 
 // runRemote answers the query over a daemon's HTTP API. The request

@@ -20,6 +20,13 @@
 // O(inventory) and the resident set stays small. Either way the process
 // shuts down cleanly on SIGINT/SIGTERM, draining in-flight requests.
 //
+// A heap replica is promotable: POST /v1/admin/promote (or `polquery
+// -promote <url>`) drains the WAL tail, bumps the replication term, opens
+// a fresh journal/checkpoint at the -journal/-checkpoint paths, starts
+// accepting NMEA feeds on -listen, and serves the full /v1/repl surface
+// so sibling replicas re-bootstrap onto it. Give each replica a distinct
+// -term-file so the highest term it has seen survives restarts.
+//
 // Operational endpoints:
 //
 //	GET /metrics            Prometheus-style telemetry (per-endpoint
@@ -57,6 +64,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -87,10 +96,13 @@ func main() {
 		walSeg    = flag.Int64("wal-segment-bytes", 0, "journal segment rotation threshold (live mode, 0 = default 64 MiB)")
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "drop feeds silent for this long (live mode)")
 
-		replicaOf  = flag.String("replica", "", "primary base URL to replicate from (replica mode, e.g. http://primary:8080)")
+		replicaOf  = flag.String("replica", "", "comma-separated primary base URLs to replicate from (replica mode, e.g. http://primary:8080); with several, the highest-term endpoint wins")
 		segDir     = flag.String("segdir", "", "disk-backed replica: mirror the primary's segments into this directory and serve them mapped (replica mode)")
 		maxLag     = flag.Duration("max-lag", 15*time.Second, "replication lag before /readyz reports degraded (replica mode)")
 		maxSnapAge = flag.Duration("max-snapshot-age", 0, "snapshot age before /readyz reports degraded (live/replica mode, 0 disables)")
+		probeEvery = flag.Duration("probe-every", 2*time.Second, "endpoint probe cadence when -replica lists several endpoints")
+		drainTmo   = flag.Duration("drain-timeout", 3*time.Second, "WAL drain bound during promotion; past it the promotion proceeds from last-applied (replica mode)")
+		termFile   = flag.String("term-file", "", "replication term high-water file (replica mode; default <checkpoint>.term when -checkpoint is set)")
 
 		inflight  = flag.Int("max-inflight", 0, "max concurrent HTTP requests before shedding with 429 (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -167,26 +179,72 @@ func main() {
 			}
 		}
 	} else if *replicaOf != "" {
+		tf := *termFile
+		if tf == "" && *ckpt != "" {
+			tf = *ckpt + ".term"
+		}
 		rep, err := replica.New(replica.Options{
-			Primary:    *replicaOf,
-			Resolution: *res,
-			MergeEvery: *tick,
-			MaxLag:     *maxLag,
-			Metrics:    reg,
-			Tracer:     tr,
-			Logf:       logf(logger.With("sub", "replica")),
+			Primary:      *replicaOf,
+			Resolution:   *res,
+			MergeEvery:   *tick,
+			MaxLag:       *maxLag,
+			TermPath:     tf,
+			ProbeEvery:   *probeEvery,
+			DrainTimeout: *drainTmo,
+			Metrics:      reg,
+			Tracer:       tr,
+			Faults:       fault.Default(),
+			Logf:         logf(logger.With("sub", "replica")),
 		})
 		if err != nil {
 			fatal(logger, "replica start", err)
 		}
 		go func() { replicaErr <- rep.Run(ctx) }()
-		logger.Info("replica mode", "primary", *replicaOf, "maxLag", *maxLag)
+		logger.Info("replica mode", "primary", *replicaOf, "maxLag", *maxLag, "termFile", tf)
+
+		// Promotion turns this process into a primary: open the NMEA feed
+		// listener exactly once, so feeders pointed at our -listen address
+		// reconnect here after the failover.
+		var promotedFeeds atomic.Pointer[ingest.Server]
+		var promoteOnce sync.Once
+		onPromoted := func() {
+			promoteOnce.Do(func() {
+				ln, err := net.Listen("tcp", *listen)
+				if err != nil {
+					logger.Error("promoted feed listen", "err", err)
+					return
+				}
+				fs := ingest.NewServer(rep.Engine(), ln, ingest.ServerOptions{
+					IdleTimeout: *idle,
+					Logf:        logf(logger.With("sub", "feeds")),
+				})
+				promotedFeeds.Store(fs)
+				logger.Info("promoted: accepting NMEA feeds", "addr", ln.Addr().String())
+			})
+		}
 
 		mux.Handle("/", api.NewLiveServer(rep, gaz).WithMetrics(reg).WithTracing(tr).Handler())
 		mux.Handle("GET /v1/replica/status", rep.StatusHandler())
 		mux.Handle("GET /v1/repl/snapshot", rep.SnapshotHandler())
+		// The full primary surface, live from the start: before promotion
+		// the repl handlers answer for an engine with no generations; after
+		// promotion siblings re-bootstrap from here.
+		mux.Handle("GET /v1/repl/", rep.Engine().ReplHandler())
+		mux.Handle("GET /v1/ingest/stats", rep.Engine().StatsHandler())
+		mux.Handle("POST /v1/admin/promote", rep.PromoteHandler(replica.PromoteConfig{
+			JournalPath:     *journal,
+			CheckpointPath:  *ckpt,
+			CheckpointEvery: *ckptEvery,
+			WALSegmentBytes: *walSeg,
+			DrainTimeout:    *drainTmo,
+		}, onPromoted))
 		ready = obs.StaleReady(rep.ReadyDetail, rep.SnapshotAge, *maxSnapAge)
 		cleanup = func() {
+			if fs := promotedFeeds.Load(); fs != nil {
+				if err := fs.Close(); err != nil {
+					logger.Error("feed listener close", "err", err)
+				}
+			}
 			if err := rep.Close(); err != nil {
 				logger.Error("replica close", "err", err)
 			}
@@ -289,14 +347,24 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("http listening", "addr", *addr)
 
-	select {
-	case err := <-errc:
-		fatal(logger, "http serve", err)
-	case err := <-replicaErr:
-		if ctx.Err() == nil {
-			fatal(logger, "replica run", err)
+	for done := false; !done; {
+		select {
+		case err := <-errc:
+			fatal(logger, "http serve", err)
+		case err := <-replicaErr:
+			if errors.Is(err, replica.ErrPromoted) {
+				// The replication loop is over because we are the primary
+				// now; keep serving.
+				logger.Info("replica promoted; serving as primary")
+				continue
+			}
+			if ctx.Err() == nil {
+				fatal(logger, "replica run", err)
+			}
+			done = true
+		case <-ctx.Done():
+			done = true
 		}
-	case <-ctx.Done():
 	}
 	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -50,7 +50,9 @@ var stateMagic = []byte("POLSTAT1\n")
 
 // ckptGen is one manifest entry. Seg is empty on manifests written
 // before the segment store existed; everything else treats a missing
-// segment as "heap bootstrap only".
+// segment as "heap bootstrap only". Term/Node are zero on manifests
+// written before the failover epoch existed — readers treat that as
+// term 1 under an unknown node.
 type ckptGen struct {
 	Gen, Seq           uint64
 	Inv, State         string // basenames, sibling to the manifest
@@ -59,6 +61,8 @@ type ckptGen struct {
 	Seg                string // POLSEG1 columnar segment, "" when absent
 	SegCRC             uint32
 	SegSize            int64
+	Term               uint64 // fencing epoch the generation was written under
+	Node               uint64 // identity of the node that wrote it
 }
 
 // checkpointer owns the generation files and manifest below one base
@@ -96,6 +100,18 @@ func newCheckpointer(base string, faults *fault.Registry, logf func(string, ...a
 
 func (c *checkpointer) manifestPath() string { return c.base + ".manifest" }
 
+// newestTermNode reports the (term, node) the newest retained generation
+// was written under; (0, 0) when there is no generation or the manifest
+// predates the failover epoch.
+func (c *checkpointer) newestTermNode() (term, node uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.gens) == 0 {
+		return 0, 0
+	}
+	return c.gens[0].Term, c.gens[0].Node
+}
+
 func (c *checkpointer) genPath(name string) string {
 	return filepath.Join(filepath.Dir(c.base), name)
 }
@@ -124,13 +140,13 @@ type vesselPersist struct {
 // the manifest and the stable serving artifact, and deletes generations
 // that fell out of retention. It returns the seq the WAL may safely be
 // pruned to: the oldest generation still named by the manifest.
-func (c *checkpointer) Save(snap *inventory.Inventory, st *engineState, seq uint64) (coveredSeq uint64, err error) {
+func (c *checkpointer) Save(snap *inventory.Inventory, st *engineState, seq, term, node uint64) (coveredSeq uint64, err error) {
 	gens := c.generations()
 	gen := uint64(1)
 	if len(gens) > 0 {
 		gen = gens[0].Gen + 1
 	}
-	entry := ckptGen{Gen: gen, Seq: seq}
+	entry := ckptGen{Gen: gen, Seq: seq, Term: term, Node: node}
 	invPath := fmt.Sprintf("%s.g%06d", c.base, gen)
 	statePath := invPath + ".state"
 	segPath := invPath + ".seg"
@@ -290,6 +306,14 @@ func writeManifest(path string, gens []ckptGen) error {
 					return err
 				}
 			}
+			// The fencing epoch is a further suffix, same compatibility
+			// contract: pre-term parsers skip it, and lines without it
+			// read back as term 0 (pre-epoch).
+			if g.Term != 0 {
+				if _, err := fmt.Fprintf(w, " term %d node %016x", g.Term, g.Node); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
@@ -312,20 +336,68 @@ func readManifest(path string) ([]ckptGen, error) {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		var g ckptGen
-		if _, err := fmt.Sscanf(line, "gen %d seq %d inv %s crc %x size %d state %s crc %x size %d seg %s crc %x size %d",
-			&g.Gen, &g.Seq, &g.Inv, &g.InvCRC, &g.InvSize, &g.State, &g.StateCRC, &g.StateSize,
-			&g.Seg, &g.SegCRC, &g.SegSize); err != nil {
-			// Pre-segment manifest line: same prefix, no seg suffix.
-			g = ckptGen{}
-			if _, err := fmt.Sscanf(line, "gen %d seq %d inv %s crc %x size %d state %s crc %x size %d",
-				&g.Gen, &g.Seq, &g.Inv, &g.InvCRC, &g.InvSize, &g.State, &g.StateCRC, &g.StateSize); err != nil {
-				return nil, fmt.Errorf("ingest: bad manifest line %q: %w", line, err)
-			}
+		g, err := parseManifestLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: bad manifest line %q: %w", line, err)
 		}
 		gens = append(gens, g)
 	}
 	return gens, nil
+}
+
+// parseManifestLine walks the line as key/value pairs so optional
+// suffixes (seg, term/node) and future additions parse without a format
+// string per vintage. Unknown keys are skipped, which keeps old binaries
+// able to read manifests from newer ones. crc and size bind to the file
+// key (inv, state, seg) that most recently preceded them.
+func parseManifestLine(line string) (ckptGen, error) {
+	var g ckptGen
+	var crcDst *uint32
+	var sizeDst *int64
+	f := strings.Fields(line)
+	if len(f)%2 != 0 {
+		return g, fmt.Errorf("odd token count")
+	}
+	for i := 0; i < len(f); i += 2 {
+		key, val := f[i], f[i+1]
+		var err error
+		switch key {
+		case "gen":
+			_, err = fmt.Sscanf(val, "%d", &g.Gen)
+		case "seq":
+			_, err = fmt.Sscanf(val, "%d", &g.Seq)
+		case "inv":
+			g.Inv = val
+			crcDst, sizeDst = &g.InvCRC, &g.InvSize
+		case "state":
+			g.State = val
+			crcDst, sizeDst = &g.StateCRC, &g.StateSize
+		case "seg":
+			g.Seg = val
+			crcDst, sizeDst = &g.SegCRC, &g.SegSize
+		case "crc":
+			if crcDst == nil {
+				return g, fmt.Errorf("crc before any file entry")
+			}
+			_, err = fmt.Sscanf(val, "%x", crcDst)
+		case "size":
+			if sizeDst == nil {
+				return g, fmt.Errorf("size before any file entry")
+			}
+			_, err = fmt.Sscanf(val, "%d", sizeDst)
+		case "term":
+			_, err = fmt.Sscanf(val, "%d", &g.Term)
+		case "node":
+			_, err = fmt.Sscanf(val, "%x", &g.Node)
+		}
+		if err != nil {
+			return g, fmt.Errorf("key %s: %w", key, err)
+		}
+	}
+	if g.Inv == "" || g.State == "" || g.Gen == 0 {
+		return g, fmt.Errorf("missing required fields")
+	}
+	return g, nil
 }
 
 // --- POLSTAT1 encoding ---

@@ -42,11 +42,11 @@ func TestCheckpointerFallback(t *testing.T) {
 	base := filepath.Join(dir, "live.polinv")
 
 	c := newCheckpointer(base, fault.Default(), t.Logf)
-	if covered, err := c.Save(inv1, st, 100); err != nil || covered != 100 {
+	if covered, err := c.Save(inv1, st, 100, 1, 0xabcd); err != nil || covered != 100 {
 		t.Fatalf("save gen1: covered %d, err %v", covered, err)
 	}
 	st.counters.positionsSeen = 20
-	if covered, err := c.Save(inv2, st, 200); err != nil || covered != 100 {
+	if covered, err := c.Save(inv2, st, 200, 2, 0xabcd); err != nil || covered != 100 {
 		t.Fatalf("save gen2: covered %d (want oldest retained 100), err %v", covered, err)
 	}
 

@@ -116,6 +116,15 @@ type Options struct {
 	// arrives, never on the local tick, so float summation order matches
 	// the primary's and snapshots stay bit-identical (inventory.Equal).
 	ReplicaDriven bool
+	// Term is the initial fencing epoch (default 1). A checkpoint
+	// manifest written under a later term overrides it at cold start, so
+	// a restarted primary resumes at the term it last served.
+	Term uint64
+	// NodeID identifies this engine instance in term tie-breaks (default:
+	// random). The manifest-recorded node of the newest generation
+	// overrides it at cold start so a restarted primary keeps its
+	// identity.
+	NodeID uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -155,12 +164,38 @@ func (o Options) withDefaults() Options {
 	if o.RetryMax <= 0 {
 		o.RetryMax = 30 * time.Second
 	}
+	if o.Term == 0 && !o.ReplicaDriven {
+		// Primaries start the epoch at 1. Replica appliers stay pre-term
+		// (0) until promoted: they advertise no term of their own and can
+		// never out-claim the primary they tail.
+		o.Term = 1
+	}
+	if o.NodeID == 0 {
+		o.NodeID = rand.Uint64() | 1 // never zero: zero means "unknown"
+	}
 	return o
+}
+
+// TermBeats reports whether claim (rt, rn) supersedes claim (lt, ln):
+// strictly higher terms always win, and equal terms are broken by node
+// identity so two promotions racing to the same term resolve to exactly
+// one winner. A zero node never beats anything at equal term (it marks
+// pre-epoch artifacts whose writer is unknown).
+func TermBeats(rt, rn, lt, ln uint64) bool {
+	if rt != lt {
+		return rt > lt
+	}
+	return rn > ln
 }
 
 // FPEngineMerge defers one micro-batch merge when armed: the period is
 // kept and folded in on the next tick.
 const FPEngineMerge = "ingest.engine.merge"
+
+// FPPromoteCheckpoint fails the term-stamped checkpoint a promotion must
+// write before it may open a journal: the engine stays a replica and the
+// promotion is retryable.
+const FPPromoteCheckpoint = "ingest.promote.checkpoint"
 
 // envelope kinds.
 const (
@@ -172,6 +207,7 @@ const (
 	envInstall
 	envPublish
 	envReplMerge
+	envPromote
 )
 
 // envelope is one unit of work on the engine queue.
@@ -187,6 +223,8 @@ type envelope struct {
 	// inv and state carry a checkpoint install (envInstall).
 	inv   *inventory.Inventory
 	state []byte
+	// promote carries an Engine.Promote request (envPromote).
+	promote *PromoteOptions
 }
 
 // vesselState is the per-vessel online pipeline state.
@@ -224,11 +262,28 @@ type Engine struct {
 
 	// journal is swapped by the loop on degraded-mode resume; readers
 	// (stats gauges) load it atomically. Journal methods lock internally.
+	// ckpt is likewise atomic because promotion installs a checkpointer
+	// while HTTP handlers read it.
 	journal   atomic.Pointer[Journal]
-	ckpt      *checkpointer
+	ckpt      atomic.Pointer[checkpointer]
 	ckptBusy  atomic.Bool
 	ckptWG    sync.WaitGroup
 	replaying bool
+
+	// dur is the durability configuration: fixed at construction on a
+	// journaled engine, installed by a successful Promote on a replica.
+	// Handlers and the degraded prober read it concurrently with that
+	// single promotion-time write.
+	dur atomic.Pointer[durCfg]
+
+	// Fencing epoch: term is the claim this engine serves under, node its
+	// tie-break identity (fixed for the process lifetime). fenced latches
+	// when a higher claim is observed anywhere in the cluster; unlike
+	// plain degradation it never auto-resumes — the disk is healthy, the
+	// mastership is not ours.
+	term   atomic.Uint64
+	node   uint64
+	fenced atomic.Bool
 
 	// Degraded mode: the journal or checkpoint disk path is erroring, so
 	// new records are dropped (applying without journaling would diverge
@@ -257,6 +312,14 @@ type Engine struct {
 	cycle *trace.Span
 }
 
+// durCfg is the promotable subset of Options: where durability artifacts
+// live and how they rotate.
+type durCfg struct {
+	journalPath, ckptPath string
+	ckptEvery             int
+	segBytes              int64
+}
+
 // setLastSeq advances the loop-owned frontier and its atomic mirror.
 func (e *Engine) setLastSeq(seq uint64) {
 	e.lastSeq = seq
@@ -264,6 +327,23 @@ func (e *Engine) setLastSeq(seq uint64) {
 }
 
 func (e *Engine) jrnl() *Journal { return e.journal.Load() }
+
+// hasDurability reports whether the engine owns a journal or checkpoint
+// path — originally configured or acquired by promotion.
+func (e *Engine) hasDurability() bool {
+	d := e.dur.Load()
+	return d.journalPath != "" || d.ckptPath != ""
+}
+
+// Term returns the fencing epoch this engine currently claims.
+func (e *Engine) Term() uint64 { return e.term.Load() }
+
+// Node returns the engine's term tie-break identity.
+func (e *Engine) Node() uint64 { return e.node }
+
+// Fenced reports whether a higher-term claim has permanently demoted
+// this engine to read-only serving.
+func (e *Engine) Fenced() bool { return e.fenced.Load() }
 
 func (e *Engine) logf(format string, args ...any) {
 	if e.opt.Logf != nil {
@@ -296,14 +376,23 @@ func NewEngine(opt Options) (*Engine, error) {
 		Description: opt.Description,
 	})
 	e.period = inventory.New(inventory.BuildInfo{Resolution: opt.Resolution})
+	e.dur.Store(&durCfg{
+		journalPath: opt.JournalPath,
+		ckptPath:    opt.CheckpointPath,
+		ckptEvery:   opt.CheckpointEvery,
+		segBytes:    opt.WALSegmentBytes,
+	})
+	e.term.Store(opt.Term)
+	e.node = opt.NodeID
 
 	// Cold-start recovery: restore the newest intact checkpoint
 	// generation (falling back on checksum mismatch), then replay only
 	// the WAL records past the generation's covered sequence.
 	var startSeq uint64
 	if opt.CheckpointPath != "" {
-		e.ckpt = newCheckpointer(opt.CheckpointPath, opt.Faults, opt.Logf)
-		master, st, seq, err := e.ckpt.Load(opt.Resolution)
+		ckpt := newCheckpointer(opt.CheckpointPath, opt.Faults, opt.Logf)
+		e.ckpt.Store(ckpt)
+		master, st, seq, err := ckpt.Load(opt.Resolution)
 		if err != nil {
 			return nil, err
 		}
@@ -312,6 +401,16 @@ func NewEngine(opt Options) (*Engine, error) {
 			e.restoreState(st)
 			startSeq = seq
 			e.setLastSeq(seq)
+		}
+		// Resume the fencing epoch the newest generation was written
+		// under: a restarted primary must come back at its old term with
+		// its old identity, not as a fresh node that clients tracking the
+		// previous incarnation's (term, node) pair would reject.
+		if term, node := ckpt.newestTermNode(); term >= e.term.Load() && term > 0 {
+			e.term.Store(term)
+			if node != 0 {
+				e.node = node
+			}
 		}
 	}
 	if opt.JournalPath != "" {
@@ -520,7 +619,7 @@ var ErrHasDurability = fmt.Errorf("ingest: engine with journal/checkpoint cannot
 // the primary's WAL in order converges to an inventory.Equal snapshot.
 // Only journal-free engines may apply replicated records.
 func (e *Engine) SubmitReplicated(entry JournalEntry) error {
-	if e.opt.JournalPath != "" || e.opt.CheckpointPath != "" {
+	if e.hasDurability() {
 		return ErrHasDurability
 	}
 	switch entry.Kind {
@@ -543,7 +642,7 @@ func (e *Engine) SubmitReplicated(entry JournalEntry) error {
 // with it; a fresh snapshot is published before it returns. The caller
 // must have verified inv and state against the manifest checksums.
 func (e *Engine) InstallReplicaState(inv *inventory.Inventory, state []byte, seq uint64) error {
-	if e.opt.JournalPath != "" || e.opt.CheckpointPath != "" {
+	if e.hasDurability() {
 		return ErrHasDurability
 	}
 	if inv.Info().Resolution != e.opt.Resolution {
@@ -571,6 +670,112 @@ func (e *Engine) handleInstall(env envelope) error {
 	e.restoreState(st)
 	e.setLastSeq(env.seq)
 	e.publish(time.Now())
+	return nil
+}
+
+// PromoteOptions configures an Engine.Promote: where the promoted
+// primary's durability artifacts go and the fencing term it will serve
+// under.
+type PromoteOptions struct {
+	// JournalPath and CheckpointPath are where the new primary journals
+	// and checkpoints. Both are required.
+	JournalPath    string
+	CheckpointPath string
+	// CheckpointEvery and WALSegmentBytes override the engine defaults
+	// when positive.
+	CheckpointEvery int
+	WALSegmentBytes int64
+	// Term is the fencing epoch the promoted primary claims. It must
+	// exceed every term the caller has observed in the cluster.
+	Term uint64
+}
+
+// Promote turns a replica-driven engine into a journaled, checkpointing
+// primary at the given term: the pending period is folded and published,
+// a term-stamped checkpoint generation is written at the applied
+// frontier, and a fresh journal opens at the next sequence — so sibling
+// replicas can bootstrap from the new manifest and tail the new WAL with
+// no sequence reuse. On error the engine is unchanged (still a replica
+// applier) and the promotion may be retried.
+func (e *Engine) Promote(po PromoteOptions) error {
+	if po.JournalPath == "" || po.CheckpointPath == "" {
+		return fmt.Errorf("ingest: promote needs journal and checkpoint paths")
+	}
+	if po.Term == 0 {
+		return fmt.Errorf("ingest: promote needs a fencing term")
+	}
+	reply := make(chan error, 1)
+	if err := e.submit(envelope{kind: envPromote, promote: &po, reply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
+// handlePromote executes a promotion in loop context, where it owns all
+// pipeline state and no submission can interleave.
+func (e *Engine) handlePromote(po *PromoteOptions) error {
+	if !e.opt.ReplicaDriven || e.hasDurability() {
+		return fmt.Errorf("ingest: only replica-driven engines without durability artifacts can be promoted")
+	}
+	if e.fenced.Load() {
+		return fmt.Errorf("ingest: engine is fenced by a higher term")
+	}
+	if po.Term <= e.term.Load() {
+		return fmt.Errorf("ingest: promote term %d does not exceed current term %d", po.Term, e.term.Load())
+	}
+	// Fold the pending period at the promotion boundary. No merge marker
+	// is lost: everything folded here is covered by the checkpoint the
+	// new WAL starts after, so replicas never replay across it.
+	now := time.Now()
+	e.mergePeriod(now)
+	snap := e.publish(now)
+	if err := e.opt.Faults.Hit(FPPromoteCheckpoint); err != nil {
+		return fmt.Errorf("ingest: promote checkpoint: %w", err)
+	}
+	ckpt := newCheckpointer(po.CheckpointPath, e.opt.Faults, e.opt.Logf)
+	covered, err := ckpt.Save(snap, e.captureState(), e.lastSeq, po.Term, e.node)
+	if err != nil {
+		e.m.checkpointErrors.Add(1)
+		return fmt.Errorf("ingest: promote checkpoint: %w", err)
+	}
+	segBytes := po.WALSegmentBytes
+	if segBytes <= 0 {
+		segBytes = e.opt.WALSegmentBytes
+	}
+	j, err := OpenJournal(po.JournalPath, JournalOptions{
+		SegmentBytes: segBytes,
+		StartSeq:     e.lastSeq,
+		// The old primary may have journaled records past our applied
+		// frontier that were never replicated; starting strictly after
+		// lastSeq keeps our sequence space contiguous with what replicas
+		// following us have seen.
+		NextSeqAtLeast: e.lastSeq + 1,
+		Faults:         e.opt.Faults,
+		Logf:           e.opt.Logf,
+	}, nil)
+	if err != nil {
+		return fmt.Errorf("ingest: promote journal: %w", err)
+	}
+	ckptEvery := po.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = e.opt.CheckpointEvery
+	}
+	e.ckpt.Store(ckpt)
+	e.journal.Store(j)
+	e.dur.Store(&durCfg{
+		journalPath: po.JournalPath,
+		ckptPath:    po.CheckpointPath,
+		ckptEvery:   ckptEvery,
+		segBytes:    segBytes,
+	})
+	e.term.Store(po.Term)
+	e.opt.ReplicaDriven = false // loop-owned from here on
+	e.sinceCkpt = 0
+	e.m.checkpoints.Add(1)
+	e.m.walSegments.Store(int64(j.Segments()))
+	e.m.journalBytes.Store(j.Size())
+	e.logf("promoted to primary at term %d (node %016x): journal %s opens after seq %d, checkpoint covers seq %d",
+		po.Term, e.node, po.JournalPath, e.lastSeq, covered)
 	return nil
 }
 
@@ -680,6 +885,8 @@ func (e *Engine) process(env envelope) {
 		if env.seq > e.lastSeq {
 			e.setLastSeq(env.seq)
 		}
+	case envPromote:
+		env.reply <- e.handlePromote(env.promote)
 	case envSync:
 		env.reply <- e.syncJournal()
 	case envFinalize:
@@ -848,9 +1055,50 @@ func (e *Engine) enterDegraded(reason string) {
 	if path, ferr := e.opt.Tracer.RecordFlight("degraded"); ferr == nil && path != "" {
 		e.logf("flight recorder: degraded-mode dump at %s", path)
 	}
-	if e.ckpt != nil && e.opt.JournalPath != "" {
+	d := e.dur.Load()
+	if e.ckpt.Load() != nil && d.journalPath != "" && !e.fenced.Load() {
 		e.armRetry()
 	}
+}
+
+// ObserveRemoteTerm feeds a (term, node) claim observed elsewhere in the
+// cluster — a request header, a sibling's manifest — into the fencing
+// state machine. If the remote claim beats the local one the call
+// reports true: the caller must treat the local node as outranked.
+// Engines that own durability artifacts (primaries, promoted replicas)
+// additionally fence themselves — an outranked writer must stop
+// accepting writes; a mere replica applier hearing of a newer term is
+// normal operation and only reports it. Safe from any goroutine.
+func (e *Engine) ObserveRemoteTerm(remoteTerm, remoteNode uint64) bool {
+	if remoteTerm == 0 {
+		return false // pre-epoch peer: nothing to compare
+	}
+	local := e.term.Load()
+	if !TermBeats(remoteTerm, remoteNode, local, e.node) {
+		return false
+	}
+	if e.hasDurability() {
+		e.fence(fmt.Sprintf("fenced: observed term %d (node %016x) above local term %d (node %016x)",
+			remoteTerm, remoteNode, local, e.node))
+	}
+	return true
+}
+
+// fence permanently demotes the engine into read-only serving. Unlike a
+// disk-degraded transition the prober is never armed: the journal disk
+// is fine, but writing would split the brain — only an operator restart
+// with a fresh role can bring writes back.
+func (e *Engine) fence(reason string) {
+	if !e.fenced.CompareAndSwap(false, true) {
+		return
+	}
+	if path, ferr := e.opt.Tracer.RecordFlight("fenced"); ferr == nil && path != "" {
+		e.logf("flight recorder: fencing dump at %s", path)
+	}
+	e.enterDegraded(reason)
+	// Already-degraded engines skip enterDegraded's store; the fence is
+	// the more actionable reason either way.
+	e.degradedReason.Store(&reason)
 }
 
 // armRetry starts the disk prober unless one is already running.
@@ -893,7 +1141,7 @@ func (e *Engine) armRetry() {
 // probeDisk checks that the journal directory accepts a durable write
 // again.
 func (e *Engine) probeDisk() error {
-	probe := filepath.Join(filepath.Dir(e.opt.JournalPath), ".pol.probe")
+	probe := filepath.Join(filepath.Dir(e.dur.Load().journalPath), ".pol.probe")
 	f, err := os.Create(probe)
 	if err != nil {
 		return err
@@ -917,7 +1165,13 @@ func (e *Engine) probeDisk() error {
 // then reopen the journal with the sequence forced past that frontier so
 // no sequence number is ever reused for a different record. Loop context.
 func (e *Engine) handleResume() {
-	if !e.degraded.Load() || e.ckpt == nil {
+	ckpt := e.ckpt.Load()
+	if !e.degraded.Load() || ckpt == nil {
+		return
+	}
+	if e.fenced.Load() {
+		// A fenced engine's disk is healthy; resuming writes would fork
+		// the cluster's history. Only a restart under a new role resumes.
 		return
 	}
 	if !e.ckptBusy.CompareAndSwap(false, true) {
@@ -928,7 +1182,7 @@ func (e *Engine) handleResume() {
 	now := time.Now()
 	e.mergePeriod(now)
 	snap := e.publish(now)
-	covered, err := e.ckpt.Save(snap, e.captureState(), e.lastSeq)
+	covered, err := ckpt.Save(snap, e.captureState(), e.lastSeq, e.term.Load(), e.node)
 	if err != nil {
 		e.m.checkpointErrors.Add(1)
 		e.logf("degraded resume: checkpoint failed: %v", err)
@@ -939,8 +1193,9 @@ func (e *Engine) handleResume() {
 	if old := e.jrnl(); old != nil {
 		old.Close() // broken: returns the sticky error, descriptor freed
 	}
-	j, err := OpenJournal(e.opt.JournalPath, JournalOptions{
-		SegmentBytes:   e.opt.WALSegmentBytes,
+	d := e.dur.Load()
+	j, err := OpenJournal(d.journalPath, JournalOptions{
+		SegmentBytes:   d.segBytes,
 		StartSeq:       e.lastSeq,
 		NextSeqAtLeast: e.lastSeq + 1,
 		Faults:         e.opt.Faults,
@@ -1015,7 +1270,7 @@ func (e *Engine) mergeAndPublish(now time.Time) {
 		}
 	}
 	e.sinceCkpt++
-	if e.ckpt != nil && !e.degraded.Load() && e.sinceCkpt >= e.opt.CheckpointEvery {
+	if e.ckpt.Load() != nil && !e.degraded.Load() && e.sinceCkpt >= e.dur.Load().ckptEvery {
 		e.sinceCkpt = 0
 		e.checkpoint(snap)
 	}
@@ -1094,7 +1349,9 @@ func (e *Engine) checkpoint(snap *inventory.Inventory) {
 	}
 	st := e.captureState()
 	seq := e.lastSeq
+	term, node := e.term.Load(), e.node
 	j := e.jrnl()
+	ckpt := e.ckpt.Load()
 	// Child of the merge cycle that triggered the cadence: the span is
 	// created in the loop (e.cycle is loop-owned) and finished by the
 	// background writer — spans are immutable only after Finish.
@@ -1105,7 +1362,7 @@ func (e *Engine) checkpoint(snap *inventory.Inventory) {
 		defer e.ckptBusy.Store(false)
 		defer cs.Finish()
 		t0 := time.Now()
-		covered, err := e.ckpt.Save(snap, st, seq)
+		covered, err := ckpt.Save(snap, st, seq, term, node)
 		if err != nil {
 			cs.SetError(err)
 			e.m.checkpointErrors.Add(1)

@@ -35,6 +35,10 @@ type ReplManifest struct {
 	Resolution  int           `json:"resolution"`
 	WALSeq      uint64        `json:"wal_seq"`
 	Generations []ReplGenInfo `json:"generations"` // newest first
+	// Term and Node are the serving engine's fencing claim; zero on
+	// manifests from pre-epoch primaries.
+	Term uint64 `json:"term,omitempty"`
+	Node uint64 `json:"node,omitempty"`
 }
 
 // ReplGenInfo names one checkpoint generation's files with the
@@ -53,6 +57,41 @@ type ReplGenInfo struct {
 	Seg     string `json:"seg,omitempty"`
 	SegCRC  uint32 `json:"seg_crc,omitempty"`
 	SegSize int64  `json:"seg_size,omitempty"`
+	// Term is the fencing epoch the generation was written under; zero
+	// on pre-epoch generations.
+	Term uint64 `json:"term,omitempty"`
+}
+
+// Term fencing travels on every replication exchange as a pair of
+// headers: servers advertise their claim on responses, clients echo the
+// highest claim they have ever seen on requests. A server that receives
+// a claim beating its own has been superseded and fences itself — this
+// is how a restarted stale primary learns of its demotion from the first
+// replica or feeder that probes it.
+const (
+	HeaderTerm = "X-Pol-Term"
+	HeaderNode = "X-Pol-Node"
+)
+
+// SetTermHeader stamps a (term, node) claim onto a header block; zero
+// term means "no claim" and writes nothing.
+func SetTermHeader(h http.Header, term, node uint64) {
+	if term == 0 {
+		return
+	}
+	h.Set(HeaderTerm, strconv.FormatUint(term, 10))
+	h.Set(HeaderNode, fmt.Sprintf("%016x", node))
+}
+
+// TermFromHeader parses a (term, node) claim; (0, 0) when absent or
+// malformed.
+func TermFromHeader(h http.Header) (term, node uint64) {
+	t, err := strconv.ParseUint(h.Get(HeaderTerm), 10, 64)
+	if err != nil {
+		return 0, 0
+	}
+	n, _ := strconv.ParseUint(h.Get(HeaderNode), 16, 64)
+	return t, n
 }
 
 // replMagic heads every /v1/repl/wal response body:
@@ -92,10 +131,11 @@ func (e *Engine) WALRead(fromSeq uint64, max int) ([]JournalEntry, uint64, error
 // the WAL sequence it covers; zeros before the first checkpoint or when
 // checkpointing is disabled.
 func (e *Engine) CheckpointStatus() (gen, seq uint64) {
-	if e.ckpt == nil {
+	ckpt := e.ckpt.Load()
+	if ckpt == nil {
 		return 0, 0
 	}
-	gens := e.ckpt.generations()
+	gens := ckpt.generations()
 	if len(gens) == 0 {
 		return 0, 0
 	}
@@ -112,18 +152,40 @@ func (e *Engine) WALStatus() (ckptGen, ckptSeq, walSeq uint64) {
 
 // ReplManifestSnapshot collects the current manifest document.
 func (e *Engine) ReplManifestSnapshot() ReplManifest {
-	m := ReplManifest{Resolution: e.opt.Resolution, WALSeq: e.WALSeq()}
-	if e.ckpt != nil {
-		for _, g := range e.ckpt.generations() {
+	m := ReplManifest{
+		Resolution: e.opt.Resolution,
+		WALSeq:     e.WALSeq(),
+		Term:       e.Term(),
+		Node:       e.node,
+	}
+	if ckpt := e.ckpt.Load(); ckpt != nil {
+		for _, g := range ckpt.generations() {
 			m.Generations = append(m.Generations, ReplGenInfo{
 				Gen: g.Gen, Seq: g.Seq,
 				Inv: g.Inv, InvCRC: g.InvCRC, InvSize: g.InvSize,
 				State: g.State, StateCRC: g.StateCRC, StateSize: g.StateSize,
 				Seg: g.Seg, SegCRC: g.SegCRC, SegSize: g.SegSize,
+				Term: g.Term,
 			})
 		}
 	}
 	return m
+}
+
+// replGate runs the term exchange on one replication request: the
+// response always advertises the local claim, the request's claim is fed
+// to the fencing state machine, and a fenced engine answers 503 so no
+// replica bootstraps from or tails a superseded primary. Reports whether
+// the handler may proceed.
+func (e *Engine) replGate(w http.ResponseWriter, r *http.Request) bool {
+	SetTermHeader(w.Header(), e.term.Load(), e.node)
+	rt, rn := TermFromHeader(r.Header)
+	if e.ObserveRemoteTerm(rt, rn) || e.fenced.Load() {
+		e.m.fencingRejects.Add(1)
+		http.Error(w, "fenced: a higher replication term is active in the cluster", http.StatusServiceUnavailable)
+		return false
+	}
+	return true
 }
 
 // ReplHandler returns the read-only replication surface. Mount it at the
@@ -143,9 +205,12 @@ func (e *Engine) ReplHandler() http.Handler {
 	return mux
 }
 
-func (e *Engine) handleReplManifest(w http.ResponseWriter, _ *http.Request) {
+func (e *Engine) handleReplManifest(w http.ResponseWriter, r *http.Request) {
+	if !e.replGate(w, r) {
+		return
+	}
 	m := e.ReplManifestSnapshot()
-	if e.ckpt == nil {
+	if e.ckpt.Load() == nil {
 		http.Error(w, "replication requires a checkpoint path on the primary", http.StatusServiceUnavailable)
 		return
 	}
@@ -159,7 +224,11 @@ func (e *Engine) handleReplManifest(w http.ResponseWriter, _ *http.Request) {
 // match the manifest entry for that generation exactly — clients never
 // control paths, so there is nothing to traverse.
 func (e *Engine) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if e.ckpt == nil {
+	if !e.replGate(w, r) {
+		return
+	}
+	ckpt := e.ckpt.Load()
+	if ckpt == nil {
 		http.Error(w, "no checkpoints on this engine", http.StatusServiceUnavailable)
 		return
 	}
@@ -169,11 +238,11 @@ func (e *Engine) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("file")
-	for _, g := range e.ckpt.generations() {
+	for _, g := range ckpt.generations() {
 		if g.Gen != gen || (name != g.Inv && name != g.State && (g.Seg == "" || name != g.Seg)) {
 			continue
 		}
-		f, err := os.Open(e.ckpt.genPath(name))
+		f, err := os.Open(ckpt.genPath(name))
 		if err != nil {
 			// Rotated away between manifest fetch and download: the
 			// replica re-fetches the manifest and restarts bootstrap.
@@ -195,7 +264,11 @@ func (e *Engine) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 // support (http.ServeContent), so a disk replica can fetch only the
 // tail, the index, and the blocks it is missing.
 func (e *Engine) handleReplSegment(w http.ResponseWriter, r *http.Request) {
-	if e.ckpt == nil {
+	if !e.replGate(w, r) {
+		return
+	}
+	ckpt := e.ckpt.Load()
+	if ckpt == nil {
 		http.Error(w, "no checkpoints on this engine", http.StatusServiceUnavailable)
 		return
 	}
@@ -204,7 +277,7 @@ func (e *Engine) handleReplSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad generation", http.StatusBadRequest)
 		return
 	}
-	for _, g := range e.ckpt.generations() {
+	for _, g := range ckpt.generations() {
 		if g.Gen != gen {
 			continue
 		}
@@ -212,7 +285,7 @@ func (e *Engine) handleReplSegment(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "generation predates segments", http.StatusNotFound)
 			return
 		}
-		f, err := os.Open(e.ckpt.genPath(g.Seg))
+		f, err := os.Open(ckpt.genPath(g.Seg))
 		if err != nil {
 			http.Error(w, "generation no longer on disk", http.StatusNotFound)
 			return
@@ -228,6 +301,9 @@ func (e *Engine) handleReplSegment(w http.ResponseWriter, r *http.Request) {
 // handleReplWAL streams the WAL suffix past from_seq, long-polling up to
 // wait when the replica is already caught up.
 func (e *Engine) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	if !e.replGate(w, r) {
+		return
+	}
 	q := r.URL.Query()
 	fromSeq, err := strconv.ParseUint(q.Get("from_seq"), 10, 64)
 	if err != nil {
@@ -276,7 +352,8 @@ func (e *Engine) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 
 // handleReplSnapshot serves the current published inventory in POLINV1
 // wire form — the artifact e2e checks compare against replica snapshots.
-func (e *Engine) handleReplSnapshot(w http.ResponseWriter, _ *http.Request) {
+func (e *Engine) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	SetTermHeader(w.Header(), e.term.Load(), e.node)
 	snap := e.Snapshot()
 	if snap == nil {
 		http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)

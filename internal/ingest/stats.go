@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ type metrics struct {
 	degradedDrops         atomic.Int64
 	mergeDeferred         atomic.Int64
 	resumes               atomic.Int64
+	fencingRejects        atomic.Int64
 }
 
 // FeedStats tracks one feed connection. The TCP server registers one per
@@ -164,6 +166,7 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	counter("pol_ingest_degraded_dropped_total", &e.m.degradedDrops)
 	counter("pol_ingest_merge_deferred_total", &e.m.mergeDeferred)
 	counter("pol_ingest_resumes_total", &e.m.resumes)
+	counter("pol_repl_fencing_rejects_total", &e.m.fencingRejects)
 	for reason, v := range map[string]*atomic.Int64{
 		"unknown_vessel": &e.m.rejectedUnknown,
 		"non_commercial": &e.m.rejectedNonCommercial,
@@ -186,6 +189,13 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	gauge("pol_ingest_ckpt_seq", func() float64 { _, s := e.CheckpointStatus(); return float64(s) })
 	gauge("pol_ingest_degraded", func() float64 {
 		if e.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
+	gauge("pol_repl_term", func() float64 { return float64(e.term.Load()) })
+	gauge("pol_ingest_fenced", func() float64 {
+		if e.fenced.Load() {
 			return 1
 		}
 		return 0
@@ -269,6 +279,10 @@ type Stats struct {
 	CheckpointErrors   int64          `json:"checkpoint_errors"`
 	CkptGen            uint64         `json:"ckpt_gen"`
 	CkptSeq            uint64         `json:"ckpt_seq"`
+	Term               uint64         `json:"term"`
+	Node               string         `json:"node"`
+	Fenced             bool           `json:"fenced"`
+	FencingRejects     int64          `json:"fencing_rejects"`
 	Degraded           bool           `json:"degraded"`
 	DegradedReason     string         `json:"degraded_reason,omitempty"`
 	DegradedDropped    int64          `json:"degraded_dropped"`
@@ -315,6 +329,10 @@ func (e *Engine) StatsSnapshot() Stats {
 	s.Checkpoints = e.m.checkpoints.Load()
 	s.CheckpointErrors = e.m.checkpointErrors.Load()
 	s.CkptGen, s.CkptSeq = e.CheckpointStatus()
+	s.Term = e.term.Load()
+	s.Node = fmt.Sprintf("%016x", e.node)
+	s.Fenced = e.fenced.Load()
+	s.FencingRejects = e.m.fencingRejects.Load()
 	s.Degraded, s.DegradedReason = e.Degraded()
 	s.DegradedDropped = e.m.degradedDrops.Load()
 	s.MergeDeferred = e.m.mergeDeferred.Load()

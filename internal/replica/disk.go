@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,7 +23,10 @@ import (
 
 // DiskOptions configures a DiskReplica.
 type DiskOptions struct {
-	// Primary is the primary's base HTTP URL.
+	// Primary is the primary's base HTTP URL, or a comma-separated list
+	// of candidates. With more than one, each sync cycle picks the
+	// endpoint advertising the highest replication term; endpoints below
+	// the persisted high-water mark are stale primaries and are rejected.
 	Primary string
 	// Resolution must match the primary's; a mismatch is terminal.
 	Resolution int
@@ -72,8 +76,10 @@ func (o DiskOptions) withDefaults() DiskOptions {
 // swap, so queries that loaded the old reader just before a swap keep a
 // valid mapping for at least one full sync cycle.
 type DiskReplica struct {
-	opt  DiskOptions
-	segm *segment.Metrics
+	opt       DiskOptions
+	segm      *segment.Metrics
+	endpoints []string
+	endpoint  atomic.Int64 // index of the endpoint last synced from
 
 	cur        atomic.Pointer[segment.Reader]
 	generation atomic.Uint64
@@ -81,15 +87,45 @@ type DiskReplica struct {
 	mu      sync.Mutex
 	retired *segment.Reader
 
-	syncs        atomic.Int64
-	syncFailures atomic.Int64
-	blockFetches atomic.Int64
-	blockReuses  atomic.Int64
-	bytesFetched atomic.Int64
-	bytesReused  atomic.Int64
-	crcRejects   atomic.Int64
+	// Term high-water mark, persisted in Dir so a restarted disk replica
+	// keeps rejecting a demoted primary. Guarded by hwMu for
+	// raise-and-persist; read lock-free.
+	hwMu   sync.Mutex
+	hwTerm atomic.Uint64
+	hwNode atomic.Uint64
+
+	syncs          atomic.Int64
+	syncFailures   atomic.Int64
+	blockFetches   atomic.Int64
+	blockReuses    atomic.Int64
+	bytesFetched   atomic.Int64
+	bytesReused    atomic.Int64
+	crcRejects     atomic.Int64
+	fencingRejects atomic.Int64
 
 	lastErr atomic.Pointer[string]
+}
+
+// termPath is where the disk replica persists its term high-water mark.
+func (d *DiskReplica) termPath() string { return filepath.Join(d.opt.Dir, "pol.term") }
+
+// raiseHW lifts the persisted term high-water mark to (term, node) if it
+// beats the current one.
+func (d *DiskReplica) raiseHW(term, node uint64) error {
+	if term == 0 {
+		return nil
+	}
+	d.hwMu.Lock()
+	defer d.hwMu.Unlock()
+	if !ingest.TermBeats(term, node, d.hwTerm.Load(), d.hwNode.Load()) {
+		return nil
+	}
+	if err := writeTermFile(d.termPath(), term, node); err != nil {
+		return fmt.Errorf("replica: persist term high-water: %w", err)
+	}
+	d.hwTerm.Store(term)
+	d.hwNode.Store(node)
+	return nil
 }
 
 // NewDisk builds a disk replica rooted at opt.Dir.
@@ -104,7 +140,23 @@ func NewDisk(opt DiskOptions) (*DiskReplica, error) {
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("replica: %w", err)
 	}
-	d := &DiskReplica{opt: opt, segm: segment.NewMetrics(opt.Metrics)}
+	var endpoints []string
+	for _, ep := range strings.Split(opt.Primary, ",") {
+		ep = strings.TrimRight(strings.TrimSpace(ep), "/")
+		if ep != "" {
+			endpoints = append(endpoints, ep)
+		}
+	}
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("replica: primary URL required")
+	}
+	d := &DiskReplica{opt: opt, segm: segment.NewMetrics(opt.Metrics), endpoints: endpoints}
+	term, node, err := readTermFile(d.termPath())
+	if err != nil {
+		return nil, err
+	}
+	d.hwTerm.Store(term)
+	d.hwNode.Store(node)
 	if reg := opt.Metrics; reg != nil {
 		reg.CounterFunc("pol_segment_replica_syncs_total", nil, func() float64 { return float64(d.syncs.Load()) })
 		reg.CounterFunc("pol_segment_replica_sync_failures_total", nil, func() float64 { return float64(d.syncFailures.Load()) })
@@ -113,6 +165,8 @@ func NewDisk(opt DiskOptions) (*DiskReplica, error) {
 		reg.CounterFunc("pol_segment_replica_bytes_fetched_total", nil, func() float64 { return float64(d.bytesFetched.Load()) })
 		reg.CounterFunc("pol_segment_replica_bytes_reused_total", nil, func() float64 { return float64(d.bytesReused.Load()) })
 		reg.CounterFunc("pol_segment_replica_crc_rejects_total", nil, func() float64 { return float64(d.crcRejects.Load()) })
+		reg.CounterFunc("pol_segment_replica_fencing_rejects_total", nil, func() float64 { return float64(d.fencingRejects.Load()) })
+		reg.GaugeFunc("pol_segment_replica_term", nil, func() float64 { return float64(d.hwTerm.Load()) })
 		reg.GaugeFunc("pol_segment_replica_generation", nil, func() float64 { return float64(d.generation.Load()) })
 	}
 	return d, nil
@@ -157,7 +211,7 @@ func (d *DiskReplica) Sync(ctx context.Context) (err error) {
 			d.lastErr.Store(nil)
 		}
 	}()
-	man, err := d.fetchManifest(ctx)
+	man, base, err := d.pickBest(ctx)
 	if err != nil {
 		return err
 	}
@@ -184,18 +238,61 @@ func (d *DiskReplica) Sync(ctx context.Context) (err error) {
 		// itself failed last cycle): install without touching the network.
 		return d.install(path, g.Gen)
 	}
-	if err := d.assemble(ctx, g, path); err != nil {
+	if err := d.assemble(ctx, base, g, path); err != nil {
 		return err
 	}
 	return d.install(path, g.Gen)
+}
+
+// pickBest fetches every endpoint's manifest and returns the one with
+// the highest (term, node) pair, raising the high-water mark to match.
+// Manifests below the mark come from a stale primary: they are rejected,
+// never synced from, even if every fresher endpoint is down.
+func (d *DiskReplica) pickBest(ctx context.Context) (ingest.ReplManifest, string, error) {
+	var (
+		bestMan            ingest.ReplManifest
+		best               = -1
+		bestTerm, bestNode uint64
+		firstErr           error
+	)
+	for i, ep := range d.endpoints {
+		man, rt, rn, err := d.fetchManifest(ctx, ep)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ingest.TermBeats(d.hwTerm.Load(), d.hwNode.Load(), rt, rn) {
+			d.fencingRejects.Add(1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica: %s serves term %d below high-water %d", ep, rt, d.hwTerm.Load())
+			}
+			continue
+		}
+		if best < 0 || ingest.TermBeats(rt, rn, bestTerm, bestNode) {
+			best, bestTerm, bestNode, bestMan = i, rt, rn, man
+		}
+	}
+	if best < 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("replica: no reachable endpoint")
+		}
+		return ingest.ReplManifest{}, "", firstErr
+	}
+	if err := d.raiseHW(bestTerm, bestNode); err != nil {
+		return ingest.ReplManifest{}, "", err
+	}
+	d.endpoint.Store(int64(best))
+	return bestMan, d.endpoints[best], nil
 }
 
 // assemble builds g's segment at path from Range requests plus every
 // reusable block of the currently installed generation. The write aborts
 // (and installs nothing) unless the assembled file's whole-file CRC32C
 // and size match the manifest exactly.
-func (d *DiskReplica) assemble(ctx context.Context, g *ingest.ReplGenInfo, path string) error {
-	base := fmt.Sprintf("%s/v1/repl/segment/%d", d.opt.Primary, g.Gen)
+func (d *DiskReplica) assemble(ctx context.Context, endpoint string, g *ingest.ReplGenInfo, path string) error {
+	base := fmt.Sprintf("%s/v1/repl/segment/%d", endpoint, g.Gen)
 	if g.SegSize < segment.TailLen {
 		return fmt.Errorf("replica: manifest segment size %d below tail size", g.SegSize)
 	}
@@ -338,30 +435,32 @@ func (d *DiskReplica) install(path string, gen uint64) error {
 	return nil
 }
 
-func (d *DiskReplica) fetchManifest(ctx context.Context) (ingest.ReplManifest, error) {
-	var man ingest.ReplManifest
+func (d *DiskReplica) fetchManifest(ctx context.Context, endpoint string) (man ingest.ReplManifest, term, node uint64, err error) {
 	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, d.opt.Primary+"/v1/repl/manifest", nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, endpoint+"/v1/repl/manifest", nil)
 	if err != nil {
-		return man, err
+		return man, 0, 0, err
 	}
+	// Carrying the high-water mark fences a demoted primary on contact.
+	ingest.SetTermHeader(req.Header, d.hwTerm.Load(), d.hwNode.Load())
 	resp, err := d.opt.Client.Do(req)
 	if err != nil {
-		return man, err
+		return man, 0, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return man, err
+		return man, 0, 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return man, fmt.Errorf("replica: manifest: %s", resp.Status)
+		return man, 0, 0, fmt.Errorf("replica: manifest: %s", resp.Status)
 	}
 	if err := json.Unmarshal(body, &man); err != nil {
-		return man, fmt.Errorf("replica: manifest decode: %w", err)
+		return man, 0, 0, fmt.Errorf("replica: manifest decode: %w", err)
 	}
-	return man, nil
+	term, node = ingest.TermFromHeader(resp.Header)
+	return man, term, node, nil
 }
 
 // getRange fetches [from, to] (inclusive) of the remote segment. A
@@ -378,6 +477,7 @@ func (d *DiskReplica) getRange(ctx context.Context, u string, from, to int64) ([
 		return nil, err
 	}
 	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", from, to))
+	ingest.SetTermHeader(req.Header, d.hwTerm.Load(), d.hwNode.Load())
 	resp, err := d.opt.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -435,31 +535,37 @@ func (d *DiskReplica) ReadyDetail() (bool, string) {
 
 // DiskStatus is the JSON document served by StatusHandler.
 type DiskStatus struct {
-	Primary      string `json:"primary"`
-	Generation   uint64 `json:"generation"`
-	Groups       int64  `json:"groups"`
-	Syncs        int64  `json:"syncs"`
-	SyncFailures int64  `json:"sync_failures"`
-	BlockFetches int64  `json:"block_fetches"`
-	BlockReuses  int64  `json:"block_reuses"`
-	BytesFetched int64  `json:"bytes_fetched"`
-	BytesReused  int64  `json:"bytes_reused"`
-	CRCRejects   int64  `json:"crc_rejects"`
-	LastError    string `json:"last_error,omitempty"`
+	Primary        string `json:"primary"`
+	Endpoints      int    `json:"endpoints"`
+	Term           uint64 `json:"term"`
+	Generation     uint64 `json:"generation"`
+	Groups         int64  `json:"groups"`
+	Syncs          int64  `json:"syncs"`
+	SyncFailures   int64  `json:"sync_failures"`
+	BlockFetches   int64  `json:"block_fetches"`
+	BlockReuses    int64  `json:"block_reuses"`
+	BytesFetched   int64  `json:"bytes_fetched"`
+	BytesReused    int64  `json:"bytes_reused"`
+	CRCRejects     int64  `json:"crc_rejects"`
+	FencingRejects int64  `json:"fencing_rejects"`
+	LastError      string `json:"last_error,omitempty"`
 }
 
 // StatusSnapshot collects the current sync counters.
 func (d *DiskReplica) StatusSnapshot() DiskStatus {
 	s := DiskStatus{
-		Primary:      d.opt.Primary,
-		Generation:   d.generation.Load(),
-		Syncs:        d.syncs.Load(),
-		SyncFailures: d.syncFailures.Load(),
-		BlockFetches: d.blockFetches.Load(),
-		BlockReuses:  d.blockReuses.Load(),
-		BytesFetched: d.bytesFetched.Load(),
-		BytesReused:  d.bytesReused.Load(),
-		CRCRejects:   d.crcRejects.Load(),
+		Primary:        d.endpoints[d.endpoint.Load()],
+		Endpoints:      len(d.endpoints),
+		Term:           d.hwTerm.Load(),
+		Generation:     d.generation.Load(),
+		Syncs:          d.syncs.Load(),
+		SyncFailures:   d.syncFailures.Load(),
+		BlockFetches:   d.blockFetches.Load(),
+		BlockReuses:    d.blockReuses.Load(),
+		BytesFetched:   d.bytesFetched.Load(),
+		BytesReused:    d.bytesReused.Load(),
+		CRCRejects:     d.crcRejects.Load(),
+		FencingRejects: d.fencingRejects.Load(),
 	}
 	if r := d.cur.Load(); r != nil {
 		s.Groups = int64(r.Len())

@@ -21,7 +21,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race -count=1 ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/obs/trace/ ./internal/replica/ ./internal/segment/ ./internal/stream/
+go test -race -count=1 -timeout 20m ./internal/cluster/ ./internal/dataflow/ ./internal/ingest/ ./internal/inventory/ ./internal/obs/ ./internal/obs/trace/ ./internal/replica/ ./internal/segment/ ./internal/stream/
 
 echo "== benchmark smoke (snapshot publish) =="
 go test -run='^$' -bench=Publish -benchtime=1x ./internal/inventory/
@@ -37,5 +37,8 @@ echo "== chaos e2e (crash mid-checkpoint, dead journal disk, recovery) =="
 
 echo "== replica e2e (2 replicas, 1 killed mid-feed, bit-exact convergence) =="
 ./scripts/replica_e2e.sh
+
+echo "== failover e2e (primary killed mid-feed, replica promoted, stale primary fenced) =="
+./scripts/failover_e2e.sh
 
 echo "all checks passed"
